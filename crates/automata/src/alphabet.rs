@@ -1,0 +1,137 @@
+//! Symbol interning.
+//!
+//! All automata in this crate run over a dense alphabet `0..n` of [`Symbol`]
+//! identifiers. The [`Alphabet`] maps human-readable names (element labels,
+//! function names, residual pattern classes, …) to identifiers and back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense symbol identifier, valid for the [`Alphabet`] that produced it.
+pub type Symbol = u32;
+
+/// An interner mapping names to dense [`Symbol`] identifiers.
+///
+/// Interning the alphabet once and reusing symbol ids everywhere keeps the
+/// automata representations compact (transition tables indexed by symbol) and
+/// makes symbol comparison a single integer compare.
+#[derive(Debug, Clone, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    ids: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol; idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as Symbol;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the name of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this alphabet.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym as usize]
+    }
+
+    /// Number of interned symbols (the alphabet size `n`; symbols are `0..n`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as Symbol, n.as_str()))
+    }
+
+    /// Renders a word of symbols as a dotted string (paper notation).
+    pub fn format_word(&self, word: &[Symbol]) -> String {
+        let mut out = String::new();
+        for (i, &s) in word.iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(self.name(s));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("title");
+        let b = ab.intern("date");
+        assert_eq!(a, ab.intern("title"));
+        assert_ne!(a, b);
+        assert_eq!(ab.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut ab = Alphabet::new();
+        let s = ab.intern("Get_Temp");
+        assert_eq!(ab.lookup("Get_Temp"), Some(s));
+        assert_eq!(ab.lookup("absent"), None);
+        assert_eq!(ab.name(s), "Get_Temp");
+    }
+
+    #[test]
+    fn format_word_uses_dots() {
+        let mut ab = Alphabet::new();
+        let w = vec![ab.intern("title"), ab.intern("date")];
+        assert_eq!(ab.format_word(&w), "title.date");
+        assert_eq!(ab.format_word(&[]), "");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let v: Vec<_> = ab.iter().map(|(s, n)| (s, n.to_owned())).collect();
+        assert_eq!(v, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Glushkov position automata and the XML-Schema determinism check.
+//!
+//! XML Schema requires *1-unambiguous* (deterministic) content models: while
+//! parsing a word left to right, the next child can always be matched to a
+//! single position of the regular expression without lookahead. The paper
+//! leans on this twice (Sec. 4 and Sec. 7): it makes the top-down document
+//! traversal possible and keeps the complement automaton polynomial.
+//!
+//! The Glushkov construction makes the check direct: the content model is
+//! 1-unambiguous iff its position automaton is deterministic.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::{Dfa, NO_STATE};
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when a content model is not 1-unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnambiguityError {
+    /// The symbol that can be matched by two different positions.
+    pub symbol: Symbol,
+}
+
+impl UnambiguityError {
+    /// Renders the error with the symbol name resolved through `alphabet`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        format!(
+            "content model is not 1-unambiguous: symbol '{}' is reachable at two competing positions",
+            alphabet.name(self.symbol)
+        )
+    }
+}
+
+impl fmt::Display for UnambiguityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "content model is not 1-unambiguous on symbol #{}",
+            self.symbol
+        )
+    }
+}
+
+impl std::error::Error for UnambiguityError {}
+
+/// The Glushkov (position) automaton of a regular expression.
+///
+/// State `0` is the initial state; states `1..=m` are the symbol positions
+/// of the expression in left-to-right order.
+#[derive(Debug, Clone)]
+pub struct Glushkov {
+    /// `positions[p-1]` is the symbol at position `p`.
+    pub positions: Vec<Symbol>,
+    /// Positions that can start a word.
+    pub first: Vec<u32>,
+    /// Positions that can end a word.
+    pub last: Vec<u32>,
+    /// `follow[p-1]`: positions that may follow position `p`.
+    pub follow: Vec<Vec<u32>>,
+    /// Whether the language contains the empty word.
+    pub nullable: bool,
+    /// Alphabet size carried along for automaton exports.
+    pub num_symbols: usize,
+}
+
+/// first/last/nullable for a subexpression during construction.
+struct Info {
+    first: Vec<u32>,
+    last: Vec<u32>,
+    nullable: bool,
+}
+
+impl Glushkov {
+    /// Builds the position automaton of `re`.
+    ///
+    /// `Repeat` nodes are unrolled first (`r{2,3}` → `r.r.r?`), matching how
+    /// XML Schema validators linearize bounded occurrences.
+    pub fn new(re: &Regex, num_symbols: usize) -> Self {
+        let expanded = expand_repeats(re);
+        let mut g = Glushkov {
+            positions: Vec::new(),
+            first: Vec::new(),
+            last: Vec::new(),
+            follow: Vec::new(),
+            nullable: false,
+            num_symbols,
+        };
+        let info = g.build(&expanded);
+        g.first = info.first;
+        g.last = info.last;
+        g.nullable = info.nullable;
+        g
+    }
+
+    fn new_position(&mut self, sym: Symbol) -> u32 {
+        self.positions.push(sym);
+        self.follow.push(Vec::new());
+        self.positions.len() as u32
+    }
+
+    fn build(&mut self, re: &Regex) -> Info {
+        match re {
+            Regex::Empty => Info {
+                first: vec![],
+                last: vec![],
+                nullable: false,
+            },
+            Regex::Epsilon => Info {
+                first: vec![],
+                last: vec![],
+                nullable: true,
+            },
+            Regex::Sym(s) => {
+                let p = self.new_position(*s);
+                Info {
+                    first: vec![p],
+                    last: vec![p],
+                    nullable: false,
+                }
+            }
+            Regex::Seq(parts) => {
+                let mut acc = Info {
+                    first: vec![],
+                    last: vec![],
+                    nullable: true,
+                };
+                for part in parts {
+                    let info = self.build(part);
+                    // follow: every last of the prefix is followed by every
+                    // first of this part.
+                    for &l in &acc.last {
+                        for &f in &info.first {
+                            push_unique(&mut self.follow[(l - 1) as usize], f);
+                        }
+                    }
+                    if acc.nullable {
+                        for &f in &info.first {
+                            push_unique(&mut acc.first, f);
+                        }
+                    }
+                    if info.nullable {
+                        for &l in &info.last {
+                            push_unique(&mut acc.last, l);
+                        }
+                    } else {
+                        acc.last = info.last;
+                    }
+                    acc.nullable &= info.nullable;
+                }
+                acc
+            }
+            Regex::Alt(parts) => {
+                let mut acc = Info {
+                    first: vec![],
+                    last: vec![],
+                    nullable: false,
+                };
+                for part in parts {
+                    let info = self.build(part);
+                    for f in info.first {
+                        push_unique(&mut acc.first, f);
+                    }
+                    for l in info.last {
+                        push_unique(&mut acc.last, l);
+                    }
+                    acc.nullable |= info.nullable;
+                }
+                acc
+            }
+            Regex::Star(inner) | Regex::Plus(inner) => {
+                let info = self.build(inner);
+                for &l in &info.last {
+                    for &f in &info.first {
+                        push_unique(&mut self.follow[(l - 1) as usize], f);
+                    }
+                }
+                Info {
+                    nullable: info.nullable || matches!(re, Regex::Star(_)),
+                    first: info.first,
+                    last: info.last,
+                }
+            }
+            Regex::Opt(inner) => {
+                let info = self.build(inner);
+                Info {
+                    nullable: true,
+                    ..info
+                }
+            }
+            Regex::Repeat(..) => unreachable!("repeats are expanded before construction"),
+        }
+    }
+
+    /// Number of positions `m` (the automaton has `m + 1` states).
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Checks 1-unambiguity: no state may have two transitions on the same
+    /// symbol to *different* positions.
+    pub fn check_unambiguous(&self) -> Result<(), UnambiguityError> {
+        check_set(&self.first, &self.positions)?;
+        for f in &self.follow {
+            check_set(f, &self.positions)?;
+        }
+        Ok(())
+    }
+
+    /// Exports the automaton as an [`Nfa`] (no ε-transitions).
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::with_states(self.num_positions() + 1, self.num_symbols);
+        nfa.start = 0;
+        for &p in &self.first {
+            nfa.add_transition(0, self.positions[(p - 1) as usize], p);
+        }
+        for (i, follows) in self.follow.iter().enumerate() {
+            for &q in follows {
+                nfa.add_transition((i + 1) as u32, self.positions[(q - 1) as usize], q);
+            }
+        }
+        nfa.finals = self.last.clone();
+        if self.nullable {
+            nfa.finals.push(0);
+        }
+        nfa
+    }
+
+    /// Exports directly as a (partial) [`Dfa`] when the model is
+    /// 1-unambiguous; returns the ambiguity witness otherwise.
+    pub fn to_dfa(&self) -> Result<Dfa, UnambiguityError> {
+        self.check_unambiguous()?;
+        let n = self.num_positions() + 1;
+        let mut table = vec![NO_STATE; n * self.num_symbols];
+        for &p in &self.first {
+            table[self.positions[(p - 1) as usize] as usize] = p;
+        }
+        for (i, follows) in self.follow.iter().enumerate() {
+            for &q in follows {
+                let sym = self.positions[(q - 1) as usize] as usize;
+                table[(i + 1) * self.num_symbols + sym] = q;
+            }
+        }
+        let mut finals = vec![false; n];
+        for &l in &self.last {
+            finals[l as usize] = true;
+        }
+        if self.nullable {
+            finals[0] = true;
+        }
+        Ok(Dfa {
+            num_symbols: self.num_symbols,
+            table,
+            start: 0,
+            finals,
+        })
+    }
+}
+
+fn check_set(set: &[u32], positions: &[Symbol]) -> Result<(), UnambiguityError> {
+    let mut seen: HashMap<Symbol, u32> = HashMap::new();
+    for &p in set {
+        let sym = positions[(p - 1) as usize];
+        if let Some(&q) = seen.get(&sym) {
+            if q != p {
+                return Err(UnambiguityError { symbol: sym });
+            }
+        } else {
+            seen.insert(sym, p);
+        }
+    }
+    Ok(())
+}
+
+fn push_unique(v: &mut Vec<u32>, x: u32) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Unrolls every `Repeat` node into `Seq`/`Opt`/`Star` form.
+fn expand_repeats(re: &Regex) -> Regex {
+    match re {
+        Regex::Empty | Regex::Epsilon | Regex::Sym(_) => re.clone(),
+        Regex::Seq(parts) => Regex::seq(parts.iter().map(expand_repeats)),
+        Regex::Alt(parts) => Regex::alt(parts.iter().map(expand_repeats)),
+        Regex::Star(inner) => Regex::star(expand_repeats(inner)),
+        Regex::Plus(inner) => Regex::plus(expand_repeats(inner)),
+        Regex::Opt(inner) => Regex::opt(expand_repeats(inner)),
+        Regex::Repeat(inner, min, max) => {
+            let inner = expand_repeats(inner);
+            let mut parts = Vec::new();
+            for _ in 0..*min {
+                parts.push(inner.clone());
+            }
+            match max {
+                None => parts.push(Regex::star(inner)),
+                Some(m) => {
+                    // The optional tail: r?{m-min} — nested options keep the
+                    // Glushkov automaton deterministic when r is.
+                    let extra = m - min;
+                    if extra > 0 {
+                        let mut tail = Regex::opt(inner.clone());
+                        for _ in 1..extra {
+                            tail = Regex::opt(Regex::seq([inner.clone(), tail]));
+                        }
+                        parts.push(tail);
+                    }
+                }
+            }
+            Regex::seq(parts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn glushkov(pattern: &str) -> (Glushkov, Alphabet) {
+        let mut ab = Alphabet::new();
+        let re = Regex::parse(pattern, &mut ab).unwrap();
+        let g = Glushkov::new(&re, ab.len());
+        (g, ab)
+    }
+
+    fn accepts(g: &Glushkov, ab: &Alphabet, w: &str) -> bool {
+        let word: Vec<Symbol> = w
+            .split('.')
+            .filter(|s| !s.is_empty())
+            .map(|s| ab.lookup(s).expect("known symbol"))
+            .collect();
+        g.to_nfa().accepts(&word)
+    }
+
+    #[test]
+    fn position_automaton_accepts_language() {
+        let (g, ab) = glushkov("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        assert!(accepts(&g, &ab, "title.date.Get_Temp.TimeOut"));
+        assert!(accepts(&g, &ab, "title.date.temp"));
+        assert!(accepts(&g, &ab, "title.date.temp.exhibit.exhibit"));
+        assert!(!accepts(&g, &ab, "title.date"));
+        assert_eq!(g.num_positions(), 6);
+    }
+
+    #[test]
+    fn paper_models_are_deterministic() {
+        for model in [
+            "title.date.(Get_Temp | temp).(TimeOut | exhibit*)",
+            "title.date.temp.(TimeOut | exhibit*)",
+            "title.date.temp.exhibit*",
+            "(exhibit | performance)*",
+            "title.(Get_Date | date)",
+        ] {
+            let (g, _) = glushkov(model);
+            assert!(
+                g.check_unambiguous().is_ok(),
+                "{model} should be deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_nondeterministic_models_detected() {
+        // (a.b)|(a.c): two first-positions on 'a'.
+        let (g, ab) = glushkov("(a.b)|(a.c)");
+        let err = g.check_unambiguous().unwrap_err();
+        assert_eq!(err.symbol, ab.lookup("a").unwrap());
+        // a*.a is the canonical 1-ambiguous model.
+        let (g, _) = glushkov("a*.a");
+        assert!(g.check_unambiguous().is_err());
+        // (a|b)*.a.(a|b): textbook NFA-only language.
+        let (g, _) = glushkov("(a|b)*.a.(a|b)");
+        assert!(g.check_unambiguous().is_err());
+    }
+
+    #[test]
+    fn deterministic_dfa_matches_nfa() {
+        let (g, ab) = glushkov("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let dfa = g.to_dfa().unwrap();
+        let nfa = g.to_nfa();
+        for w in [
+            "title.date.Get_Temp.TimeOut",
+            "title.date.temp.exhibit",
+            "title.date",
+            "title.date.temp.exhibit.TimeOut",
+            "",
+        ] {
+            let word: Vec<Symbol> = w
+                .split('.')
+                .filter(|s| !s.is_empty())
+                .map(|s| ab.lookup(s).unwrap())
+                .collect();
+            assert_eq!(dfa.accepts(&word), nfa.accepts(&word), "word {w}");
+        }
+    }
+
+    #[test]
+    fn to_dfa_rejects_ambiguous() {
+        let (g, _) = glushkov("a*.a");
+        assert!(g.to_dfa().is_err());
+    }
+
+    #[test]
+    fn repeats_are_unrolled_deterministically() {
+        let (g, ab) = glushkov("a{2,4}.b");
+        assert!(g.check_unambiguous().is_ok());
+        assert!(accepts(&g, &ab, "a.a.b"));
+        assert!(accepts(&g, &ab, "a.a.a.b"));
+        assert!(accepts(&g, &ab, "a.a.a.a.b"));
+        assert!(!accepts(&g, &ab, "a.b"));
+        assert!(!accepts(&g, &ab, "a.a.a.a.a.b"));
+    }
+
+    #[test]
+    fn nullable_languages_accept_empty() {
+        let (g, ab) = glushkov("(a|b)*");
+        assert!(accepts(&g, &ab, ""));
+        assert!(g.nullable);
+        let dfa = g.to_dfa().unwrap();
+        assert!(dfa.accepts(&[]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        let g = Glushkov::new(&Regex::Empty, ab.len());
+        assert!(!g.to_nfa().accepts(&[]));
+        let g = Glushkov::new(&Regex::Epsilon, ab.len());
+        assert!(g.to_nfa().accepts(&[]));
+        assert!(!g.to_nfa().accepts(&[0]));
+    }
+}

@@ -1,0 +1,48 @@
+//! Finite-automata and regular-expression toolkit for the Active XML system.
+//!
+//! This crate is the algorithmic substrate of the SIGMOD 2003 paper
+//! *Exchanging Intensional XML Data*: every schema content model is a regular
+//! expression over element labels and function names, and every rewriting
+//! decision reduces to constructions on the corresponding finite automata
+//! (Glushkov position automata, subset-construction DFAs, completion,
+//! complementation, products, emptiness and reachability tests).
+//!
+//! The crate is deliberately self-contained and generic: symbols are dense
+//! `u32` identifiers interned through an [`Alphabet`], which lets higher
+//! layers map element labels, concrete function names, function-pattern
+//! residual classes and wildcard buckets onto a single finite alphabet.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use axml_automata::{Alphabet, Regex, Nfa, Dfa};
+//!
+//! let mut ab = Alphabet::new();
+//! // The paper's newspaper content model: title.date.(Get_Temp|temp).(TimeOut|exhibit*)
+//! let re = Regex::parse("title.date.(Get_Temp|temp).(TimeOut|exhibit*)", &mut ab).unwrap();
+//! let nfa = Nfa::thompson(&re, ab.len());
+//! let dfa = Dfa::determinize(&nfa);
+//! let w: Vec<u32> = ["title", "date", "temp", "exhibit", "exhibit"]
+//!     .iter().map(|s| ab.intern(s)).collect();
+//! assert!(dfa.accepts(&w));
+//! let comp = dfa.completed(ab.len()).complemented();
+//! assert!(!comp.accepts(&w));
+//! ```
+
+#![warn(missing_docs)]
+
+mod alphabet;
+mod dfa;
+mod glushkov;
+mod nfa;
+mod parse;
+mod regex;
+mod sample;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use dfa::{Dfa, NO_STATE};
+pub use glushkov::{Glushkov, UnambiguityError};
+pub use nfa::Nfa;
+pub use parse::ParseError;
+pub use regex::Regex;
+pub use sample::{sample_word, SampleConfig};

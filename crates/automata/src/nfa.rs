@@ -1,0 +1,286 @@
+//! Nondeterministic finite automata with ε-moves.
+//!
+//! Built from a [`Regex`] by Thompson's construction. NFAs are the common
+//! intermediate form: rewriting builds the expansion automaton `A_w^k` on top
+//! of them, and [`crate::Dfa::determinize`] turns them into DFAs for the
+//! complementation step of safe rewriting (Fig. 3 of the paper).
+
+use crate::alphabet::Symbol;
+use crate::regex::Regex;
+
+/// A state index in an [`Nfa`].
+pub type StateId = u32;
+
+/// An ε-NFA over the dense alphabet `0..num_symbols`.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of alphabet symbols this automaton may see.
+    pub num_symbols: usize,
+    /// Labeled transitions, indexed by source state: `(symbol, target)`.
+    pub trans: Vec<Vec<(Symbol, StateId)>>,
+    /// ε-transitions, indexed by source state.
+    pub eps: Vec<Vec<StateId>>,
+    /// The initial state.
+    pub start: StateId,
+    /// Accepting states (may be several).
+    pub finals: Vec<StateId>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `n` fresh unconnected states and no finals.
+    pub fn with_states(n: usize, num_symbols: usize) -> Self {
+        Nfa {
+            num_symbols,
+            trans: vec![Vec::new(); n],
+            eps: vec![Vec::new(); n],
+            start: 0,
+            finals: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        (self.trans.len() - 1) as StateId
+    }
+
+    /// Adds a labeled transition.
+    pub fn add_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        debug_assert!((sym as usize) < self.num_symbols, "symbol out of range");
+        self.trans[from as usize].push((sym, to));
+    }
+
+    /// Adds an ε-transition.
+    pub fn add_eps(&mut self, from: StateId, to: StateId) {
+        self.eps[from as usize].push(to);
+    }
+
+    /// Thompson's construction: an NFA with a single start and single final
+    /// state recognizing `lang(re)`.
+    pub fn thompson(re: &Regex, num_symbols: usize) -> Self {
+        let mut nfa = Nfa::with_states(0, num_symbols);
+        let start = nfa.add_state();
+        let end = nfa.add_state();
+        nfa.start = start;
+        nfa.finals = vec![end];
+        nfa.build(re, start, end);
+        nfa
+    }
+
+    /// Wires `re` between the existing states `from` and `to`.
+    fn build(&mut self, re: &Regex, from: StateId, to: StateId) {
+        match re {
+            Regex::Empty => {}
+            Regex::Epsilon => self.add_eps(from, to),
+            Regex::Sym(s) => self.add_transition(from, *s, to),
+            Regex::Seq(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.add_state()
+                    };
+                    self.build(p, cur, next);
+                    cur = next;
+                }
+            }
+            Regex::Alt(parts) => {
+                for p in parts {
+                    self.build(p, from, to);
+                }
+            }
+            Regex::Star(inner) => {
+                let hub = self.add_state();
+                self.add_eps(from, hub);
+                self.add_eps(hub, to);
+                let back = self.add_state();
+                self.build(inner, hub, back);
+                self.add_eps(back, hub);
+            }
+            Regex::Plus(inner) => {
+                // inner . inner*
+                let mid = self.add_state();
+                self.build(inner, from, mid);
+                self.build(&Regex::star((**inner).clone()), mid, to);
+            }
+            Regex::Opt(inner) => {
+                self.add_eps(from, to);
+                self.build(inner, from, to);
+            }
+            Regex::Repeat(inner, min, max) => {
+                // Unroll: inner^min . (inner?)^(max-min)  or  inner^min . inner*
+                let mut cur = from;
+                for _ in 0..*min {
+                    let next = self.add_state();
+                    self.build(inner, cur, next);
+                    cur = next;
+                }
+                match max {
+                    None => self.build(&Regex::star((**inner).clone()), cur, to),
+                    Some(m) => {
+                        for i in *min..*m {
+                            let next = if i + 1 == *m { to } else { self.add_state() };
+                            self.add_eps(cur, to);
+                            self.build(inner, cur, next);
+                            cur = next;
+                        }
+                        if m == min {
+                            self.add_eps(cur, to);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the ε-closure of `states` (sorted, deduplicated).
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(states.len());
+        for &s in states {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Set of states reachable from `set` (already ε-closed) on `sym`,
+    /// ε-closed again.
+    pub fn step(&self, set: &[StateId], sym: Symbol) -> Vec<StateId> {
+        let mut next = Vec::new();
+        for &s in set {
+            for &(a, t) in &self.trans[s as usize] {
+                if a == sym {
+                    next.push(t);
+                }
+            }
+        }
+        self.eps_closure(&next)
+    }
+
+    /// True if the NFA accepts `word` (direct subset simulation).
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut cur = self.eps_closure(&[self.start]);
+        for &sym in word {
+            cur = self.step(&cur, sym);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.iter().any(|s| self.finals.contains(s))
+    }
+
+    /// True if `set` contains an accepting state.
+    pub fn contains_final(&self, set: &[StateId]) -> bool {
+        set.iter().any(|s| self.finals.contains(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn accepts(pattern: &str, word: &str) -> bool {
+        let mut ab = Alphabet::new();
+        let re = Regex::parse(pattern, &mut ab).unwrap();
+        // Intern any extra word symbols too.
+        let w: Vec<Symbol> = word
+            .split('.')
+            .filter(|s| !s.is_empty())
+            .map(|s| ab.intern(s))
+            .collect();
+        let nfa = Nfa::thompson(&re, ab.len());
+        nfa.accepts(&w)
+    }
+
+    #[test]
+    fn basic_acceptance() {
+        assert!(accepts("a.b", "a.b"));
+        assert!(!accepts("a.b", "a"));
+        assert!(!accepts("a.b", "a.b.b"));
+        assert!(accepts("a|b", "b"));
+        assert!(!accepts("a|b", "c"));
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        assert!(accepts("a*", ""));
+        assert!(accepts("a*", "a.a.a"));
+        assert!(!accepts("a+", ""));
+        assert!(accepts("a+", "a.a"));
+        assert!(accepts("a?", ""));
+        assert!(accepts("a?", "a"));
+        assert!(!accepts("a?", "a.a"));
+    }
+
+    #[test]
+    fn repeat_bounds() {
+        assert!(!accepts("a{2,3}", "a"));
+        assert!(accepts("a{2,3}", "a.a"));
+        assert!(accepts("a{2,3}", "a.a.a"));
+        assert!(!accepts("a{2,3}", "a.a.a.a"));
+        assert!(accepts("a{2,}", "a.a.a.a.a"));
+        assert!(!accepts("a{2,}", "a"));
+        assert!(accepts("a{3}", "a.a.a"));
+        assert!(!accepts("a{3}", "a.a"));
+        assert!(accepts("a{0,2}", ""));
+    }
+
+    #[test]
+    fn paper_newspaper_words() {
+        let model = "title.date.(Get_Temp|temp).(TimeOut|exhibit*)";
+        assert!(accepts(model, "title.date.Get_Temp.TimeOut"));
+        assert!(accepts(model, "title.date.temp.exhibit.exhibit"));
+        assert!(accepts(model, "title.date.temp"));
+        assert!(!accepts(model, "title.date.temp.performance"));
+        assert!(!accepts(model, "date.title.temp"));
+    }
+
+    #[test]
+    fn empty_language_rejects_everything() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let nfa = Nfa::thompson(&Regex::Empty, ab.len());
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[a]));
+    }
+
+    #[test]
+    fn epsilon_accepts_only_empty() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let nfa = Nfa::thompson(&Regex::Epsilon, ab.len());
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[a]));
+    }
+
+    #[test]
+    fn eps_closure_transitive() {
+        let mut nfa = Nfa::with_states(3, 1);
+        nfa.add_eps(0, 1);
+        nfa.add_eps(1, 2);
+        assert_eq!(nfa.eps_closure(&[0]), vec![0, 1, 2]);
+        assert_eq!(nfa.eps_closure(&[2]), vec![2]);
+    }
+}

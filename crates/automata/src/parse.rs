@@ -1,0 +1,340 @@
+//! Parser for the paper's textual regular-expression notation.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! alt    := seq ('|' seq)*
+//! seq    := postfix ('.'? postfix)*          -- '.' is optional between atoms
+//! postfix:= atom ('*' | '+' | '?' | '{' n (',' n?)? '}')*
+//! atom   := IDENT | '(' alt ')' | 'ε' | '()'
+//! IDENT  := [A-Za-z_][A-Za-z0-9_\-:]*
+//! ```
+//!
+//! Identifiers are interned into the supplied [`Alphabet`]. The paper writes
+//! `title.date.(Get_Temp | temp).(TimeOut | exhibit*)`; both the explicit-dot
+//! and juxtaposition styles are accepted.
+
+use crate::alphabet::Alphabet;
+use crate::regex::Regex;
+use std::fmt;
+
+/// Error produced when parsing a textual regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a, 'b> {
+    input: &'a [u8],
+    pos: usize,
+    alphabet: &'b mut Alphabet,
+}
+
+/// Parses `input` into a [`Regex`], interning identifiers into `alphabet`.
+pub fn parse_regex(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        alphabet,
+    };
+    p.skip_ws();
+    if p.at_end() {
+        // An empty string denotes ε, convenient for empty content models.
+        return Ok(Regex::Epsilon);
+    }
+    let re = p.alt()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(re)
+}
+
+impl Parser<'_, '_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut branches = vec![self.seq()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.bump();
+                branches.push(self.seq()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Regex::alt(branches))
+    }
+
+    fn seq(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.postfix()?];
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'.') => {
+                    self.bump();
+                    parts.push(self.postfix()?);
+                }
+                // Juxtaposition: another atom starts immediately.
+                Some(c) if is_ident_start(c) || c == b'(' => {
+                    parts.push(self.postfix()?);
+                }
+                Some(0xce) if self.starts_with_epsilon() => {
+                    parts.push(self.postfix()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Regex::seq(parts))
+    }
+
+    fn starts_with_epsilon(&self) -> bool {
+        self.input[self.pos..].starts_with("ε".as_bytes())
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut re = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    re = Regex::star(re);
+                }
+                Some(b'+') => {
+                    self.bump();
+                    re = Regex::plus(re);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    re = Regex::opt(re);
+                }
+                Some(b'{') => {
+                    self.bump();
+                    re = self.repetition(re)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(re)
+    }
+
+    fn repetition(&mut self, re: Regex) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        let min = self.number()?;
+        self.skip_ws();
+        let max = match self.peek() {
+            Some(b',') => {
+                self.bump();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    None
+                } else {
+                    Some(self.number()?)
+                }
+            }
+            _ => Some(min),
+        };
+        self.skip_ws();
+        if self.bump() != Some(b'}') {
+            return Err(self.err("expected '}' closing repetition"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.err("repetition max smaller than min"));
+            }
+        }
+        Ok(Regex::repeat(re, min, max))
+    }
+
+    fn number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("digits are UTF-8");
+        text.parse()
+            .map_err(|_| self.err("repetition bound too large"))
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        if self.starts_with_epsilon() {
+            self.pos += "ε".len();
+            return Ok(Regex::Epsilon);
+        }
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                self.skip_ws();
+                if self.peek() == Some(b')') {
+                    self.bump();
+                    return Ok(Regex::Epsilon);
+                }
+                let inner = self.alt()?;
+                self.skip_ws();
+                if self.bump() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(c) if is_ident_start(c) => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.input[start..self.pos])
+                    .expect("identifier bytes are ASCII");
+                Ok(Regex::sym(self.alphabet.intern(name)))
+            }
+            Some(_) => Err(self.err("expected an identifier, '(' or 'ε'")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Regex, Alphabet) {
+        let mut ab = Alphabet::new();
+        let re = parse_regex(s, &mut ab).expect("parse should succeed");
+        (re, ab)
+    }
+
+    #[test]
+    fn parses_paper_newspaper_model() {
+        let (re, ab) = parse("title.date.(Get_Temp | temp).(TimeOut | exhibit*)");
+        assert_eq!(ab.len(), 6);
+        match re {
+            Regex::Seq(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_optional() {
+        let (a, _) = parse("a.b.c");
+        let mut ab = Alphabet::new();
+        let b = parse_regex("a b c", &mut ab).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn postfix_operators() {
+        let (re, ab) = parse("a*b+c?");
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        assert_eq!(
+            re,
+            Regex::seq([
+                Regex::star(Regex::sym(a)),
+                Regex::plus(Regex::sym(b)),
+                Regex::opt(Regex::sym(c)),
+            ])
+        );
+    }
+
+    #[test]
+    fn repetition_bounds() {
+        let (re, _) = parse("a{2,4}");
+        assert!(matches!(re, Regex::Repeat(_, 2, Some(4))));
+        let (re, _) = parse("a{3}");
+        assert!(matches!(re, Regex::Repeat(_, 3, Some(3))));
+        let (re, _) = parse("a{2,}");
+        assert!(matches!(re, Regex::Repeat(_, 2, None)));
+        let (re, _) = parse("a{0,1}");
+        assert!(matches!(re, Regex::Opt(_)));
+    }
+
+    #[test]
+    fn epsilon_forms() {
+        let (re, _) = parse("ε");
+        assert_eq!(re, Regex::Epsilon);
+        let (re, _) = parse("()");
+        assert_eq!(re, Regex::Epsilon);
+        let mut ab = Alphabet::new();
+        assert_eq!(parse_regex("", &mut ab).unwrap(), Regex::Epsilon);
+        let (re, _) = parse("a | ε");
+        assert!(matches!(re, Regex::Alt(_)));
+    }
+
+    #[test]
+    fn nested_groups() {
+        let (re, ab) = parse("((a|b).c)*");
+        assert!(matches!(re, Regex::Star(_)));
+        assert_eq!(ab.len(), 3);
+    }
+
+    #[test]
+    fn error_positions() {
+        let mut ab = Alphabet::new();
+        let e = parse_regex("a..b", &mut ab).unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert!(parse_regex("(a", &mut ab).is_err());
+        assert!(parse_regex("a)", &mut ab).is_err());
+        assert!(parse_regex("a{4,2}", &mut ab).is_err());
+        assert!(parse_regex("|a", &mut ab).is_err());
+    }
+
+    #[test]
+    fn identifiers_allow_ns_and_dashes() {
+        let (_, ab) = parse("int:fun.my-elem");
+        assert!(ab.lookup("int:fun").is_some());
+        assert!(ab.lookup("my-elem").is_some());
+    }
+}

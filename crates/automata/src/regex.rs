@@ -1,0 +1,456 @@
+//! Regular-expression abstract syntax.
+//!
+//! Content models in the paper's schemas (`τ(newspaper) =
+//! title.date.(Get_Temp | temp).(TimeOut | exhibit*)`) are regular
+//! expressions over element labels and function names. This module defines
+//! the AST with smart constructors that keep expressions in a lightly
+//! normalized form (no nested `Seq`/`Alt` of the same kind, no redundant
+//! `Empty`/`Epsilon`).
+
+use crate::alphabet::{Alphabet, Symbol};
+use std::fmt;
+
+/// A regular expression over an interned alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The language containing only the empty word `ε`.
+    Epsilon,
+    /// A single symbol.
+    Sym(Symbol),
+    /// Concatenation `r1.r2…rn` (always ≥ 2 elements, none `Empty`/`Epsilon`).
+    Seq(Vec<Regex>),
+    /// Alternation `r1 | r2 | … | rn` (always ≥ 2 elements, none `Empty`).
+    Alt(Vec<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+    /// One-or-more `r+`.
+    Plus(Box<Regex>),
+    /// Zero-or-one `r?`.
+    Opt(Box<Regex>),
+    /// Bounded repetition `r{min,max}`; `max = None` means unbounded.
+    ///
+    /// This backs XML Schema's `minOccurs`/`maxOccurs`.
+    Repeat(Box<Regex>, u32, Option<u32>),
+}
+
+impl Regex {
+    /// A single-symbol expression.
+    pub fn sym(s: Symbol) -> Self {
+        Regex::Sym(s)
+    }
+
+    /// Concatenation with normalization: drops `Epsilon` factors, collapses
+    /// to `Empty` if any factor is `Empty`, flattens nested `Seq`.
+    pub fn seq(parts: impl IntoIterator<Item = Regex>) -> Self {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Seq(out),
+        }
+    }
+
+    /// Alternation with normalization: drops `Empty` branches, flattens
+    /// nested `Alt`, deduplicates identical branches.
+    pub fn alt(parts: impl IntoIterator<Item = Regex>) -> Self {
+        let mut out: Vec<Regex> = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => {
+                    for i in inner {
+                        if !out.contains(&i) {
+                            out.push(i);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Kleene star with normalization (`∅* = ε* = ε`, `(r*)* = r*`).
+    pub fn star(r: Regex) -> Self {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            Regex::Plus(inner) | Regex::Opt(inner) => Regex::Star(inner),
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// One-or-more with normalization.
+    pub fn plus(r: Regex) -> Self {
+        match r {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            p @ Regex::Plus(_) => p,
+            Regex::Opt(inner) => Regex::Star(inner),
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Zero-or-one with normalization.
+    pub fn opt(r: Regex) -> Self {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            Regex::Plus(inner) => Regex::Star(inner),
+            o @ Regex::Opt(_) => o,
+            other => Regex::Opt(Box::new(other)),
+        }
+    }
+
+    /// Bounded repetition `r{min,max}` (XML Schema `minOccurs`/`maxOccurs`).
+    ///
+    /// # Panics
+    /// Panics if `max < min`.
+    pub fn repeat(r: Regex, min: u32, max: Option<u32>) -> Self {
+        if let Some(m) = max {
+            assert!(m >= min, "repeat: max {m} < min {min}");
+        }
+        match (min, max) {
+            (0, Some(0)) => Regex::Epsilon,
+            (1, Some(1)) => r,
+            (0, None) => Regex::star(r),
+            (1, None) => Regex::plus(r),
+            (0, Some(1)) => Regex::opt(r),
+            _ => match r {
+                Regex::Empty => {
+                    if min == 0 {
+                        Regex::Epsilon
+                    } else {
+                        Regex::Empty
+                    }
+                }
+                Regex::Epsilon => Regex::Epsilon,
+                other => Regex::Repeat(Box::new(other), min, max),
+            },
+        }
+    }
+
+    /// Parses the paper's textual notation (identifiers, dot-concatenation,
+    /// alternation, `*`/`+`/`?`/`{m,n}`, parentheses, `ε`).
+    pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Regex, crate::ParseError> {
+        crate::parse::parse_regex(input, alphabet)
+    }
+
+    /// True if the language of `self` contains the empty word.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Seq(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+            Regex::Plus(inner) => inner.nullable(),
+            Regex::Repeat(inner, min, _) => *min == 0 || inner.nullable(),
+        }
+    }
+
+    /// True if the language of `self` is empty.
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Sym(_) | Regex::Star(_) | Regex::Opt(_) => false,
+            Regex::Seq(parts) => parts.iter().any(Regex::is_empty_language),
+            Regex::Alt(parts) => parts.iter().all(Regex::is_empty_language),
+            Regex::Plus(inner) => inner.is_empty_language(),
+            Regex::Repeat(inner, min, _) => *min > 0 && inner.is_empty_language(),
+        }
+    }
+
+    /// All symbols occurring in the expression, deduplicated, in first-seen order.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Sym(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            Regex::Seq(parts) | Regex::Alt(parts) => {
+                for p in parts {
+                    p.collect_symbols(out);
+                }
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => {
+                inner.collect_symbols(out)
+            }
+            Regex::Repeat(inner, _, _) => inner.collect_symbols(out),
+        }
+    }
+
+    /// Rewrites every symbol through `f` (used to re-map alphabets).
+    pub fn map_symbols(&self, f: &mut impl FnMut(Symbol) -> Regex) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => f(*s),
+            Regex::Seq(parts) => Regex::seq(parts.iter().map(|p| p.map_symbols(f))),
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| p.map_symbols(f))),
+            Regex::Star(inner) => Regex::star(inner.map_symbols(f)),
+            Regex::Plus(inner) => Regex::plus(inner.map_symbols(f)),
+            Regex::Opt(inner) => Regex::opt(inner.map_symbols(f)),
+            Regex::Repeat(inner, min, max) => Regex::repeat(inner.map_symbols(f), *min, *max),
+        }
+    }
+
+    /// The reversal of the language: `lang(rev(R)) = { wᴿ | w ∈ lang(R) }`.
+    ///
+    /// Used by the right-to-left rewriting variant the paper mentions in
+    /// footnote 4 (Sec. 3).
+    pub fn reversed(&self) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(*s),
+            Regex::Seq(parts) => Regex::seq(parts.iter().rev().map(Regex::reversed)),
+            Regex::Alt(parts) => Regex::alt(parts.iter().map(Regex::reversed)),
+            Regex::Star(inner) => Regex::star(inner.reversed()),
+            Regex::Plus(inner) => Regex::plus(inner.reversed()),
+            Regex::Opt(inner) => Regex::opt(inner.reversed()),
+            Regex::Repeat(inner, min, max) => Regex::repeat(inner.reversed(), *min, *max),
+        }
+    }
+
+    /// Number of AST nodes; a rough size measure used for complexity benches.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Seq(parts) | Regex::Alt(parts) => {
+                1 + parts.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => 1 + inner.size(),
+            Regex::Repeat(inner, _, _) => 1 + inner.size(),
+        }
+    }
+
+    /// Renders the expression in the paper's notation using `alphabet` names.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> RegexDisplay<'a> {
+        RegexDisplay { re: self, alphabet }
+    }
+}
+
+/// Pretty-printer returned by [`Regex::display`].
+pub struct RegexDisplay<'a> {
+    re: &'a Regex,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for RegexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_regex(self.re, self.alphabet, f, 0)
+    }
+}
+
+/// Precedence levels: 0 = alt, 1 = seq, 2 = postfix/atom.
+fn fmt_regex(re: &Regex, ab: &Alphabet, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    let own = match re {
+        Regex::Alt(_) => 0,
+        Regex::Seq(_) => 1,
+        _ => 2,
+    };
+    let parens = own < prec;
+    if parens {
+        write!(f, "(")?;
+    }
+    match re {
+        Regex::Empty => write!(f, "∅")?,
+        Regex::Epsilon => write!(f, "ε")?,
+        Regex::Sym(s) => write!(f, "{}", ab.name(*s))?,
+        Regex::Seq(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ".")?;
+                }
+                fmt_regex(p, ab, f, 2)?;
+            }
+        }
+        Regex::Alt(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                fmt_regex(p, ab, f, 1)?;
+            }
+        }
+        Regex::Star(inner) => {
+            fmt_regex(inner, ab, f, 2)?;
+            write!(f, "*")?;
+        }
+        Regex::Plus(inner) => {
+            fmt_regex(inner, ab, f, 2)?;
+            write!(f, "+")?;
+        }
+        Regex::Opt(inner) => {
+            fmt_regex(inner, ab, f, 2)?;
+            write!(f, "?")?;
+        }
+        Regex::Repeat(inner, min, max) => {
+            fmt_regex(inner, ab, f, 2)?;
+            match max {
+                Some(m) => write!(f, "{{{min},{m}}}")?,
+                None => write!(f, "{{{min},}}")?,
+            }
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(n: u32) -> Vec<Regex> {
+        (0..n).map(Regex::sym).collect()
+    }
+
+    #[test]
+    fn seq_normalizes() {
+        let s = syms(3);
+        assert_eq!(Regex::seq([]), Regex::Epsilon);
+        assert_eq!(Regex::seq([s[0].clone()]), s[0]);
+        assert_eq!(
+            Regex::seq([s[0].clone(), Regex::Epsilon, s[1].clone()]),
+            Regex::Seq(vec![s[0].clone(), s[1].clone()])
+        );
+        assert_eq!(
+            Regex::seq([s[0].clone(), Regex::Empty, s[1].clone()]),
+            Regex::Empty
+        );
+        // Flattening.
+        let nested = Regex::seq([Regex::seq([s[0].clone(), s[1].clone()]), s[2].clone()]);
+        assert_eq!(
+            nested,
+            Regex::Seq(vec![s[0].clone(), s[1].clone(), s[2].clone()])
+        );
+    }
+
+    #[test]
+    fn alt_normalizes_and_dedups() {
+        let s = syms(2);
+        assert_eq!(Regex::alt([]), Regex::Empty);
+        assert_eq!(
+            Regex::alt([s[0].clone(), Regex::Empty, s[0].clone(), s[1].clone()]),
+            Regex::Alt(vec![s[0].clone(), s[1].clone()])
+        );
+    }
+
+    #[test]
+    fn star_plus_opt_normalize() {
+        let a = Regex::sym(0);
+        assert_eq!(Regex::star(Regex::Epsilon), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::star(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::plus(Regex::opt(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::opt(Regex::plus(a.clone())), Regex::star(a.clone()));
+        assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
+        assert_eq!(Regex::opt(Regex::Empty), Regex::Epsilon);
+    }
+
+    #[test]
+    fn repeat_normalizes() {
+        let a = Regex::sym(0);
+        assert_eq!(Regex::repeat(a.clone(), 0, Some(0)), Regex::Epsilon);
+        assert_eq!(Regex::repeat(a.clone(), 1, Some(1)), a.clone());
+        assert_eq!(Regex::repeat(a.clone(), 0, None), Regex::star(a.clone()));
+        assert_eq!(Regex::repeat(a.clone(), 1, None), Regex::plus(a.clone()));
+        assert_eq!(Regex::repeat(a.clone(), 0, Some(1)), Regex::opt(a.clone()));
+        assert!(matches!(
+            Regex::repeat(a.clone(), 2, Some(4)),
+            Regex::Repeat(_, 2, Some(4))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "max")]
+    fn repeat_rejects_inverted_bounds() {
+        let _ = Regex::repeat(Regex::sym(0), 3, Some(2));
+    }
+
+    #[test]
+    fn nullable_works() {
+        let a = Regex::sym(0);
+        assert!(!a.nullable());
+        assert!(Regex::star(a.clone()).nullable());
+        assert!(Regex::opt(a.clone()).nullable());
+        assert!(!Regex::plus(a.clone()).nullable());
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::Empty.nullable());
+        assert!(Regex::repeat(a.clone(), 0, Some(5)).nullable());
+        assert!(!Regex::repeat(a.clone(), 2, Some(5)).nullable());
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let a = Regex::sym(0);
+        assert!(Regex::Empty.is_empty_language());
+        assert!(!a.is_empty_language());
+        assert!(Regex::seq([a.clone(), Regex::Empty]).is_empty_language());
+        // alt() drops Empty branches, so build Alt manually to test the method.
+        assert!(Regex::Alt(vec![Regex::Empty, Regex::Empty]).is_empty_language());
+    }
+
+    #[test]
+    fn symbols_deduplicated_in_order() {
+        let re = Regex::seq([
+            Regex::sym(2),
+            Regex::alt([Regex::sym(0), Regex::sym(2)]),
+            Regex::star(Regex::sym(1)),
+        ]);
+        assert_eq!(re.symbols(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn reversed_language() {
+        let mut ab = Alphabet::new();
+        let re = Regex::parse("a.b.(c|d)*", &mut ab).unwrap();
+        let rev = re.reversed();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        let nfa = crate::Nfa::thompson(&rev, ab.len());
+        assert!(nfa.accepts(&[b, a]));
+        assert!(nfa.accepts(&[c, c, b, a]));
+        assert!(!nfa.accepts(&[a, b]));
+        // Involution.
+        assert_eq!(rev.reversed(), re);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut ab = Alphabet::new();
+        let re = Regex::parse("title.date.(Get_Temp|temp).(TimeOut|exhibit*)", &mut ab).unwrap();
+        let shown = re.display(&ab).to_string();
+        let re2 = Regex::parse(&shown, &mut ab).unwrap();
+        assert_eq!(re, re2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Random sampling of words from a regular language.
+//!
+//! Safe rewriting quantifies universally over *all* output instances a
+//! service may return (Sec. 2, Def. 4 of the paper: a function node is
+//! replaced by an *arbitrary* output instance of its type). The simulated
+//! adversarial services in `axml-services` use this sampler to draw such
+//! arbitrary instances, and the property-test suites use it to cross-check
+//! the automata constructions.
+
+use crate::alphabet::Symbol;
+use crate::regex::Regex;
+use rand::{Rng, RngExt};
+
+/// Tuning knobs for [`sample_word`].
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Probability of taking one more iteration of a `*`/`+` loop
+    /// (geometric distribution).
+    pub star_continue: f64,
+    /// Hard cap on iterations of a single starred subexpression.
+    pub max_star: u32,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            star_continue: 0.5,
+            max_star: 8,
+        }
+    }
+}
+
+/// Draws a uniform-ish random word from `lang(re)`.
+///
+/// Returns `None` iff the language is empty. Alternation branches that
+/// denote the empty language are never taken.
+pub fn sample_word<R: Rng + ?Sized>(
+    re: &Regex,
+    rng: &mut R,
+    config: &SampleConfig,
+) -> Option<Vec<Symbol>> {
+    if re.is_empty_language() {
+        return None;
+    }
+    let mut out = Vec::new();
+    sample_into(re, rng, config, &mut out);
+    Some(out)
+}
+
+fn sample_into<R: Rng + ?Sized>(
+    re: &Regex,
+    rng: &mut R,
+    config: &SampleConfig,
+    out: &mut Vec<Symbol>,
+) {
+    match re {
+        Regex::Empty => unreachable!("empty branches are filtered by the caller"),
+        Regex::Epsilon => {}
+        Regex::Sym(s) => out.push(*s),
+        Regex::Seq(parts) => {
+            for p in parts {
+                sample_into(p, rng, config, out);
+            }
+        }
+        Regex::Alt(parts) => {
+            let viable: Vec<&Regex> = parts.iter().filter(|p| !p.is_empty_language()).collect();
+            debug_assert!(!viable.is_empty());
+            let pick = rng.random_range(0..viable.len());
+            sample_into(viable[pick], rng, config, out);
+        }
+        Regex::Star(inner) => {
+            let mut n = 0;
+            while n < config.max_star && rng.random_bool(config.star_continue) {
+                sample_into(inner, rng, config, out);
+                n += 1;
+            }
+        }
+        Regex::Plus(inner) => {
+            sample_into(inner, rng, config, out);
+            let mut n = 1;
+            while n < config.max_star && rng.random_bool(config.star_continue) {
+                sample_into(inner, rng, config, out);
+                n += 1;
+            }
+        }
+        Regex::Opt(inner) => {
+            if rng.random_bool(0.5) {
+                sample_into(inner, rng, config, out);
+            }
+        }
+        Regex::Repeat(inner, min, max) => {
+            let hi = max.unwrap_or(min + config.max_star);
+            let n = rng.random_range(*min..=hi);
+            for _ in 0..n {
+                sample_into(inner, rng, config, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::nfa::Nfa;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_in_the_language() {
+        let mut ab = Alphabet::new();
+        let patterns = [
+            "title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+            "(exhibit | performance)*",
+            "a{2,5}.b?",
+            "a+.(b|c)*",
+            "ε",
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for pattern in patterns {
+            let re = Regex::parse(pattern, &mut ab).unwrap();
+            let nfa = Nfa::thompson(&re, ab.len());
+            for _ in 0..200 {
+                let w = sample_word(&re, &mut rng, &SampleConfig::default())
+                    .expect("non-empty language");
+                assert!(nfa.accepts(&w), "sampled word rejected for {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(
+            sample_word(&Regex::Empty, &mut rng, &SampleConfig::default()),
+            None
+        );
+        let dead = Regex::seq([Regex::sym(0), Regex::Empty]);
+        assert_eq!(sample_word(&dead, &mut rng, &SampleConfig::default()), None);
+    }
+
+    #[test]
+    fn alternation_eventually_covers_all_branches() {
+        let mut ab = Alphabet::new();
+        let re = Regex::parse("a|b|c", &mut ab).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let w = sample_word(&re, &mut rng, &SampleConfig::default()).unwrap();
+            seen[w[0] as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all branches should be sampled");
+    }
+
+    #[test]
+    fn star_respects_cap() {
+        let mut ab = Alphabet::new();
+        let re = Regex::parse("a*", &mut ab).unwrap();
+        let cfg = SampleConfig {
+            star_continue: 0.99,
+            max_star: 3,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let w = sample_word(&re, &mut rng, &cfg).unwrap();
+            assert!(w.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! B6: materialized output size vs answer fan-out x and depth k
+//! (Sec. 4: the rewritten word is bounded by `|w| · x^k`).
+
+use axml_bench::{fanout_schema, FanoutInvoker};
+use axml_core::rewrite::Rewriter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b6_execution_growth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (x, k) in [(2usize, 2usize), (2, 4), (2, 6), (3, 2), (3, 4), (4, 3)] {
+        let (compiled, doc) = fanout_schema(x, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("x{x}_k{k}")),
+            &(x, k),
+            |b, &(x, k)| {
+                b.iter(|| {
+                    let mut rewriter = Rewriter::new(&compiled).with_k((k + 1) as u32);
+                    let mut invoker = FanoutInvoker { x };
+                    let (out, _) = rewriter
+                        .rewrite_safe(black_box(&doc), &mut invoker)
+                        .unwrap();
+                    let leaves = out.children().len();
+                    assert_eq!(leaves, x.pow(k as u32));
+                    black_box(leaves)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

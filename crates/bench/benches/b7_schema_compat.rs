@@ -1,0 +1,28 @@
+//! B7: schema-to-schema compatibility (Sec. 6) vs number of element types.
+
+use axml_bench::chain_schemas;
+use axml_core::schema_rw::schema_safe_rewrites;
+use axml_schema::NoOracle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b7_schema_compat");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [2usize, 4, 8, 16, 32] {
+        let (s0, s) = chain_schemas(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let report = schema_safe_rewrites(black_box(&s0), "e0", &s, 1, &NoOracle).unwrap();
+                assert!(report.compatible());
+                black_box(report.checked.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

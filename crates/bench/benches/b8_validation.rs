@@ -1,0 +1,35 @@
+//! B8: validation throughput vs document size (substrate baseline).
+
+use axml_bench::{paper_schema, sized_instance};
+use axml_schema::validate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let compiled = paper_schema();
+    let mut group = c.benchmark_group("b8_validation");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for min_size in [10usize, 40, 80, 160] {
+        let doc = sized_instance(min_size as u64, min_size);
+        group.throughput(Throughput::Elements(doc.size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(doc.size()), &doc, |b, doc| {
+            b.iter(|| validate(black_box(doc), &compiled).is_ok())
+        });
+    }
+    // XML parse + validate end-to-end.
+    let doc = sized_instance(7, 80);
+    let xml = doc.to_xml().to_xml();
+    group.bench_function("parse_decode_validate", |b| {
+        b.iter(|| {
+            let parsed = axml_xml::parse_document(black_box(&xml)).unwrap();
+            let tree = axml_schema::ITree::from_xml(&parsed.root).unwrap();
+            validate(&tree, &compiled).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Graphviz DOT rendering of the rewriting automata.
+//!
+//! Regenerates the paper's figures as graphs: `A_w^k` (Fig. 4), the
+//! complement (Figs. 5/7), the marked safe product (Figs. 6/8/12) and the
+//! possible product (Fig. 11). Marked/unviable nodes are shaded like the
+//! colored nodes in the paper.
+
+use crate::awk::{Awk, StateKind};
+use crate::possible::PossibleGame;
+use crate::safe::SafeGame;
+use axml_automata::Alphabet;
+use std::fmt::Write as _;
+
+/// Renders `A_w^k` (Fig. 4 style): forks as diamonds, ε edges dashed.
+pub fn awk_to_dot(awk: &Awk, alphabet: &Alphabet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for s in 0..awk.num_states() as u32 {
+        match awk.kind(s) {
+            StateKind::Fork { func, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  q{s} [shape=diamond, label=\"q{s}\\nfork {}\"];",
+                    alphabet.name(func)
+                );
+            }
+            StateKind::Regular => {
+                let shape = if s == awk.finish {
+                    "doublecircle"
+                } else {
+                    "circle"
+                };
+                let _ = writeln!(out, "  q{s} [shape={shape}, label=\"q{s}\"];");
+            }
+        }
+    }
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> q{};", awk.start);
+    for e in 0..awk.num_edges() as u32 {
+        let edge = awk.edge(e);
+        match edge.label {
+            Some(sym) => {
+                let _ = writeln!(
+                    out,
+                    "  q{} -> q{} [label=\"{}\"];",
+                    edge.from,
+                    edge.to,
+                    alphabet.name(sym)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  q{} -> q{} [label=\"ε\", style=dashed];",
+                    edge.from, edge.to
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the safe product with its marking (Figs. 6/8/12 style): marked
+/// nodes are shaded, fork nodes are diamonds.
+pub fn safe_game_to_dot(game: &SafeGame, alphabet: &Alphabet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in 0..game.num_nodes() as u32 {
+        let (s, p) = game.pair(n);
+        let marked = game.is_marked(n);
+        let fill = if marked {
+            ", style=filled, fillcolor=gray75"
+        } else {
+            ""
+        };
+        let shape = match game.awk.kind(s) {
+            StateKind::Fork { .. } => "diamond",
+            StateKind::Regular if s == game.awk.finish => "doublecircle",
+            StateKind::Regular => "circle",
+        };
+        let _ = writeln!(out, "  n{n} [shape={shape}, label=\"[q{s},p{p}]\"{fill}];");
+    }
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> n{};", game.start);
+    for n in 0..game.num_nodes() as u32 {
+        for &(eid, t) in game.successors(n) {
+            match game.awk.edge(eid).label {
+                Some(sym) => {
+                    let _ = writeln!(out, "  n{n} -> n{t} [label=\"{}\"];", alphabet.name(sym));
+                }
+                None => {
+                    let _ = writeln!(out, "  n{n} -> n{t} [label=\"ε\", style=dashed];");
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the possible product with viability shading (Fig. 11 style).
+pub fn possible_game_to_dot(game: &PossibleGame, alphabet: &Alphabet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in 0..game.num_nodes() as u32 {
+        let (s, p) = game.pair(n);
+        let dead = !game.is_viable(n);
+        let fill = if dead {
+            ", style=filled, fillcolor=gray75"
+        } else {
+            ""
+        };
+        let shape = if game.accepting(n) {
+            "doublecircle"
+        } else {
+            match game.awk.kind(s) {
+                StateKind::Fork { .. } => "diamond",
+                StateKind::Regular => "circle",
+            }
+        };
+        let _ = writeln!(out, "  n{n} [shape={shape}, label=\"[q{s},p{p}]\"{fill}];");
+    }
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> n{};", game.start);
+    for n in 0..game.num_nodes() as u32 {
+        for &(eid, t) in game.successors(n) {
+            match game.awk.edge(eid).label {
+                Some(sym) => {
+                    let _ = writeln!(out, "  n{n} -> n{t} [label=\"{}\"];", alphabet.name(sym));
+                }
+                None => {
+                    let _ = writeln!(out, "  n{n} -> n{t} [label=\"ε\", style=dashed];");
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awk::AwkLimits;
+    use crate::possible::target_of;
+    use crate::safe::{complement_of, BuildMode};
+    use axml_automata::Regex;
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    fn setup() -> (Compiled, Vec<u32>, Regex) {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "(f|a)")
+                .data_element("a")
+                .function("f", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let w = vec![c.alphabet().lookup("f").unwrap()];
+        let mut ab = c.alphabet().clone();
+        let re = Regex::parse("a", &mut ab).unwrap();
+        (c, w, re)
+    }
+
+    #[test]
+    fn dot_renderers_produce_wellformed_graphs() {
+        let (c, w, re) = setup();
+        let awk = Awk::build(&w, &c, 1, &AwkLimits::default()).unwrap();
+        let dot = awk_to_dot(&awk, c.alphabet(), "fig4");
+        assert!(dot.contains("diamond"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.starts_with("digraph fig4 {") && dot.ends_with("}\n"));
+
+        let game = crate::safe::SafeGame::solve(
+            awk.clone(),
+            complement_of(&re, c.alphabet().len()),
+            BuildMode::Eager,
+        );
+        let dot = safe_game_to_dot(&game, c.alphabet(), "fig6");
+        assert!(dot.contains("fillcolor=gray75"), "marked nodes shaded");
+        assert!(dot.contains("[q0,p0]"));
+
+        let pgame = crate::possible::PossibleGame::solve(awk, target_of(&re, c.alphabet().len()));
+        let dot = possible_game_to_dot(&pgame, c.alphabet(), "fig11");
+        assert!(dot.contains("doublecircle"));
+    }
+}

@@ -1,0 +1,303 @@
+//! The mixed approach (Sec. 5, "A Mixed Approach").
+//!
+//! Safe rewriting pays for its guarantee with a large `A_w^k`: every
+//! possible output of every call is accounted for. When some calls are
+//! cheap and side-effect free, it is better to *just invoke them* and
+//! continue the analysis with their actual results — the full signature
+//! automaton `A_f` is replaced by the (much smaller) word that actually
+//! came back.
+//!
+//! [`rewrite_mixed`] implements this: a policy designates the eagerly
+//! invocable functions; a pre-materialization pass invokes them (up to `k`
+//! rounds, since answers may contain more calls) and splices the validated
+//! results; the ordinary safe rewriting then runs on the partially
+//! materialized document.
+
+use crate::invoke::Invoker;
+use crate::rewrite::{RewriteError, RewriteReport, Rewriter};
+use axml_schema::{validate_output_instance, FuncNode, ITree};
+
+/// Decides which calls to execute eagerly during the pre-materialization
+/// pass — typically the side-effect-free / zero-cost ones (Sec. 5).
+pub trait MixedPolicy {
+    /// True if `function` may be invoked eagerly.
+    fn pre_invoke(&self, function: &str) -> bool;
+}
+
+impl<F: Fn(&str) -> bool> MixedPolicy for F {
+    fn pre_invoke(&self, function: &str) -> bool {
+        self(function)
+    }
+}
+
+/// Executes a mixed rewriting: eagerly materialize policy-selected calls,
+/// then safely rewrite the rest.
+///
+/// Returns the rewritten tree and a combined report (pre-materialization
+/// calls are included in `invoked`).
+pub fn rewrite_mixed(
+    rewriter: &mut Rewriter<'_>,
+    tree: &ITree,
+    policy: &dyn MixedPolicy,
+    invoker: &mut dyn Invoker,
+) -> Result<(ITree, RewriteReport), RewriteError> {
+    let mut report = RewriteReport::default();
+    let rounds = rewriter.k;
+    let mut current = tree.clone();
+    for _ in 0..rounds {
+        let (next, changed) = pre_materialize(rewriter, &current, policy, invoker, &mut report)?;
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    let (out, safe_report) = rewriter.rewrite_safe(&current, invoker)?;
+    report.invoked.extend(safe_report.invoked);
+    report.games += safe_report.games;
+    report.wasted_calls += safe_report.wasted_calls;
+    Ok((out, report))
+}
+
+/// One pass: invokes every policy-selected call at any position, splicing
+/// validated results in place. Returns the new tree and whether anything
+/// changed.
+fn pre_materialize(
+    rewriter: &mut Rewriter<'_>,
+    tree: &ITree,
+    policy: &dyn MixedPolicy,
+    invoker: &mut dyn Invoker,
+    report: &mut RewriteReport,
+) -> Result<(ITree, bool), RewriteError> {
+    match tree {
+        ITree::Text(_) => Ok((tree.clone(), false)),
+        ITree::Func(f) => {
+            // Calls kept at this position: recurse into parameters only.
+            let (params, changed) =
+                pre_materialize_forest(rewriter, &f.params, policy, invoker, report)?;
+            Ok((
+                ITree::Func(FuncNode {
+                    params,
+                    ..f.clone()
+                }),
+                changed,
+            ))
+        }
+        ITree::Elem { label, children } => {
+            let mut changed = false;
+            let mut out = Vec::with_capacity(children.len());
+            for c in children {
+                if let ITree::Func(f) = c {
+                    let compiled = rewriter.compiled();
+                    let sym = compiled.classify_func(&f.name);
+                    if policy.pre_invoke(&f.name) && compiled.invocable(sym) {
+                        if let Some(max) = rewriter.max_calls {
+                            if report.invoked.len() >= max {
+                                return Err(RewriteError::CallBudget { max_calls: max });
+                            }
+                        }
+                        let result = invoker.invoke(&f.name, &f.params)?;
+                        report.invoked.push(f.name.clone());
+                        let sig = compiled.sig(sym).expect("function symbols have signatures");
+                        validate_output_instance(&result, &sig.output_dfa, compiled).map_err(
+                            |e| RewriteError::IllTyped {
+                                function: f.name.clone(),
+                                message: e.to_string(),
+                            },
+                        )?;
+                        out.extend(result);
+                        changed = true;
+                        continue;
+                    }
+                }
+                let (processed, c_changed) = pre_materialize(rewriter, c, policy, invoker, report)?;
+                changed |= c_changed;
+                out.push(processed);
+            }
+            Ok((ITree::elem(label, out), changed))
+        }
+    }
+}
+
+fn pre_materialize_forest(
+    rewriter: &mut Rewriter<'_>,
+    items: &[ITree],
+    policy: &dyn MixedPolicy,
+    invoker: &mut dyn Invoker,
+    report: &mut RewriteReport,
+) -> Result<(Vec<ITree>, bool), RewriteError> {
+    let mut changed = false;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let (processed, c) = pre_materialize(rewriter, item, policy, invoker, report)?;
+        changed |= c;
+        out.push(processed);
+    }
+    Ok((out, changed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invoke::ScriptedInvoker;
+    use axml_schema::{validate, Compiled, NoOracle, Schema};
+
+    fn compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.temp.exhibit*")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    fn newspaper() -> ITree {
+        ITree::elem(
+            "newspaper",
+            vec![
+                ITree::data("title", "The Sun"),
+                ITree::data("date", "04/10/2002"),
+                ITree::func("Get_Temp", vec![ITree::data("city", "Paris")]),
+                ITree::func("TimeOut", vec![ITree::text("exhibits")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn mixed_succeeds_where_pure_safe_fails() {
+        // Schema (***) is unsafe for the newspaper document because TimeOut
+        // may return performances. Pre-invoking TimeOut (declared
+        // side-effect free by policy) resolves the uncertainty: its actual
+        // answer contains only exhibits, and the rest is safely rewritten.
+        let c = compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        // Pure safe rewriting fails.
+        assert!(rw.analyze_safe(&newspaper()).is_err());
+        // Mixed: TimeOut is cheap, pre-invoke it.
+        let mut inv = ScriptedInvoker::new()
+            .answer(
+                "TimeOut",
+                vec![ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Expo"), ITree::data("date", "Mon")],
+                )],
+            )
+            .answer("Get_Temp", vec![ITree::data("temp", "15 C")]);
+        let policy = |name: &str| name == "TimeOut";
+        let (out, report) = rewrite_mixed(&mut rw, &newspaper(), &policy, &mut inv).unwrap();
+        validate(&out, &c).unwrap();
+        assert_eq!(
+            report.invoked,
+            vec!["TimeOut".to_owned(), "Get_Temp".to_owned()]
+        );
+        assert_eq!(out.num_funcs(), 0);
+    }
+
+    #[test]
+    fn mixed_fails_when_actual_answer_unlucky() {
+        // Pre-invoked TimeOut returns a performance: the materialized
+        // document can no longer fit (***) and safe rewriting fails.
+        let c = compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new().answer(
+            "TimeOut",
+            vec![ITree::elem("performance", vec![ITree::text("Hamlet")])],
+        );
+        let policy = |name: &str| name == "TimeOut";
+        let err = rewrite_mixed(&mut rw, &newspaper(), &policy, &mut inv).unwrap_err();
+        assert!(matches!(err, RewriteError::NotSafe { .. }), "{err}");
+        assert_eq!(inv.calls(), 1, "only the pre-invocation happened");
+    }
+
+    #[test]
+    fn empty_policy_reduces_to_safe_rewriting() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a")
+                .data_element("a")
+                .function("f", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let doc = ITree::elem("r", vec![ITree::func("f", vec![])]);
+        let mut inv = ScriptedInvoker::new().answer("f", vec![ITree::data("a", "1")]);
+        let policy = |_: &str| false;
+        let (out, report) = rewrite_mixed(&mut rw, &doc, &policy, &mut inv).unwrap();
+        assert_eq!(report.invoked, vec!["f".to_owned()]);
+        assert_eq!(out, ITree::elem("r", vec![ITree::data("a", "1")]));
+    }
+
+    #[test]
+    fn pre_materialization_rounds_follow_nested_answers() {
+        // handle -> handle -> a : two rounds of eager materialization.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a")
+                .data_element("a")
+                .function("h1", "", "h2")
+                .function("h2", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mut rw = Rewriter::new(&c).with_k(2);
+        let doc = ITree::elem("r", vec![ITree::func("h1", vec![])]);
+        let mut inv = ScriptedInvoker::new()
+            .answer("h1", vec![ITree::func("h2", vec![])])
+            .answer("h2", vec![ITree::data("a", "1")]);
+        let policy = |_: &str| true;
+        let (out, report) = rewrite_mixed(&mut rw, &doc, &policy, &mut inv).unwrap();
+        assert_eq!(out, ITree::elem("r", vec![ITree::data("a", "1")]));
+        assert_eq!(report.invoked, vec!["h1".to_owned(), "h2".to_owned()]);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::invoke::ScriptedInvoker;
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    #[test]
+    fn mixed_pre_pass_respects_call_budget() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a.a")
+                .data_element("a")
+                .function("f", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem(
+            "r",
+            vec![ITree::func("f", vec![]), ITree::func("f", vec![])],
+        );
+        let mut inv = ScriptedInvoker::new().answer("f", vec![ITree::data("a", "1")]);
+        let mut rw = crate::rewrite::Rewriter::new(&c)
+            .with_k(1)
+            .with_max_calls(1);
+        let policy = |_: &str| true;
+        let err = rewrite_mixed(&mut rw, &doc, &policy, &mut inv).unwrap_err();
+        assert!(
+            matches!(err, RewriteError::CallBudget { max_calls: 1 }),
+            "{err}"
+        );
+        assert_eq!(inv.calls(), 1);
+    }
+}

@@ -1,0 +1,383 @@
+//! Possible rewriting (Sec. 5, Fig. 9).
+//!
+//! Where safe rewriting demands success for *every* service answer,
+//! possible rewriting only asks whether *some* answers would make the word
+//! conform: `lang(A_w^k) ∩ lang(R) ≠ ∅`. The product of `A_w^k` with an
+//! automaton for `R` (not its complement) is built, and a node is *viable*
+//! iff an accepting node is reachable from it (Fig. 9, step 5: mark all
+//! nodes having some outgoing path leading to a final state).
+//!
+//! The actual rewriting is then opportunistic: follow viable fork options,
+//! invoke when needed, and backtrack when a call returns a value that
+//! leaves the viable region (Fig. 9, step 9). Invocations made on abandoned
+//! branches are *wasted calls* — the price of unsafe rewriting that the
+//! paper's Sec. 2 discussion warns about.
+
+use crate::awk::{Awk, EdgeId, StateKind};
+use axml_automata::{Dfa, Nfa, Regex};
+use std::collections::HashMap;
+
+/// Product node identifier.
+pub type NodeId = u32;
+
+/// The possible-rewriting product `A_w^k × A`.
+#[derive(Debug)]
+pub struct PossibleGame {
+    /// The expansion automaton.
+    pub awk: Awk,
+    /// DFA for the target language (partial: missing transitions are dead).
+    pub target: Dfa,
+    pairs: Vec<(u32, u32)>,
+    ids: HashMap<(u32, u32), NodeId>,
+    out: Vec<Vec<(EdgeId, NodeId)>>,
+    /// `viable[n]`: an accepting node is reachable from `n`.
+    viable: Vec<bool>,
+    /// Initial node.
+    pub start: NodeId,
+    /// Nodes/edges created.
+    pub stats: crate::safe::GameStats,
+}
+
+impl PossibleGame {
+    /// Builds the product and computes viability.
+    ///
+    /// `target` should be the determinized target automaton (for the
+    /// deterministic content models XML Schema mandates, this is the
+    /// Glushkov automaton itself and stays polynomial — Sec. 5).
+    pub fn solve(awk: Awk, target: Dfa) -> PossibleGame {
+        assert_eq!(target.num_symbols, awk.num_symbols, "alphabet mismatch");
+        let mut game = PossibleGame {
+            awk,
+            target,
+            pairs: Vec::new(),
+            ids: HashMap::new(),
+            out: Vec::new(),
+            viable: Vec::new(),
+            start: 0,
+            stats: crate::safe::GameStats::default(),
+        };
+        game.build();
+        game.mark_viable();
+        game
+    }
+
+    fn intern(&mut self, pair: (u32, u32)) -> (NodeId, bool) {
+        if let Some(&id) = self.ids.get(&pair) {
+            return (id, false);
+        }
+        let id = self.pairs.len() as NodeId;
+        self.ids.insert(pair, id);
+        self.pairs.push(pair);
+        self.out.push(Vec::new());
+        self.viable.push(false);
+        self.stats.nodes += 1;
+        (id, true)
+    }
+
+    fn build(&mut self) {
+        let (start, _) = self.intern((self.awk.start, self.target.start));
+        self.start = start;
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            let (s, q) = self.pairs[node as usize];
+            for i in 0..self.awk.out_edges(s).len() {
+                let eid = self.awk.out_edges(s)[i];
+                let edge = self.awk.edge(eid);
+                let q2 = match edge.label {
+                    None => q,
+                    Some(sym) => {
+                        let t = self.target.next(q, sym);
+                        if t == axml_automata::NO_STATE {
+                            continue; // dead in the target: prune
+                        }
+                        t
+                    }
+                };
+                let (succ, fresh) = self.intern((edge.to, q2));
+                self.out[node as usize].push((eid, succ));
+                self.stats.edges += 1;
+                if fresh {
+                    stack.push(succ);
+                }
+            }
+        }
+    }
+
+    fn is_accepting(&self, node: NodeId) -> bool {
+        let (s, q) = self.pairs[node as usize];
+        s == self.awk.finish && self.target.finals[q as usize]
+    }
+
+    fn mark_viable(&mut self) {
+        // Backward reachability over reverse edges.
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); self.pairs.len()];
+        for (n, outs) in self.out.iter().enumerate() {
+            for &(_, t) in outs {
+                rev[t as usize].push(n as NodeId);
+            }
+        }
+        let mut stack: Vec<NodeId> = (0..self.pairs.len() as NodeId)
+            .filter(|&n| self.is_accepting(n))
+            .collect();
+        for &n in &stack {
+            self.viable[n as usize] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for &p in &rev[n as usize] {
+                if !self.viable[p as usize] {
+                    self.viable[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    /// True iff a k-depth left-to-right rewriting *may* exist (Fig. 9,
+    /// step 6: the initial state is marked).
+    pub fn is_possible(&self) -> bool {
+        self.viable[self.start as usize]
+    }
+
+    /// Whether `node` can still reach acceptance.
+    pub fn is_viable(&self, node: NodeId) -> bool {
+        self.viable[node as usize]
+    }
+
+    /// The `(awk state, target state)` pair of `node`.
+    pub fn pair(&self, node: NodeId) -> (u32, u32) {
+        self.pairs[node as usize]
+    }
+
+    /// Product successors of `node`.
+    pub fn successors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.out[node as usize]
+    }
+
+    /// Number of product nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether `node` is an accepting terminal.
+    pub fn accepting(&self, node: NodeId) -> bool {
+        self.is_accepting(node)
+    }
+
+    /// A representative plan for the original occurrences: at each depth-1
+    /// fork, prefer keeping the call if that stays viable, else invoke.
+    /// `None` if no rewriting is possible.
+    pub fn plan(&self) -> Option<Vec<crate::safe::Decision>> {
+        if !self.is_possible() {
+            return None;
+        }
+        let mut decisions = Vec::new();
+        let mut cur = self.start;
+        loop {
+            let (s, _) = self.pair(cur);
+            if s == self.awk.finish {
+                break;
+            }
+            match self.awk.kind(s) {
+                StateKind::Fork {
+                    func, skip, invoke, ..
+                } => {
+                    let skip_t = self
+                        .target_of(cur, skip)
+                        .filter(|&t| self.viable[t as usize]);
+                    if let Some(t) = skip_t {
+                        decisions.push(crate::safe::Decision {
+                            func,
+                            invoke: false,
+                        });
+                        cur = t;
+                    } else {
+                        decisions.push(crate::safe::Decision { func, invoke: true });
+                        let entry = self
+                            .target_of(cur, invoke)
+                            .filter(|&t| self.viable[t as usize])?;
+                        let spine_next = self.awk.edge(skip).to;
+                        cur = self.bfs_viable_to_awk_state(entry, spine_next)?;
+                    }
+                }
+                StateKind::Regular => {
+                    let next = self.out[cur as usize]
+                        .iter()
+                        .find(|&&(_, t)| self.viable[t as usize])
+                        .map(|&(_, t)| t);
+                    match next {
+                        Some(t) => cur = t,
+                        None => break,
+                    }
+                }
+            }
+        }
+        Some(decisions)
+    }
+
+    fn target_of(&self, node: NodeId, edge: EdgeId) -> Option<NodeId> {
+        self.out[node as usize]
+            .iter()
+            .find(|(e, _)| *e == edge)
+            .map(|&(_, t)| t)
+    }
+
+    fn bfs_viable_to_awk_state(&self, from: NodeId, goal: u32) -> Option<NodeId> {
+        let mut seen = vec![false; self.pairs.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from as usize] = true;
+        queue.push_back(from);
+        while let Some(n) = queue.pop_front() {
+            if self.pairs[n as usize].0 == goal && self.viable[n as usize] {
+                return Some(n);
+            }
+            for &(_, t) in &self.out[n as usize] {
+                if !seen[t as usize] && self.viable[t as usize] {
+                    seen[t as usize] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Builds the (partial, deterministic) target automaton for a regex —
+/// Fig. 9 step 3's automaton `A`.
+pub fn target_of(target: &Regex, num_symbols: usize) -> Dfa {
+    Dfa::determinize(&Nfa::thompson(target, num_symbols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awk::AwkLimits;
+    use crate::safe::{complement_of, BuildMode, SafeGame};
+    use axml_automata::Symbol;
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    fn paper_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    fn word(c: &Compiled, names: &[&str]) -> Vec<Symbol> {
+        names
+            .iter()
+            .map(|n| c.alphabet().lookup(n).unwrap())
+            .collect()
+    }
+
+    fn possible(c: &Compiled, w: &[&str], target: &str, k: u32) -> PossibleGame {
+        let w = word(c, w);
+        let awk = Awk::build(&w, c, k, &AwkLimits::default()).unwrap();
+        let mut ab = c.alphabet().clone();
+        let re = Regex::parse(target, &mut ab).unwrap();
+        assert_eq!(ab.len(), c.alphabet().len());
+        PossibleGame::solve(awk, target_of(&re, c.alphabet().len()))
+    }
+
+    #[test]
+    fn figure11_possible_into_star_star_star() {
+        // Figs. 10–11: the newspaper word possibly rewrites into
+        // title.date.temp.exhibit* — both functions must be invoked and
+        // TimeOut must happen to return only exhibits.
+        let c = paper_compiled();
+        let game = possible(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.exhibit*",
+            1,
+        );
+        assert!(game.is_possible());
+        let plan = game.plan().unwrap();
+        assert!(plan.iter().all(|d| d.invoke), "both calls must be invoked");
+        assert_eq!(plan.len(), 2);
+        // And safe rewriting indeed fails on the same instance (Fig. 8).
+        let awk = Awk::build(
+            &word(&c, &["title", "date", "Get_Temp", "TimeOut"]),
+            &c,
+            1,
+            &AwkLimits::default(),
+        )
+        .unwrap();
+        let mut ab = c.alphabet().clone();
+        let re = Regex::parse("title.date.temp.exhibit*", &mut ab).unwrap();
+        let comp = complement_of(&re, c.alphabet().len());
+        assert!(!SafeGame::solve(awk, comp, BuildMode::Eager).is_safe());
+    }
+
+    #[test]
+    fn impossible_when_languages_disjoint() {
+        let c = paper_compiled();
+        // No rewriting can produce two temps.
+        let game = possible(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.temp",
+            1,
+        );
+        assert!(!game.is_possible());
+        assert!(game.plan().is_none());
+    }
+
+    #[test]
+    fn safe_implies_possible() {
+        let c = paper_compiled();
+        for target in [
+            "title.date.temp.(TimeOut|exhibit*)",
+            "title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+        ] {
+            let p = possible(&c, &["title", "date", "Get_Temp", "TimeOut"], target, 1);
+            assert!(p.is_possible(), "{target}");
+        }
+    }
+
+    #[test]
+    fn plan_prefers_keeping_calls() {
+        let c = paper_compiled();
+        let game = possible(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+            1,
+        );
+        let plan = game.plan().unwrap();
+        assert!(plan.iter().all(|d| !d.invoke), "word already conforms");
+    }
+
+    #[test]
+    fn possible_needs_enough_depth() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "Get_Exhibits|exhibit*")
+                .element("exhibit", "")
+                .function("Get_Exhibits", "", "Get_Exhibit*")
+                .function("Get_Exhibit", "", "exhibit")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        // Target exhibit.exhibit requires invoking Get_Exhibits and then the
+        // returned Get_Exhibit handles: k = 2.
+        let g1 = possible(&c, &["Get_Exhibits"], "exhibit.exhibit", 1);
+        let g2 = possible(&c, &["Get_Exhibits"], "exhibit.exhibit", 2);
+        assert!(!g1.is_possible());
+        assert!(g2.is_possible());
+    }
+}

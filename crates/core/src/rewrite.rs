@@ -1,0 +1,1625 @@
+//! Document rewriting: the three-stage algorithm of Sec. 4.
+//!
+//! Given a document `t`, a compiled schema whose content models describe
+//! the agreed exchange format, and an [`Invoker`] that executes service
+//! calls, the [`Rewriter`]:
+//!
+//! 1. checks *function parameters* bottom-up (deepest calls first): the
+//!    parameters of every call must safely rewrite into the call's input
+//!    type, or the whole rewriting fails;
+//! 2. traverses the tree *top-down*, handling one node and its direct
+//!    children at a time;
+//! 3. rewrites each node's children word using the word-level game
+//!    ([`SafeGame`] or [`PossibleGame`]), invoking services as the strategy
+//!    dictates, materializing parameters just before each call, validating
+//!    every returned forest against the service's declared output type, and
+//!    recursing into the returned calls' decisions up to depth `k`.
+//!
+//! Returned subtrees are validated but not rewritten further (footnote 5 of
+//! the paper: sender and receiver agree on function signatures, so output
+//! instances are already instances of the schema).
+
+use crate::awk::{Awk, AwkLimits, EdgeId, StateKind};
+use crate::invoke::{InvokeError, Invoker};
+use crate::possible::PossibleGame;
+use crate::safe::{complement_of, BuildMode, SafeGame};
+use axml_automata::{Dfa, Nfa, Regex, Symbol};
+use axml_schema::{validate_output_instance, words_of, Compiled, CompiledContent, FuncNode, ITree};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by document rewriting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The document uses an element label the schema does not declare.
+    UnknownLabel(String),
+    /// No safe rewriting exists for the children of some node.
+    NotSafe {
+        /// The element label (or `τ_in(f)` context) that failed.
+        context: String,
+        /// The children word, rendered.
+        word: String,
+    },
+    /// No rewriting can possibly succeed for the children of some node.
+    NotPossible {
+        /// The element label (or `τ_in(f)` context) that failed.
+        context: String,
+        /// The children word, rendered.
+        word: String,
+    },
+    /// Every viable branch was tried and failed (possible-mode execution).
+    Exhausted {
+        /// Where the search ran dry.
+        context: String,
+    },
+    /// The configured invocation budget was exceeded.
+    CallBudget {
+        /// The budget that was exhausted.
+        max_calls: usize,
+    },
+    /// `A_w^k` grew beyond the configured limits.
+    TooLarge(String),
+    /// A service call failed.
+    Invoke(InvokeError),
+    /// A service returned data that does not match its declared output type.
+    IllTyped {
+        /// The function whose answer was ill-typed.
+        function: String,
+        /// Validation message.
+        message: String,
+    },
+    /// The document is structurally invalid (e.g. text under a non-data
+    /// element, data element with element children).
+    Invalid(String),
+    /// Content models must be deterministic (1-unambiguous) for execution.
+    Ambiguous {
+        /// Where the ambiguity was hit.
+        context: String,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::UnknownLabel(l) => write!(f, "unknown element label '{l}'"),
+            RewriteError::NotSafe { context, word } => {
+                write!(f, "no safe rewriting for '{context}' (children: {word})")
+            }
+            RewriteError::NotPossible { context, word } => {
+                write!(
+                    f,
+                    "no possible rewriting for '{context}' (children: {word})"
+                )
+            }
+            RewriteError::Exhausted { context } => {
+                write!(f, "all rewriting branches failed at '{context}'")
+            }
+            RewriteError::CallBudget { max_calls } => {
+                write!(f, "invocation budget of {max_calls} calls exhausted")
+            }
+            RewriteError::TooLarge(m) => write!(f, "{m}"),
+            RewriteError::Invoke(e) => write!(f, "{e}"),
+            RewriteError::IllTyped { function, message } => {
+                write!(f, "service '{function}' returned ill-typed data: {message}")
+            }
+            RewriteError::Invalid(m) => write!(f, "invalid document: {m}"),
+            RewriteError::Ambiguous { context } => {
+                write!(f, "ambiguous content model during execution at '{context}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<InvokeError> for RewriteError {
+    fn from(e: InvokeError) -> Self {
+        RewriteError::Invoke(e)
+    }
+}
+
+/// Outcome statistics of an executed rewriting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Functions invoked, in call order.
+    pub invoked: Vec<String>,
+    /// Calls whose results were discarded by backtracking (possible mode).
+    pub wasted_calls: usize,
+    /// Word-level games solved.
+    pub games: usize,
+}
+
+/// Static analysis result (no calls executed).
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Word-level games solved.
+    pub games: usize,
+    /// Total product nodes across all games.
+    pub product_nodes: usize,
+}
+
+/// The document rewriter. Holds per-target automata caches, so reuse one
+/// instance when processing many documents against the same schema.
+pub struct Rewriter<'c> {
+    compiled: &'c Compiled,
+    /// Rewriting depth bound (Def. 7). Default 2.
+    pub k: u32,
+    /// Safe-game construction mode (Sec. 7 lazy variant by default).
+    pub mode: BuildMode,
+    /// `A_w^k` construction limits.
+    pub limits: AwkLimits,
+    /// Optional cap on total service invocations per rewriting run
+    /// (possible-mode backtracking can otherwise spend unbounded calls;
+    /// the Sec. 2 cost discussion motivates bounding it).
+    pub max_calls: Option<usize>,
+    comp_cache: HashMap<CacheKey, Dfa>,
+    target_cache: HashMap<CacheKey, Dfa>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Content(Symbol),
+    Input(Symbol),
+    Output(Symbol),
+}
+
+/// Which rewriting notion drives execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    Safe,
+    Possible,
+}
+
+/// The per-branch failure used for backtracking.
+enum Fail {
+    /// This branch is dead; try another choice.
+    Dead,
+    /// Unrecoverable error; abort the whole rewriting.
+    Fatal(Box<RewriteError>),
+}
+
+impl From<RewriteError> for Fail {
+    fn from(e: RewriteError) -> Self {
+        Fail::Fatal(Box::new(e))
+    }
+}
+
+/// A uniform view over [`SafeGame`] and [`PossibleGame`] for the executor.
+enum Game {
+    Safe(SafeGame),
+    Possible(PossibleGame),
+}
+
+impl Game {
+    fn awk(&self) -> &Awk {
+        match self {
+            Game::Safe(g) => &g.awk,
+            Game::Possible(g) => &g.awk,
+        }
+    }
+    fn start(&self) -> u32 {
+        match self {
+            Game::Safe(g) => g.start,
+            Game::Possible(g) => g.start,
+        }
+    }
+    /// Nodes the execution may stand on: unmarked (safe) / viable (possible).
+    fn allowed(&self, n: u32) -> bool {
+        match self {
+            Game::Safe(g) => !g.is_marked(n),
+            Game::Possible(g) => g.is_viable(n),
+        }
+    }
+    fn successors(&self, n: u32) -> &[(EdgeId, u32)] {
+        match self {
+            Game::Safe(g) => g.successors(n),
+            Game::Possible(g) => g.successors(n),
+        }
+    }
+    fn pair(&self, n: u32) -> (u32, u32) {
+        match self {
+            Game::Safe(g) => g.pair(n),
+            Game::Possible(g) => g.pair(n),
+        }
+    }
+    /// May execution finish on `n` once every item is consumed?
+    fn terminal_ok(&self, n: u32) -> bool {
+        match self {
+            // Safe: reaching the finish on an unmarked node means the word
+            // is in the target (unmarked excludes bad-accepting).
+            Game::Safe(g) => g.pair(n).0 == g.awk.finish && !g.is_marked(n),
+            Game::Possible(g) => g.accepting(n),
+        }
+    }
+    /// Whether execution is allowed to retry choices (backtracking).
+    fn backtracks(&self) -> bool {
+        matches!(self, Game::Possible(_))
+    }
+}
+
+/// Work items of the word executor. Invoked results are spliced in front,
+/// followed by an `Exit` marker that pops execution out of the output copy.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A tree to consume; the flag says whether it comes from the original
+    /// document (then it is recursively rewritten / its params materialized)
+    /// or from a service answer (then it is kept as validated).
+    Tree(ITree, bool),
+    /// Leave the current output copy at the given awk state.
+    Exit(u32),
+}
+
+impl<'c> Rewriter<'c> {
+    /// Creates a rewriter with depth bound `k = 2` and lazy game building.
+    pub fn new(compiled: &'c Compiled) -> Self {
+        Rewriter {
+            compiled,
+            k: 2,
+            mode: BuildMode::Lazy,
+            limits: AwkLimits::default(),
+            max_calls: None,
+            comp_cache: HashMap::new(),
+            target_cache: HashMap::new(),
+        }
+    }
+
+    /// Caps the number of service invocations per rewriting run.
+    pub fn with_max_calls(mut self, max: usize) -> Self {
+        self.max_calls = Some(max);
+        self
+    }
+
+    /// Sets the depth bound (Def. 7).
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the safe-game build mode.
+    pub fn with_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The compiled schema this rewriter targets.
+    pub fn compiled(&self) -> &Compiled {
+        self.compiled
+    }
+
+    // ------------------------------------------------------------------
+    // Public entry points
+    // ------------------------------------------------------------------
+
+    /// Static safety analysis: does `tree` safely rewrite into the schema?
+    /// No service is invoked. Returns per-run statistics on success.
+    pub fn analyze_safe(&mut self, tree: &ITree) -> Result<Analysis, RewriteError> {
+        let mut analysis = Analysis::default();
+        self.analyze_params(tree, &mut analysis)?;
+        self.analyze_node(tree, &mut analysis)?;
+        Ok(analysis)
+    }
+
+    /// Static possible-rewriting analysis: might `tree` rewrite into the
+    /// schema for *some* service answers? No service is invoked.
+    pub fn analyze_possible(&mut self, tree: &ITree) -> Result<Analysis, RewriteError> {
+        let mut analysis = Analysis::default();
+        self.analyze_params_possible(tree, &mut analysis)?;
+        self.analyze_node_possible(tree, &mut analysis)?;
+        Ok(analysis)
+    }
+
+    /// The smallest depth `k ≤ max_k` at which `tree` safely rewrites into
+    /// the schema, or `None` if even `max_k` is not enough.
+    ///
+    /// Useful for budgeting: the paper's complexity is exponential in `k`,
+    /// so callers want the smallest sufficient depth (Def. 7).
+    pub fn minimal_safe_k(&mut self, tree: &ITree, max_k: u32) -> Option<u32> {
+        let saved = self.k;
+        let mut found = None;
+        for k in 0..=max_k {
+            self.k = k;
+            if self.analyze_safe(tree).is_ok() {
+                found = Some(k);
+                break;
+            }
+        }
+        self.k = saved;
+        found
+    }
+
+    /// Executes a safe rewriting of `tree` against `invoker`.
+    ///
+    /// Fails with [`RewriteError::NotSafe`] *before any call is made* if no
+    /// safe rewriting exists (the guarantee of Sec. 4).
+    pub fn rewrite_safe(
+        &mut self,
+        tree: &ITree,
+        invoker: &mut dyn Invoker,
+    ) -> Result<(ITree, RewriteReport), RewriteError> {
+        // Stage 1 (analysis only): every call's parameters must be safely
+        // rewritable, bottom-up.
+        let mut pre = Analysis::default();
+        self.analyze_params(tree, &mut pre)?;
+        let mut report = RewriteReport::default();
+        let out = self.rewrite_node(tree, Strategy::Safe, invoker, &mut report)?;
+        Ok((out, report))
+    }
+
+    /// Executes a *possible* rewriting: may invoke calls speculatively and
+    /// backtrack; fails with [`RewriteError::Exhausted`] if the services'
+    /// actual answers rule every viable branch out.
+    pub fn rewrite_possible(
+        &mut self,
+        tree: &ITree,
+        invoker: &mut dyn Invoker,
+    ) -> Result<(ITree, RewriteReport), RewriteError> {
+        let mut pre = Analysis::default();
+        self.analyze_params_possible(tree, &mut pre)?;
+        let mut report = RewriteReport::default();
+        let out = self.rewrite_node(tree, Strategy::Possible, invoker, &mut report)?;
+        Ok((out, report))
+    }
+
+    /// Rewrites a forest so it conforms to `τ_in(function)` — used by the
+    /// Schema Enforcement module on outbound call parameters (Sec. 7
+    /// step (ii)).
+    pub fn rewrite_to_input_type(
+        &mut self,
+        function: &str,
+        params: &[ITree],
+        invoker: &mut dyn Invoker,
+    ) -> Result<(Vec<ITree>, RewriteReport), RewriteError> {
+        let sym = self.compiled.classify_func(function);
+        let input = self
+            .compiled
+            .sig(sym)
+            .expect("function symbols carry signatures")
+            .input
+            .clone();
+        let mut report = RewriteReport::default();
+        let mut pre = Analysis::default();
+        for p in params {
+            self.analyze_params(p, &mut pre)?;
+        }
+        let out = self.rewrite_forest(
+            params,
+            &input,
+            CacheKey::Input(sym),
+            &format!("τ_in({function})"),
+            Strategy::Safe,
+            invoker,
+            &mut report,
+        )?;
+        Ok((out, report))
+    }
+
+    /// Rewrites a result forest so it conforms to `τ_out(function)` — used
+    /// by the Schema Enforcement module on the data a declared service is
+    /// about to return (Sec. 7).
+    pub fn rewrite_to_output_type(
+        &mut self,
+        function: &str,
+        result: &[ITree],
+        invoker: &mut dyn Invoker,
+    ) -> Result<(Vec<ITree>, RewriteReport), RewriteError> {
+        let sym = self.compiled.classify_func(function);
+        let output = self
+            .compiled
+            .sig(sym)
+            .expect("function symbols carry signatures")
+            .output
+            .clone();
+        let mut report = RewriteReport::default();
+        let mut pre = Analysis::default();
+        for t in result {
+            self.analyze_params(t, &mut pre)?;
+        }
+        let out = self.rewrite_forest(
+            result,
+            &output,
+            CacheKey::Output(sym),
+            &format!("τ_out({function})"),
+            Strategy::Safe,
+            invoker,
+            &mut report,
+        )?;
+        Ok((out, report))
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 1: parameters, bottom-up
+    // ------------------------------------------------------------------
+
+    fn analyze_params(
+        &mut self,
+        tree: &ITree,
+        analysis: &mut Analysis,
+    ) -> Result<(), RewriteError> {
+        for c in tree.children() {
+            self.analyze_params(c, analysis)?;
+        }
+        if let ITree::Func(f) = tree {
+            let sym = self.compiled.classify_func(&f.name);
+            let input = self
+                .compiled
+                .sig(sym)
+                .expect("function symbols carry signatures")
+                .input
+                .clone();
+            let game = self.safe_game(&f.params, &input, CacheKey::Input(sym))?;
+            analysis.games += 1;
+            analysis.product_nodes += game.num_nodes();
+            if !game.is_safe() {
+                return Err(self.not_safe(&format!("τ_in({})", f.name), &f.params));
+            }
+        }
+        Ok(())
+    }
+
+    fn analyze_params_possible(
+        &mut self,
+        tree: &ITree,
+        analysis: &mut Analysis,
+    ) -> Result<(), RewriteError> {
+        for c in tree.children() {
+            self.analyze_params_possible(c, analysis)?;
+        }
+        if let ITree::Func(f) = tree {
+            let sym = self.compiled.classify_func(&f.name);
+            let input = self
+                .compiled
+                .sig(sym)
+                .expect("function symbols carry signatures")
+                .input
+                .clone();
+            let game = self.possible_game(&f.params, &input, CacheKey::Input(sym))?;
+            analysis.games += 1;
+            analysis.product_nodes += game.num_nodes();
+            if !game.is_possible() {
+                return Err(self.not_possible(&format!("τ_in({})", f.name), &f.params));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 2: top-down traversal (analysis flavor)
+    // ------------------------------------------------------------------
+
+    fn analyze_node(&mut self, tree: &ITree, analysis: &mut Analysis) -> Result<(), RewriteError> {
+        match tree {
+            ITree::Text(_) => Ok(()),
+            ITree::Func(_) => Ok(()), // parameters handled in stage 1
+            ITree::Elem { label, children } => {
+                let sym = self.compiled.classify_label(label);
+                let content = self
+                    .compiled
+                    .content(sym)
+                    .ok_or_else(|| RewriteError::UnknownLabel(label.clone()))
+                    .cloned()?;
+                match content {
+                    CompiledContent::Any => Ok(()),
+                    CompiledContent::Data => {
+                        if children.iter().all(|c| matches!(c, ITree::Text(_))) {
+                            Ok(())
+                        } else {
+                            Err(RewriteError::Invalid(format!(
+                                "'{label}' is atomic but has non-text children"
+                            )))
+                        }
+                    }
+                    CompiledContent::Model { regex, .. } => {
+                        let game = self.safe_game(children, &regex, CacheKey::Content(sym))?;
+                        analysis.games += 1;
+                        analysis.product_nodes += game.num_nodes();
+                        if !game.is_safe() {
+                            return Err(self.not_safe(label, children));
+                        }
+                        for c in children {
+                            self.analyze_node(c, analysis)?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn analyze_node_possible(
+        &mut self,
+        tree: &ITree,
+        analysis: &mut Analysis,
+    ) -> Result<(), RewriteError> {
+        match tree {
+            ITree::Text(_) | ITree::Func(_) => Ok(()),
+            ITree::Elem { label, children } => {
+                let sym = self.compiled.classify_label(label);
+                let content = self
+                    .compiled
+                    .content(sym)
+                    .ok_or_else(|| RewriteError::UnknownLabel(label.clone()))
+                    .cloned()?;
+                match content {
+                    CompiledContent::Any => Ok(()),
+                    CompiledContent::Data => {
+                        if children.iter().all(|c| matches!(c, ITree::Text(_))) {
+                            Ok(())
+                        } else {
+                            Err(RewriteError::Invalid(format!(
+                                "'{label}' is atomic but has non-text children"
+                            )))
+                        }
+                    }
+                    CompiledContent::Model { regex, .. } => {
+                        let game = self.possible_game(children, &regex, CacheKey::Content(sym))?;
+                        analysis.games += 1;
+                        analysis.product_nodes += game.num_nodes();
+                        if !game.is_possible() {
+                            return Err(self.not_possible(label, children));
+                        }
+                        for c in children {
+                            self.analyze_node_possible(c, analysis)?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stages 2+3: top-down traversal with execution
+    // ------------------------------------------------------------------
+
+    fn rewrite_node(
+        &mut self,
+        tree: &ITree,
+        strategy: Strategy,
+        invoker: &mut dyn Invoker,
+        report: &mut RewriteReport,
+    ) -> Result<ITree, RewriteError> {
+        match tree {
+            ITree::Text(t) => Ok(ITree::Text(t.clone())),
+            ITree::Func(f) => {
+                // A function root: materialize its parameters so the node is
+                // an instance of its input type; the call itself stays.
+                let params = self.rewrite_params(f, strategy, invoker, report)?;
+                Ok(ITree::Func(FuncNode {
+                    params,
+                    ..f.clone()
+                }))
+            }
+            ITree::Elem { label, children } => {
+                let sym = self.compiled.classify_label(label);
+                let content = self
+                    .compiled
+                    .content(sym)
+                    .ok_or_else(|| RewriteError::UnknownLabel(label.clone()))
+                    .cloned()?;
+                match content {
+                    CompiledContent::Any => Ok(tree.clone()),
+                    CompiledContent::Data => {
+                        if children.iter().all(|c| matches!(c, ITree::Text(_))) {
+                            Ok(tree.clone())
+                        } else {
+                            Err(RewriteError::Invalid(format!(
+                                "'{label}' is atomic but has non-text children"
+                            )))
+                        }
+                    }
+                    CompiledContent::Model { regex, .. } => {
+                        let new_children = self.rewrite_forest(
+                            children,
+                            &regex,
+                            CacheKey::Content(sym),
+                            label,
+                            strategy,
+                            invoker,
+                            report,
+                        )?;
+                        Ok(ITree::elem(label, new_children))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materializes the parameters of `f` to fit its input type.
+    fn rewrite_params(
+        &mut self,
+        f: &FuncNode,
+        strategy: Strategy,
+        invoker: &mut dyn Invoker,
+        report: &mut RewriteReport,
+    ) -> Result<Vec<ITree>, RewriteError> {
+        let sym = self.compiled.classify_func(&f.name);
+        let input = self
+            .compiled
+            .sig(sym)
+            .expect("function symbols carry signatures")
+            .input
+            .clone();
+        self.rewrite_forest(
+            &f.params,
+            &input,
+            CacheKey::Input(sym),
+            &format!("τ_in({})", f.name),
+            strategy,
+            invoker,
+            report,
+        )
+    }
+
+    /// Rewrites a forest (children of an element, or call parameters) into
+    /// the given target regex, executing invocations.
+    #[allow(clippy::too_many_arguments)]
+    fn rewrite_forest(
+        &mut self,
+        items: &[ITree],
+        target: &Regex,
+        key: CacheKey,
+        context: &str,
+        strategy: Strategy,
+        invoker: &mut dyn Invoker,
+        report: &mut RewriteReport,
+    ) -> Result<Vec<ITree>, RewriteError> {
+        let game = match strategy {
+            Strategy::Safe => {
+                let g = self.safe_game(items, target, key)?;
+                if !g.is_safe() {
+                    return Err(self.not_safe(context, items));
+                }
+                Game::Safe(g)
+            }
+            Strategy::Possible => {
+                let g = self.possible_game(items, target, key)?;
+                if !g.is_possible() {
+                    return Err(self.not_possible(context, items));
+                }
+                Game::Possible(g)
+            }
+        };
+        report.games += 1;
+        let pending: Vec<Item> = items.iter().map(|t| Item::Tree(t.clone(), true)).collect();
+        match self.exec(
+            &game,
+            &pending,
+            game.start(),
+            strategy,
+            invoker,
+            report,
+            context,
+        ) {
+            Ok(out) => Ok(out),
+            Err(Fail::Fatal(e)) => Err(*e),
+            Err(Fail::Dead) => Err(RewriteError::Exhausted {
+                context: context.to_owned(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The word executor (shared by safe and possible strategies)
+    // ------------------------------------------------------------------
+
+    /// Consumes `pending` from product node `cur`, returning the produced
+    /// children. Backtracking happens through the recursion: a `Dead`
+    /// result makes the caller try its next choice (possible mode only —
+    /// in safe mode the preferred choice is guaranteed to succeed).
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &mut self,
+        game: &Game,
+        pending: &[Item],
+        cur: u32,
+        strategy: Strategy,
+        invoker: &mut dyn Invoker,
+        report: &mut RewriteReport,
+        context: &str,
+    ) -> Result<Vec<ITree>, Fail> {
+        let Some((first, rest)) = pending.split_first() else {
+            return if game.terminal_ok(cur) {
+                Ok(Vec::new())
+            } else {
+                Err(Fail::Dead)
+            };
+        };
+        match first {
+            Item::Exit(exit_state) => {
+                let next = self.step_eps_to(game, cur, *exit_state).ok_or(Fail::Dead)?;
+                self.exec(game, rest, next, strategy, invoker, report, context)
+            }
+            Item::Tree(ITree::Text(t), _) => {
+                let next = self
+                    .step_symbol(game, cur, self.compiled.data_sym(), context)?
+                    .ok_or(Fail::Dead)?;
+                let mut out = self.exec(game, rest, next, strategy, invoker, report, context)?;
+                out.insert(0, ITree::Text(t.clone()));
+                Ok(out)
+            }
+            Item::Tree(tree @ ITree::Elem { label, .. }, original) => {
+                let sym = self.compiled.classify_label(label);
+                let next = self
+                    .step_symbol(game, cur, sym, context)?
+                    .ok_or(Fail::Dead)?;
+                let processed = if *original {
+                    self.rewrite_node(tree, strategy, invoker, report)?
+                } else {
+                    tree.clone()
+                };
+                let mut out = self.exec(game, rest, next, strategy, invoker, report, context)?;
+                out.insert(0, processed);
+                Ok(out)
+            }
+            Item::Tree(ITree::Func(f), original) => {
+                let sym = self.compiled.classify_func(&f.name);
+                // Locate the fork for this occurrence, if the edge was
+                // expanded; otherwise it is a plain letter (non-invocable or
+                // beyond depth k) and the call must stay.
+                let fork = self.find_fork(game, cur, sym, context)?;
+                let Some((fork_node, skip_edge, invoke_edge)) = fork else {
+                    let next = self
+                        .step_symbol(game, cur, sym, context)?
+                        .ok_or(Fail::Dead)?;
+                    let kept = self.keep_call(f, *original, strategy, invoker, report)?;
+                    let mut out =
+                        self.exec(game, rest, next, strategy, invoker, report, context)?;
+                    out.insert(0, kept);
+                    return Ok(out);
+                };
+                // Option order: keeping the call is free, invoking costs a
+                // call — try keep first (minimal-cost policy of Fig. 3
+                // step 23).
+                let skip_target = self
+                    .product_target(game, fork_node, skip_edge)
+                    .filter(|&t| game.allowed(t));
+                let invoke_target = self
+                    .product_target(game, fork_node, invoke_edge)
+                    .filter(|&t| game.allowed(t));
+
+                let calls_before = report.invoked.len();
+                if let Some(t) = skip_target {
+                    let kept = self.keep_call(f, *original, strategy, invoker, report)?;
+                    match self.exec(game, rest, t, strategy, invoker, report, context) {
+                        Ok(mut out) => {
+                            out.insert(0, kept);
+                            return Ok(out);
+                        }
+                        Err(Fail::Fatal(e)) => return Err(Fail::Fatal(e)),
+                        Err(Fail::Dead) if game.backtracks() => {
+                            report.wasted_calls += report.invoked.len() - calls_before;
+                        }
+                        Err(Fail::Dead) => return Err(Fail::Dead),
+                    }
+                }
+                let Some(entry) = invoke_target else {
+                    return Err(Fail::Dead);
+                };
+                // Invoke: materialize parameters first (original calls), use
+                // the validated returned parameters as-is otherwise.
+                let params = if *original {
+                    self.rewrite_params(f, strategy, invoker, report)?
+                } else {
+                    f.params.clone()
+                };
+                if let Some(max) = self.max_calls {
+                    if report.invoked.len() >= max {
+                        return Err(RewriteError::CallBudget { max_calls: max }.into());
+                    }
+                }
+                let result = invoker
+                    .invoke(&f.name, &params)
+                    .map_err(RewriteError::from)?;
+                report.invoked.push(f.name.clone());
+                let sig = self
+                    .compiled
+                    .sig(sym)
+                    .expect("function symbols carry signatures");
+                validate_output_instance(&result, &sig.output_dfa, self.compiled).map_err(|e| {
+                    RewriteError::IllTyped {
+                        function: f.name.clone(),
+                        message: e.to_string(),
+                    }
+                })?;
+                // Splice the returned forest, then exit the copy at the
+                // state the skip edge would have reached.
+                let exit_state = game.awk().edge(skip_edge).to;
+                let mut new_pending: Vec<Item> =
+                    result.into_iter().map(|t| Item::Tree(t, false)).collect();
+                new_pending.push(Item::Exit(exit_state));
+                new_pending.extend(rest.iter().cloned());
+                match self.exec(
+                    game,
+                    &new_pending,
+                    entry,
+                    strategy,
+                    invoker,
+                    report,
+                    context,
+                ) {
+                    Ok(out) => Ok(out),
+                    Err(Fail::Fatal(e)) => Err(Fail::Fatal(e)),
+                    Err(Fail::Dead) => {
+                        if game.backtracks() {
+                            report.wasted_calls += report.invoked.len() - calls_before;
+                        }
+                        Err(Fail::Dead)
+                    }
+                }
+            }
+        }
+    }
+
+    /// A kept call: original calls get their parameters materialized so the
+    /// node conforms to its input type; returned calls are already valid.
+    fn keep_call(
+        &mut self,
+        f: &FuncNode,
+        original: bool,
+        strategy: Strategy,
+        invoker: &mut dyn Invoker,
+        report: &mut RewriteReport,
+    ) -> Result<ITree, RewriteError> {
+        if original {
+            let params = self.rewrite_params(f, strategy, invoker, report)?;
+            Ok(ITree::Func(FuncNode {
+                params,
+                ..f.clone()
+            }))
+        } else {
+            Ok(ITree::Func(f.clone()))
+        }
+    }
+
+    /// Follows the labeled edge for `sym` from `cur`; `None` means the step
+    /// is impossible (dead branch). Two distinct labeled successors mean the
+    /// content model was ambiguous — an execution error.
+    fn step_symbol(
+        &self,
+        game: &Game,
+        cur: u32,
+        sym: Symbol,
+        context: &str,
+    ) -> Result<Option<u32>, Fail> {
+        let awk = game.awk();
+        let mut found: Option<u32> = None;
+        for &(eid, t) in game.successors(cur) {
+            if awk.edge(eid).label == Some(sym) && game.allowed(t) {
+                if let Some(prev) = found {
+                    if prev != t {
+                        return Err(RewriteError::Ambiguous {
+                            context: context.to_owned(),
+                        }
+                        .into());
+                    }
+                } else {
+                    found = Some(t);
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    /// Finds the fork deciding about symbol `sym` one ε-step away from
+    /// `cur`, returning `(fork product node, skip edge, invoke edge)`.
+    fn find_fork(
+        &self,
+        game: &Game,
+        cur: u32,
+        sym: Symbol,
+        context: &str,
+    ) -> Result<Option<(u32, EdgeId, EdgeId)>, Fail> {
+        let awk = game.awk();
+        let mut found = None;
+        for &(eid, t) in game.successors(cur) {
+            if awk.edge(eid).label.is_some() {
+                continue;
+            }
+            let (awk_state, _) = game.pair(t);
+            if let StateKind::Fork {
+                func, skip, invoke, ..
+            } = awk.kind(awk_state)
+            {
+                if func == sym {
+                    if found.is_some() {
+                        return Err(RewriteError::Ambiguous {
+                            context: context.to_owned(),
+                        }
+                        .into());
+                    }
+                    found = Some((t, skip, invoke));
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    /// The product successor of `node` along awk edge `edge`.
+    fn product_target(&self, game: &Game, node: u32, edge: EdgeId) -> Option<u32> {
+        game.successors(node)
+            .iter()
+            .find(|(e, _)| *e == edge)
+            .map(|&(_, t)| t)
+    }
+
+    /// ε-step from `cur` to the product node at awk state `goal` (leaving
+    /// an output copy).
+    fn step_eps_to(&self, game: &Game, cur: u32, goal: u32) -> Option<u32> {
+        let awk = game.awk();
+        game.successors(cur)
+            .iter()
+            .find(|&&(eid, t)| {
+                awk.edge(eid).label.is_none() && game.pair(t).0 == goal && game.allowed(t)
+            })
+            .map(|&(_, t)| t)
+    }
+
+    // ------------------------------------------------------------------
+    // Game construction and caches
+    // ------------------------------------------------------------------
+
+    fn word_of(&self, items: &[ITree]) -> Vec<Symbol> {
+        words_of(items, self.compiled).expect("words_of is total")
+    }
+
+    fn safe_game(
+        &mut self,
+        items: &[ITree],
+        target: &Regex,
+        key: CacheKey,
+    ) -> Result<SafeGame, RewriteError> {
+        let w = self.word_of(items);
+        let awk = Awk::build(&w, self.compiled, self.k, &self.limits)
+            .map_err(|e| RewriteError::TooLarge(e.to_string()))?;
+        let n = self.compiled.alphabet().len();
+        let comp = self
+            .comp_cache
+            .entry(key)
+            .or_insert_with(|| complement_of(target, n))
+            .clone();
+        Ok(SafeGame::solve(awk, comp, self.mode))
+    }
+
+    fn possible_game(
+        &mut self,
+        items: &[ITree],
+        target: &Regex,
+        key: CacheKey,
+    ) -> Result<PossibleGame, RewriteError> {
+        let w = self.word_of(items);
+        let awk = Awk::build(&w, self.compiled, self.k, &self.limits)
+            .map_err(|e| RewriteError::TooLarge(e.to_string()))?;
+        let n = self.compiled.alphabet().len();
+        let dfa = self
+            .target_cache
+            .entry(key)
+            .or_insert_with(|| Dfa::determinize(&Nfa::thompson(target, n)))
+            .clone();
+        Ok(PossibleGame::solve(awk, dfa))
+    }
+
+    fn not_safe(&self, context: &str, items: &[ITree]) -> RewriteError {
+        RewriteError::NotSafe {
+            context: context.to_owned(),
+            word: self.compiled.alphabet().format_word(&self.word_of(items)),
+        }
+    }
+
+    fn not_possible(&self, context: &str, items: &[ITree]) -> RewriteError {
+        RewriteError::NotPossible {
+            context: context.to_owned(),
+            word: self.compiled.alphabet().format_word(&self.word_of(items)),
+        }
+    }
+}
+
+/// Convenience: validate-or-rewrite used by the peer's Schema Enforcement
+/// module — returns `tree` unchanged when it already conforms, otherwise
+/// attempts a safe rewriting (the module's (i)/(ii)/(iii) steps in Sec. 7).
+pub fn enforce(
+    compiled: &Compiled,
+    tree: &ITree,
+    k: u32,
+    invoker: &mut dyn Invoker,
+) -> Result<(ITree, RewriteReport), RewriteError> {
+    if axml_schema::validate(tree, compiled).is_ok() {
+        return Ok((tree.clone(), RewriteReport::default()));
+    }
+    Rewriter::new(compiled)
+        .with_k(k)
+        .rewrite_safe(tree, invoker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invoke::ScriptedInvoker;
+    use axml_schema::{newspaper_example, validate, NoOracle, Schema};
+
+    fn paper_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    /// Schema (**): temp must be materialized, TimeOut may stay.
+    fn star_star_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.temp.(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    /// Schema (***): fully extensional newspaper.
+    fn star3_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.temp.exhibit*")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    fn exhibit(title: &str, date: &str) -> ITree {
+        ITree::elem(
+            "exhibit",
+            vec![ITree::data("title", title), ITree::data("date", date)],
+        )
+    }
+
+    #[test]
+    fn figure2_safe_rewriting_into_star_star() {
+        // Fig. 2 end to end: Get_Temp is invoked (with its city parameter),
+        // TimeOut stays intensional, and the result conforms to (**).
+        let c = star_star_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new().answer("Get_Temp", vec![ITree::data("temp", "15 C")]);
+        let (out, report) = rw.rewrite_safe(&newspaper_example(), &mut inv).unwrap();
+        assert_eq!(report.invoked, vec!["Get_Temp".to_owned()]);
+        assert_eq!(report.wasted_calls, 0);
+        validate(&out, &c).unwrap();
+        // The Get_Temp call got the materialized city parameter.
+        assert_eq!(inv.log[0].1, vec![ITree::data("city", "Paris")]);
+        // TimeOut is still there.
+        assert_eq!(out.num_funcs(), 1);
+        assert_eq!(out.children()[2], ITree::data("temp", "15 C"));
+    }
+
+    #[test]
+    fn unsafe_target_fails_before_any_call() {
+        // Schema (***): no safe rewriting — and crucially no side effects.
+        let c = star3_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new()
+            .answer("Get_Temp", vec![ITree::data("temp", "15 C")])
+            .answer("TimeOut", vec![]);
+        let err = rw.rewrite_safe(&newspaper_example(), &mut inv).unwrap_err();
+        assert!(matches!(err, RewriteError::NotSafe { .. }), "{err}");
+        assert_eq!(inv.calls(), 0, "safe rewriting must not invoke on failure");
+    }
+
+    #[test]
+    fn possible_rewriting_succeeds_when_timeout_cooperates() {
+        let c = star3_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new()
+            .answer("Get_Temp", vec![ITree::data("temp", "15 C")])
+            .answer(
+                "TimeOut",
+                vec![exhibit("Expo", "Mon"), exhibit("Louvre", "Tue")],
+            );
+        let (out, report) = rw.rewrite_possible(&newspaper_example(), &mut inv).unwrap();
+        validate(&out, &c).unwrap();
+        assert_eq!(out.num_funcs(), 0);
+        assert_eq!(report.invoked.len(), 2);
+        assert_eq!(report.wasted_calls, 0);
+        assert_eq!(out.children().len(), 5);
+    }
+
+    #[test]
+    fn possible_rewriting_exhausts_when_timeout_returns_performance() {
+        let c = star3_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new()
+            .answer("Get_Temp", vec![ITree::data("temp", "15 C")])
+            .answer(
+                "TimeOut",
+                vec![ITree::elem("performance", vec![ITree::text("Hamlet")])],
+            );
+        let err = rw
+            .rewrite_possible(&newspaper_example(), &mut inv)
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::Exhausted { .. }), "{err}");
+        // Both calls were made before the failure was discovered: that is
+        // the cost of unsafe rewriting the paper warns about.
+        assert!(inv.calls() >= 2);
+    }
+
+    #[test]
+    fn possible_rejects_upfront_when_disjoint() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "temp.temp")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.date")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new();
+        let err = rw
+            .rewrite_possible(&newspaper_example(), &mut inv)
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::NotPossible { .. }), "{err}");
+        assert_eq!(inv.calls(), 0);
+    }
+
+    #[test]
+    fn nested_params_materialized_innermost_first() {
+        // r ::= b ; F : a -> b ; G : () -> a.  Doc: r[ F(G()) ].
+        // F must be invoked; before that its parameter G must be called.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "b")
+                .data_element("a")
+                .data_element("b")
+                .function("F", "a", "b")
+                .function("G", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem("r", vec![ITree::func("F", vec![ITree::func("G", vec![])])]);
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new()
+            .answer("G", vec![ITree::data("a", "1")])
+            .answer("F", vec![ITree::data("b", "2")]);
+        let (out, report) = rw.rewrite_safe(&doc, &mut inv).unwrap();
+        assert_eq!(report.invoked, vec!["G".to_owned(), "F".to_owned()]);
+        assert_eq!(out, ITree::elem("r", vec![ITree::data("b", "2")]));
+        // F received the materialized a.
+        assert_eq!(inv.log[1].1, vec![ITree::data("a", "1")]);
+    }
+
+    #[test]
+    fn kept_call_gets_its_params_materialized() {
+        // Target keeps F, but F's parameter must become an instance of
+        // τ_in(F) = a — the embedded G call must be materialized.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "F|b")
+                .data_element("a")
+                .data_element("b")
+                .function("F", "a", "b")
+                .function("G", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem("r", vec![ITree::func("F", vec![ITree::func("G", vec![])])]);
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new().answer("G", vec![ITree::data("a", "1")]);
+        let (out, report) = rw.rewrite_safe(&doc, &mut inv).unwrap();
+        assert_eq!(report.invoked, vec!["G".to_owned()]);
+        assert_eq!(
+            out,
+            ITree::elem("r", vec![ITree::func("F", vec![ITree::data("a", "1")])])
+        );
+        validate(&out, &c).unwrap();
+    }
+
+    #[test]
+    fn unrewritable_params_fail_stage_one() {
+        // τ_in(F) = a but the parameter is a 'b' with no way to fix it.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "F|b")
+                .data_element("a")
+                .data_element("b")
+                .function("F", "a", "b")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem("r", vec![ITree::func("F", vec![ITree::data("b", "x")])]);
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let err = rw.analyze_safe(&doc).unwrap_err();
+        assert!(
+            matches!(err, RewriteError::NotSafe { ref context, .. } if context.contains("τ_in(F)")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn ill_typed_service_answer_detected() {
+        let c = star_star_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new().answer("Get_Temp", vec![ITree::data("date", "oops")]);
+        let err = rw.rewrite_safe(&newspaper_example(), &mut inv).unwrap_err();
+        assert!(
+            matches!(err, RewriteError::IllTyped { ref function, .. } if function == "Get_Temp"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn depth_two_flattens_returned_handles() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "exhibit*")
+                .element("exhibit", "")
+                .function("Get_Exhibits", "", "Get_Exhibit*")
+                .function("Get_Exhibit", "", "exhibit")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem("r", vec![ITree::func("Get_Exhibits", vec![])]);
+        // k = 1 is not safe: returned handles could not be materialized.
+        let mut rw1 = Rewriter::new(&c).with_k(1);
+        assert!(rw1.analyze_safe(&doc).is_err());
+        // k = 2 invokes the returned handles too.
+        let mut rw2 = Rewriter::new(&c).with_k(2);
+        let mut inv = ScriptedInvoker::new()
+            .answer(
+                "Get_Exhibits",
+                vec![
+                    ITree::func("Get_Exhibit", vec![]),
+                    ITree::func("Get_Exhibit", vec![]),
+                ],
+            )
+            .answer("Get_Exhibit", vec![ITree::elem("exhibit", vec![])]);
+        let (out, report) = rw2.rewrite_safe(&doc, &mut inv).unwrap();
+        assert_eq!(
+            out,
+            ITree::elem(
+                "r",
+                vec![
+                    ITree::elem("exhibit", vec![]),
+                    ITree::elem("exhibit", vec![]),
+                ]
+            )
+        );
+        assert_eq!(report.invoked.len(), 3);
+        validate(&out, &c).unwrap();
+    }
+
+    #[test]
+    fn recursion_into_child_subtrees() {
+        // The exhibit child itself contains a Get_Date call that must be
+        // materialized for schema (***)-style exhibit = title.date.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.temp.exhibit*")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.date")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem(
+            "newspaper",
+            vec![
+                ITree::data("title", "t"),
+                ITree::data("date", "d"),
+                ITree::data("temp", "15"),
+                ITree::elem(
+                    "exhibit",
+                    vec![
+                        ITree::data("title", "Expo"),
+                        ITree::func("Get_Date", vec![ITree::data("title", "Expo")]),
+                    ],
+                ),
+            ],
+        );
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new().answer("Get_Date", vec![ITree::data("date", "Mon")]);
+        let (out, report) = rw.rewrite_safe(&doc, &mut inv).unwrap();
+        assert_eq!(report.invoked, vec!["Get_Date".to_owned()]);
+        validate(&out, &c).unwrap();
+    }
+
+    #[test]
+    fn backtracking_recovers_from_dead_skip_branch() {
+        // target (f.a)|b : keeping f needs a following 'a' that is not
+        // there, so the executor backtracks and invokes f, which returns b.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "(f.a)|b")
+                .data_element("a")
+                .data_element("b")
+                .function("f", "", "a|b")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem("r", vec![ITree::func("f", vec![])]);
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new().answer("f", vec![ITree::data("b", "x")]);
+        let (out, report) = rw.rewrite_possible(&doc, &mut inv).unwrap();
+        assert_eq!(out, ITree::elem("r", vec![ITree::data("b", "x")]));
+        assert_eq!(report.invoked, vec!["f".to_owned()]);
+        assert_eq!(report.wasted_calls, 0, "the skip branch made no calls");
+    }
+
+    #[test]
+    fn wasted_calls_counted_on_dead_invocations() {
+        // target a.b ; f : () -> a|c ; g : () -> b|c.
+        // Invoking f returns c — dead end discovered immediately; the call
+        // is wasted and the whole rewriting is exhausted.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a.b")
+                .data_element("a")
+                .data_element("b")
+                .data_element("cc")
+                .function("f", "", "a|cc")
+                .function("g", "", "b|cc")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem(
+            "r",
+            vec![ITree::func("f", vec![]), ITree::func("g", vec![])],
+        );
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new()
+            .answer("f", vec![ITree::data("cc", "x")])
+            .answer("g", vec![ITree::data("b", "y")]);
+        let err = rw.rewrite_possible(&doc, &mut inv).unwrap_err();
+        assert!(matches!(err, RewriteError::Exhausted { .. }), "{err}");
+        assert_eq!(inv.calls(), 1, "g is never reached after f's dead answer");
+    }
+
+    #[test]
+    fn enforce_skips_rewriting_when_already_conforming() {
+        let c = paper_compiled();
+        let mut inv = ScriptedInvoker::new();
+        let (out, report) = enforce(&c, &newspaper_example(), 1, &mut inv).unwrap();
+        assert_eq!(out, newspaper_example());
+        assert_eq!(report.invoked.len(), 0);
+        assert_eq!(inv.calls(), 0);
+    }
+
+    #[test]
+    fn enforce_falls_back_to_safe_rewriting() {
+        let c = star_star_compiled();
+        let mut inv = ScriptedInvoker::new().answer("Get_Temp", vec![ITree::data("temp", "15 C")]);
+        let (out, report) = enforce(&c, &newspaper_example(), 1, &mut inv).unwrap();
+        assert_eq!(report.invoked, vec!["Get_Temp".to_owned()]);
+        validate(&out, &c).unwrap();
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let c = paper_compiled();
+        let mut rw = Rewriter::new(&c);
+        let err = rw
+            .analyze_safe(&ITree::elem("mystery", vec![]))
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::UnknownLabel(ref l) if l == "mystery"));
+    }
+
+    #[test]
+    fn invoker_failure_propagates() {
+        let c = star_star_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let mut inv = ScriptedInvoker::new(); // no answers scripted
+        let err = rw.rewrite_safe(&newspaper_example(), &mut inv).unwrap_err();
+        assert!(matches!(err, RewriteError::Invoke(_)), "{err}");
+    }
+
+    #[test]
+    fn analysis_reports_games() {
+        let c = star_star_compiled();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        let a = rw.analyze_safe(&newspaper_example()).unwrap();
+        assert!(a.games >= 3, "root + two parameter games, got {}", a.games);
+        assert!(a.product_nodes > 0);
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+    use axml_schema::{NoOracle, Schema};
+
+    fn handles_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("r", "exhibit*")
+                .element("exhibit", "")
+                .function("Get_Exhibits", "", "Get_Exhibit*")
+                .function("Get_Exhibit", "", "exhibit")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn minimal_safe_k_found() {
+        let c = handles_compiled();
+        let doc = ITree::elem("r", vec![ITree::func("Get_Exhibits", vec![])]);
+        let mut rw = Rewriter::new(&c);
+        assert_eq!(rw.minimal_safe_k(&doc, 5), Some(2));
+        // The rewriter's configured k is restored.
+        assert_eq!(rw.k, 2);
+        // A flat document is safe at depth 0 (it already conforms).
+        let flat = ITree::elem("r", vec![ITree::elem("exhibit", vec![])]);
+        assert_eq!(rw.minimal_safe_k(&flat, 5), Some(0));
+    }
+
+    #[test]
+    fn minimal_safe_k_none_when_unreachable() {
+        // A non-invocable call can never be materialized: no k suffices.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a")
+                .data_element("a")
+                .non_invocable_function("f", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem("r", vec![ITree::func("f", vec![])]);
+        let mut rw = Rewriter::new(&c);
+        assert_eq!(rw.minimal_safe_k(&doc, 4), None);
+    }
+
+    #[test]
+    fn analyze_possible_distinguishes_from_safe() {
+        // Newspaper into (***): not safe, but possible.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.temp.exhibit*")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = axml_schema::newspaper_example();
+        let mut rw = Rewriter::new(&c).with_k(1);
+        assert!(rw.analyze_safe(&doc).is_err());
+        assert!(rw.analyze_possible(&doc).is_ok());
+        // Disjoint content: not even possible.
+        let c2 = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "temp.temp")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.date")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mut rw2 = Rewriter::new(&c2).with_k(1);
+        assert!(matches!(
+            rw2.analyze_possible(&doc),
+            Err(RewriteError::NotPossible { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::invoke::ScriptedInvoker;
+    use axml_schema::{NoOracle, Schema};
+
+    #[test]
+    fn call_budget_enforced() {
+        // Materializing needs three calls; a budget of two must abort.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a.a.a")
+                .data_element("a")
+                .function("f", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let doc = ITree::elem(
+            "r",
+            vec![
+                ITree::func("f", vec![]),
+                ITree::func("f", vec![]),
+                ITree::func("f", vec![]),
+            ],
+        );
+        let mut inv = ScriptedInvoker::new().answer("f", vec![ITree::data("a", "1")]);
+        let mut limited = Rewriter::new(&c).with_k(1).with_max_calls(2);
+        let err = limited.rewrite_safe(&doc, &mut inv).unwrap_err();
+        assert!(
+            matches!(err, RewriteError::CallBudget { max_calls: 2 }),
+            "{err}"
+        );
+        assert_eq!(inv.calls(), 2, "the third call was never made");
+        // With budget 3 it succeeds.
+        let mut inv = ScriptedInvoker::new().answer("f", vec![ITree::data("a", "1")]);
+        let mut enough = Rewriter::new(&c).with_k(1).with_max_calls(3);
+        let (out, report) = enough.rewrite_safe(&doc, &mut inv).unwrap();
+        assert_eq!(report.invoked.len(), 3);
+        assert_eq!(out.children().len(), 3);
+    }
+}

@@ -1,0 +1,973 @@
+//! Safe rewriting (Sec. 4, Fig. 3).
+//!
+//! A word `w` safely rewrites into a target language `R` iff the rewriter
+//! has a *strategy* — a choice of invoke/skip at every fork of [`Awk`] —
+//! such that every word the services may produce lands in `R`.
+//!
+//! Following the paper, we build the cartesian product of `A_w^k` with the
+//! *complete deterministic complement* `Ā` of `R` and mark the nodes from
+//! which the adversary (the services' actual answers) can force a word of
+//! `lang(Ā)` — i.e. a word outside `R`:
+//!
+//! * accepting product nodes (word complete, `Ā` accepting) are marked;
+//! * a *regular* node is marked if **some** successor is marked (the
+//!   adversary picks the continuation);
+//! * a *fork* node is marked only if **both** its options lead to marked
+//!   nodes (the rewriter picks the option).
+//!
+//! A safe rewriting exists iff the initial node is unmarked (Fig. 3,
+//! step 18). The lazy build mode implements the Sec. 7 optimization: the
+//! product is constructed on the fly, nodes whose complement state is an
+//! accepting *sink* are marked immediately without exploring their
+//! successors, and exploration is pruned below nodes already known marked
+//! (Fig. 12).
+
+use crate::awk::{Awk, EdgeId, StateKind};
+use axml_automata::Dfa;
+use std::collections::HashMap;
+
+/// Product node identifier.
+pub type NodeId = u32;
+
+/// How the product graph is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildMode {
+    /// Build every reachable product node, then mark (Fig. 3 as printed).
+    #[default]
+    Eager,
+    /// Build on the fly with sink/marked pruning (Sec. 7 variant).
+    Lazy,
+}
+
+/// Construction and marking statistics (used by the Fig. 12 reproduction
+/// and the lazy-vs-eager bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GameStats {
+    /// Product nodes created.
+    pub nodes: usize,
+    /// Product edges created.
+    pub edges: usize,
+    /// Nodes marked by the sink rule without exploring successors.
+    pub sink_pruned: usize,
+    /// Nodes whose expansion was skipped because they were already marked.
+    pub mark_pruned: usize,
+}
+
+/// The safe-rewriting game over `A_w^k × Ā`.
+#[derive(Debug)]
+pub struct SafeGame {
+    /// The expansion automaton.
+    pub awk: Awk,
+    /// Complete DFA for the complement of the target language.
+    pub comp: Dfa,
+    /// Node table: `(awk state, complement state)` per node id.
+    pairs: Vec<(u32, u32)>,
+    ids: HashMap<(u32, u32), NodeId>,
+    /// Outgoing product edges: `(awk edge, successor node)`.
+    out: Vec<Vec<(EdgeId, NodeId)>>,
+    /// Reverse adjacency for marking.
+    rev: Vec<Vec<NodeId>>,
+    /// The marking; `marked[start]` decides safety.
+    marked: Vec<bool>,
+    /// Initial node.
+    pub start: NodeId,
+    /// Statistics.
+    pub stats: GameStats,
+}
+
+impl SafeGame {
+    /// Builds and solves the game. `comp` must be a complete DFA over the
+    /// same effective alphabet as `awk` (use
+    /// `Dfa::determinize(..).completed(n).complemented()` on the target).
+    pub fn solve(awk: Awk, comp: Dfa, mode: BuildMode) -> SafeGame {
+        assert!(comp.is_complete(), "complement automaton must be complete");
+        assert_eq!(comp.num_symbols, awk.num_symbols, "alphabet mismatch");
+        let mut game = SafeGame {
+            awk,
+            comp,
+            pairs: Vec::new(),
+            ids: HashMap::new(),
+            out: Vec::new(),
+            rev: Vec::new(),
+            marked: Vec::new(),
+            start: 0,
+            stats: GameStats::default(),
+        };
+        game.build(mode);
+        game.fixpoint();
+        game
+    }
+
+    fn intern(&mut self, pair: (u32, u32)) -> (NodeId, bool) {
+        if let Some(&id) = self.ids.get(&pair) {
+            return (id, false);
+        }
+        let id = self.pairs.len() as NodeId;
+        self.ids.insert(pair, id);
+        self.pairs.push(pair);
+        self.out.push(Vec::new());
+        self.rev.push(Vec::new());
+        self.marked.push(false);
+        self.stats.nodes += 1;
+        (id, true)
+    }
+
+    fn is_bad_accepting(&self, node: NodeId) -> bool {
+        let (s, q) = self.pairs[node as usize];
+        s == self.awk.finish && self.comp.finals[q as usize]
+    }
+
+    fn build(&mut self, mode: BuildMode) {
+        let (start, _) = self.intern((self.awk.start, self.comp.start));
+        self.start = start;
+        let mut stack = vec![start];
+        // In lazy mode, marks discovered during construction are propagated
+        // immediately so exploration can be pruned below them.
+        if mode == BuildMode::Lazy && self.is_bad_accepting(start) {
+            self.marked[start as usize] = true;
+        }
+        while let Some(node) = stack.pop() {
+            if mode == BuildMode::Lazy && self.marked[node as usize] {
+                self.stats.mark_pruned += 1;
+                continue;
+            }
+            let (s, q) = self.pairs[node as usize];
+            for i in 0..self.awk.out_edges(s).len() {
+                let eid = self.awk.out_edges(s)[i];
+                let edge = self.awk.edge(eid);
+                let q2 = match edge.label {
+                    None => q,
+                    Some(sym) => self.comp.next(q, sym),
+                };
+                let (succ, fresh) = self.intern((edge.to, q2));
+                self.out[node as usize].push((eid, succ));
+                self.rev[succ as usize].push(node);
+                self.stats.edges += 1;
+                if fresh {
+                    let mut prune = false;
+                    if mode == BuildMode::Lazy {
+                        // Sink rule: complement accepting sink ⇒ every
+                        // completion below is bad; mark and do not explore.
+                        if self.comp.is_accepting_sink(q2) {
+                            self.mark_and_propagate(succ);
+                            self.stats.sink_pruned += 1;
+                            prune = true;
+                        } else if self.is_bad_accepting(succ) {
+                            self.mark_and_propagate(succ);
+                            prune = true;
+                        }
+                    }
+                    if !prune {
+                        stack.push(succ);
+                    }
+                } else if mode == BuildMode::Lazy && self.marked[succ as usize] {
+                    // A known-marked successor may newly mark `node`.
+                    self.propagate_from(node);
+                }
+            }
+        }
+    }
+
+    /// Marks `node` and propagates backwards.
+    fn mark_and_propagate(&mut self, node: NodeId) {
+        if self.marked[node as usize] {
+            return;
+        }
+        self.marked[node as usize] = true;
+        let preds = self.rev[node as usize].clone();
+        for p in preds {
+            self.propagate_from(p);
+        }
+    }
+
+    /// Re-evaluates the marking rule at `node` (monotone step).
+    fn propagate_from(&mut self, node: NodeId) {
+        if self.marked[node as usize] {
+            return;
+        }
+        if self.eval_rule(node) {
+            self.mark_and_propagate(node);
+        }
+    }
+
+    /// Applies the marking rule at `node` given current successor marks.
+    ///
+    /// Note the fork rule needs *both* options marked; an unexplored option
+    /// counts as unmarked (it can only become marked later, at which point
+    /// propagation re-evaluates).
+    fn eval_rule(&self, node: NodeId) -> bool {
+        let (s, _) = self.pairs[node as usize];
+        let succ_marked = |&(_, t): &(EdgeId, NodeId)| -> bool { self.marked[t as usize] };
+        match self.awk.kind(s) {
+            StateKind::Regular => self.out[node as usize].iter().any(succ_marked),
+            StateKind::Fork { skip, invoke, .. } => {
+                let opt = |target_edge: EdgeId| {
+                    self.out[node as usize]
+                        .iter()
+                        .filter(|(e, _)| *e == target_edge)
+                        .any(&succ_marked)
+                };
+                opt(skip) && opt(invoke)
+            }
+        }
+    }
+
+    /// Global least-fixpoint marking over the constructed graph.
+    fn fixpoint(&mut self) {
+        let mut queue: Vec<NodeId> = Vec::new();
+        for n in 0..self.pairs.len() as NodeId {
+            if !self.marked[n as usize] && self.is_bad_accepting(n) {
+                self.marked[n as usize] = true;
+            }
+            if self.marked[n as usize] {
+                queue.push(n);
+            }
+        }
+        while let Some(n) = queue.pop() {
+            let preds = self.rev[n as usize].clone();
+            for p in preds {
+                if !self.marked[p as usize] && self.eval_rule(p) {
+                    self.marked[p as usize] = true;
+                    queue.push(p);
+                }
+            }
+        }
+    }
+
+    /// True iff a k-depth left-to-right safe rewriting exists (Fig. 3,
+    /// step 18: the initial state is not marked).
+    pub fn is_safe(&self) -> bool {
+        !self.marked[self.start as usize]
+    }
+
+    /// Whether `node` is marked.
+    pub fn is_marked(&self, node: NodeId) -> bool {
+        self.marked[node as usize]
+    }
+
+    /// The `(awk state, complement state)` pair of `node`.
+    pub fn pair(&self, node: NodeId) -> (u32, u32) {
+        self.pairs[node as usize]
+    }
+
+    /// Product successors of `node` as `(awk edge, node)` pairs.
+    pub fn successors(&self, node: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.out[node as usize]
+    }
+
+    /// Number of product nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The static rewriting decisions for the *original* function
+    /// occurrences of `w`, in left-to-right order: `true` = invoke.
+    ///
+    /// Skipping is preferred whenever it is safe, which minimizes the number
+    /// of invocations (Fig. 3, step 23: each decision is independent, and
+    /// not calling is always cheapest).
+    ///
+    /// Returns `None` when no safe rewriting exists.
+    pub fn plan(&self) -> Option<Vec<Decision>> {
+        if !self.is_safe() {
+            return None;
+        }
+        let mut decisions = Vec::new();
+        let mut cur = self.start;
+        // Walk the spine of the original word. Every node on an unmarked
+        // walk stays unmarked: adversary nodes have all successors unmarked
+        // and unmarked forks have at least one unmarked option.
+        loop {
+            let (s, _) = self.pair(cur);
+            if s == self.awk.finish {
+                break;
+            }
+            match self.awk.kind(s) {
+                StateKind::Fork {
+                    func,
+                    skip,
+                    invoke,
+                    depth,
+                } => {
+                    debug_assert_eq!(depth, 1, "plan walks only the original word");
+                    let skip_target = self.target_of(cur, skip);
+                    let take_skip = skip_target.is_some_and(|t| !self.marked[t as usize]);
+                    if take_skip {
+                        decisions.push(Decision {
+                            func,
+                            invoke: false,
+                        });
+                        cur = skip_target.expect("checked");
+                    } else {
+                        decisions.push(Decision { func, invoke: true });
+                        // Continue through the output copy along any
+                        // unmarked path (a representative service answer)
+                        // until the copy exits back onto the spine at the
+                        // skip edge's target awk-state.
+                        let spine_next = self.awk.edge(skip).to;
+                        let entry = self
+                            .target_of(cur, invoke)
+                            .expect("invoke option exists on forks");
+                        cur = self
+                            .bfs_unmarked_to_awk_state(entry, spine_next)
+                            .expect("unmarked invoke option reaches the spine");
+                    }
+                }
+                StateKind::Regular => {
+                    // Exactly one spine successor: the next letter of w or
+                    // the ε into the next fork.
+                    let next = self.out[cur as usize]
+                        .iter()
+                        .find(|&&(_, t)| !self.marked[t as usize])
+                        .map(|&(_, t)| t);
+                    match next {
+                        Some(t) => cur = t,
+                        None => break,
+                    }
+                }
+            }
+        }
+        Some(decisions)
+    }
+
+    /// BFS through unmarked product nodes from `from` to the first node
+    /// whose awk component is `goal` (used to hop over an invoked call in
+    /// the static plan).
+    fn bfs_unmarked_to_awk_state(&self, from: NodeId, goal: u32) -> Option<NodeId> {
+        let mut seen = vec![false; self.pairs.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from as usize] = true;
+        queue.push_back(from);
+        while let Some(n) = queue.pop_front() {
+            if self.pairs[n as usize].0 == goal {
+                return Some(n);
+            }
+            for &(_, t) in &self.out[n as usize] {
+                if !seen[t as usize] && !self.marked[t as usize] {
+                    seen[t as usize] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn target_of(&self, node: NodeId, edge: EdgeId) -> Option<NodeId> {
+        self.out[node as usize]
+            .iter()
+            .find(|(e, _)| *e == edge)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// A static decision for one original function occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The function symbol.
+    pub func: axml_automata::Symbol,
+    /// Whether to invoke (`true`) or keep the call intensional (`false`).
+    pub invoke: bool,
+}
+
+/// Builds the complete complement DFA `Ā` for a target regex (Fig. 3,
+/// step 4) over an alphabet of `num_symbols` symbols.
+pub fn complement_of(target: &axml_automata::Regex, num_symbols: usize) -> Dfa {
+    let nfa = axml_automata::Nfa::thompson(target, num_symbols);
+    Dfa::determinize(&nfa).completed(num_symbols).complemented()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::awk::AwkLimits;
+    use axml_automata::{Regex, Symbol};
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    fn paper_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    fn word(c: &Compiled, names: &[&str]) -> Vec<Symbol> {
+        names
+            .iter()
+            .map(|n| c.alphabet().lookup(n).unwrap())
+            .collect()
+    }
+
+    fn solve(c: &Compiled, w: &[&str], target: &str, k: u32, mode: BuildMode) -> SafeGame {
+        let w = word(c, w);
+        let awk = Awk::build(&w, c, k, &AwkLimits::default()).unwrap();
+        let mut ab = c.alphabet().clone();
+        let re = Regex::parse(target, &mut ab).unwrap();
+        assert_eq!(ab.len(), c.alphabet().len(), "target uses declared symbols");
+        let comp = complement_of(&re, c.alphabet().len());
+        SafeGame::solve(awk, comp, mode)
+    }
+
+    #[test]
+    fn figure6_safe_into_star_star() {
+        // Figs. 5–6: w = title.date.Get_Temp.TimeOut safely rewrites into
+        // title.date.temp.(TimeOut | exhibit*): invoke Get_Temp, keep TimeOut.
+        let c = paper_compiled();
+        let game = solve(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.(TimeOut|exhibit*)",
+            1,
+            BuildMode::Eager,
+        );
+        assert!(game.is_safe());
+        let plan = game.plan().unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].func, c.alphabet().lookup("Get_Temp").unwrap());
+        assert!(plan[0].invoke, "Get_Temp needs to be invoked");
+        assert_eq!(plan[1].func, c.alphabet().lookup("TimeOut").unwrap());
+        assert!(!plan[1].invoke, "TimeOut should not be invoked");
+    }
+
+    #[test]
+    fn figure8_unsafe_into_star_star_star() {
+        // Figs. 7–8: no safe rewriting into title.date.temp.exhibit*
+        // because TimeOut may return performance elements.
+        let c = paper_compiled();
+        let game = solve(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.exhibit*",
+            1,
+            BuildMode::Eager,
+        );
+        assert!(!game.is_safe());
+        assert!(game.plan().is_none());
+    }
+
+    #[test]
+    fn already_conforming_word_is_safe_with_empty_plan_decisions() {
+        let c = paper_compiled();
+        let game = solve(
+            &c,
+            &["title", "date", "temp"],
+            "title.date.temp.(TimeOut|exhibit*)",
+            1,
+            BuildMode::Eager,
+        );
+        assert!(game.is_safe());
+        assert_eq!(game.plan().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn lazy_and_eager_agree_and_lazy_prunes() {
+        let c = paper_compiled();
+        for (target, expect_safe) in [
+            ("title.date.temp.(TimeOut|exhibit*)", true),
+            ("title.date.temp.exhibit*", false),
+            ("title.date.(Get_Temp|temp).(TimeOut|exhibit*)", true),
+            ("title.date", false),
+        ] {
+            let eager = solve(
+                &c,
+                &["title", "date", "Get_Temp", "TimeOut"],
+                target,
+                1,
+                BuildMode::Eager,
+            );
+            let lazy = solve(
+                &c,
+                &["title", "date", "Get_Temp", "TimeOut"],
+                target,
+                1,
+                BuildMode::Lazy,
+            );
+            assert_eq!(eager.is_safe(), expect_safe, "eager on {target}");
+            assert_eq!(lazy.is_safe(), expect_safe, "lazy on {target}");
+            assert!(
+                lazy.stats.nodes <= eager.stats.nodes,
+                "lazy must not build more nodes ({} vs {}) on {target}",
+                lazy.stats.nodes,
+                eager.stats.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn figure12_lazy_explores_strictly_fewer_nodes() {
+        // The Fig. 6/12 instance: pruning skips the sink regions.
+        let c = paper_compiled();
+        let eager = solve(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.(TimeOut|exhibit*)",
+            1,
+            BuildMode::Eager,
+        );
+        let lazy = solve(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.(TimeOut|exhibit*)",
+            1,
+            BuildMode::Lazy,
+        );
+        assert!(lazy.stats.nodes < eager.stats.nodes);
+        assert!(lazy.stats.sink_pruned > 0);
+    }
+
+    #[test]
+    fn unsafe_when_mandatory_function_not_invocable() {
+        // Same Fig. 6 instance but Get_Temp is not invocable: the target
+        // requires temp, so no safe (legal) rewriting exists.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .non_invocable_function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let game = solve(
+            &c,
+            &["title", "date", "Get_Temp", "TimeOut"],
+            "title.date.temp.(TimeOut|exhibit*)",
+            1,
+            BuildMode::Eager,
+        );
+        assert!(!game.is_safe());
+    }
+
+    #[test]
+    fn depth_matters_for_nested_outputs() {
+        // Get_Exhibits returns Get_Exhibit*; flattening to exhibit* requires
+        // depth 2 — and even then it is safe only because every returned
+        // Get_Exhibit can itself be invoked.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "Get_Exhibits|exhibit*")
+                .element("exhibit", "")
+                .function("Get_Exhibits", "", "Get_Exhibit*")
+                .function("Get_Exhibit", "", "exhibit")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mk = |k| {
+            let w = vec![c.alphabet().lookup("Get_Exhibits").unwrap()];
+            let awk = Awk::build(&w, &c, k, &AwkLimits::default()).unwrap();
+            let mut ab = c.alphabet().clone();
+            let re = Regex::parse("exhibit*", &mut ab).unwrap();
+            let comp = complement_of(&re, c.alphabet().len());
+            SafeGame::solve(awk, comp, BuildMode::Eager)
+        };
+        assert!(!mk(1).is_safe(), "depth 1 cannot flatten nested handles");
+        assert!(mk(2).is_safe(), "depth 2 can invoke the returned handles");
+    }
+
+    #[test]
+    fn adversarial_star_outputs_block_safety() {
+        // f returns (a|b)*; target a* — unsafe since b may come back.
+        // g returns a*; target a* — safe.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "(f|g|a)*")
+                .data_element("a")
+                .data_element("b")
+                .function("f", "", "(a|b)*")
+                .function("g", "", "a*")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mut ab = c.alphabet().clone();
+        let target = Regex::parse("a*", &mut ab).unwrap();
+        let comp = complement_of(&target, c.alphabet().len());
+        let wf = vec![c.alphabet().lookup("f").unwrap()];
+        let wg = vec![c.alphabet().lookup("g").unwrap()];
+        let gf = SafeGame::solve(
+            Awk::build(&wf, &c, 1, &AwkLimits::default()).unwrap(),
+            comp.clone(),
+            BuildMode::Eager,
+        );
+        let gg = SafeGame::solve(
+            Awk::build(&wg, &c, 1, &AwkLimits::default()).unwrap(),
+            comp,
+            BuildMode::Eager,
+        );
+        assert!(!gf.is_safe());
+        assert!(gg.is_safe());
+        assert!(gg.plan().unwrap()[0].invoke);
+    }
+}
+
+impl SafeGame {
+    /// When no safe rewriting exists, extracts a *doomed trace*: a word the
+    /// adversary can force no matter how the rewriter plays, ending outside
+    /// the target language. Symbols are the letters read along the trace
+    /// (function letters mean the call was left intensional on that branch).
+    ///
+    /// Returns `None` when the game is safe.
+    pub fn counterexample(&self) -> Option<Vec<axml_automata::Symbol>> {
+        if self.is_safe() {
+            return None;
+        }
+        match self.extract_counterexample() {
+            Some(word) => Some(word),
+            None => {
+                // Lazily built games prune the successors of marked nodes,
+                // which can leave no walkable path to a bad completion.
+                // Re-solve eagerly: same verdict, full graph.
+                let eager = SafeGame::solve(self.awk.clone(), self.comp.clone(), BuildMode::Eager);
+                debug_assert!(!eager.is_safe());
+                eager.extract_counterexample()
+            }
+        }
+    }
+
+    fn extract_counterexample(&self) -> Option<Vec<axml_automata::Symbol>> {
+        // Walk marked nodes only: at regular (adversary) nodes follow any
+        // marked successor; at forks both options are marked — follow the
+        // skip option so the trace shows the uninvoked call. Every step
+        // strictly decreases the BFS distance to a bad accepting node, so
+        // compute distances first to guarantee termination.
+        let n = self.pairs.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut rev_queue = std::collections::VecDeque::new();
+        for v in 0..n as NodeId {
+            if self.is_bad_accepting(v) && self.marked[v as usize] {
+                dist[v as usize] = 0;
+                rev_queue.push_back(v);
+            }
+        }
+        // Backward BFS over marked nodes (via rev edges).
+        while let Some(v) = rev_queue.pop_front() {
+            for &p in &self.rev[v as usize] {
+                if self.marked[p as usize] && dist[p as usize] == u32::MAX {
+                    // Only legitimate if the marking rule at p is satisfied
+                    // through v; for a trace we just need *a* marked path,
+                    // and fork nodes have both options marked when marked.
+                    dist[p as usize] = dist[v as usize] + 1;
+                    rev_queue.push_back(p);
+                }
+            }
+        }
+        let mut word = Vec::new();
+        let mut cur = self.start;
+        let mut guard = 0;
+        while !self.is_bad_accepting(cur) {
+            guard += 1;
+            if guard > 100_000 {
+                return None; // defensive: malformed game
+            }
+            let next = self.out[cur as usize]
+                .iter()
+                .filter(|&&(_, t)| self.marked[t as usize] && dist[t as usize] < dist[cur as usize])
+                .min_by_key(|&&(_, t)| dist[t as usize])
+                .copied()?;
+            if let Some(sym) = self.awk.edge(next.0).label {
+                word.push(sym);
+            }
+            cur = next.1;
+        }
+        Some(word)
+    }
+}
+
+#[cfg(test)]
+mod counterexample_tests {
+    use super::*;
+    use crate::awk::AwkLimits;
+    use axml_automata::{Nfa, Regex};
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    #[test]
+    fn unsafe_games_yield_bad_words() {
+        // The Fig. 8 instance: the counterexample must be a word outside
+        // title.date.temp.exhibit* that the adversary can force.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let w: Vec<_> = ["title", "date", "Get_Temp", "TimeOut"]
+            .iter()
+            .map(|s| c.alphabet().lookup(s).unwrap())
+            .collect();
+        let mut ab = c.alphabet().clone();
+        let target = Regex::parse("title.date.temp.exhibit*", &mut ab).unwrap();
+        let awk = Awk::build(&w, &c, 1, &AwkLimits::default()).unwrap();
+        let game = SafeGame::solve(
+            awk,
+            complement_of(&target, c.alphabet().len()),
+            BuildMode::Eager,
+        );
+        assert!(!game.is_safe());
+        let bad = game.counterexample().expect("unsafe game has a trace");
+        // The bad word is NOT in the target language…
+        let nfa = Nfa::thompson(&target, c.alphabet().len());
+        assert!(!nfa.accepts(&bad), "counterexample must violate the target");
+        // …but it is a 1-depth rewriting outcome of w.
+        let awk2 = Awk::build(&w, &c, 1, &AwkLimits::default()).unwrap();
+        let words = awk2.enumerate_words(bad.len(), 100_000);
+        assert!(
+            words.contains(&bad),
+            "counterexample must be a reachable rewriting outcome: {}",
+            c.alphabet().format_word(&bad)
+        );
+    }
+
+    #[test]
+    fn safe_games_have_no_counterexample() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "a")
+                .data_element("a")
+                .function("f", "", "a")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let w = vec![c.alphabet().lookup("f").unwrap()];
+        let mut ab = c.alphabet().clone();
+        let target = Regex::parse("a", &mut ab).unwrap();
+        let awk = Awk::build(&w, &c, 1, &AwkLimits::default()).unwrap();
+        let game = SafeGame::solve(
+            awk,
+            complement_of(&target, c.alphabet().len()),
+            BuildMode::Eager,
+        );
+        assert!(game.is_safe());
+        assert_eq!(game.counterexample(), None);
+    }
+}
+
+/// Decides k-depth **right-to-left** safe rewriting (footnote 4 of the
+/// paper): the children word is processed from the right, so decisions for
+/// right-hand occurrences may not depend on the results of left-hand
+/// invocations. Implemented by mirroring: build `A_{wᴿ}^k` with reversed
+/// output types and play against the complement of the reversed target.
+pub fn safe_exists_rtl(
+    w: &[axml_automata::Symbol],
+    compiled: &axml_schema::Compiled,
+    target: &axml_automata::Regex,
+    k: u32,
+    limits: &crate::awk::AwkLimits,
+) -> Result<bool, crate::awk::AwkTooLarge> {
+    let awk = Awk::build_directed(w, compiled, k, limits, crate::awk::Direction::RightToLeft)?;
+    let comp = complement_of(&target.reversed(), compiled.alphabet().len());
+    Ok(SafeGame::solve(awk, comp, BuildMode::Lazy).is_safe())
+}
+
+#[cfg(test)]
+mod direction_tests {
+    use super::*;
+    use crate::awk::AwkLimits;
+    use axml_automata::Regex;
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    fn setup() -> Compiled {
+        // τ_out(f) = a|cc ; τ_out(g) = b. Target R = a.b | cc.g:
+        //  * left-to-right IS safe: invoke f first; if it returns a, invoke
+        //    g (a.b ∈ R); if it returns cc, keep g (cc.g ∈ R).
+        //  * right-to-left is NOT safe: g must be decided before f's answer
+        //    is known, and both choices can be beaten by the adversary.
+        Compiled::new(
+            Schema::builder()
+                .element("r", "a.b|cc.g")
+                .data_element("a")
+                .data_element("b")
+                .data_element("cc")
+                .function("f", "", "a|cc")
+                .function("g", "", "b")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn directions_can_disagree() {
+        let c = setup();
+        let w = vec![
+            c.alphabet().lookup("f").unwrap(),
+            c.alphabet().lookup("g").unwrap(),
+        ];
+        let mut ab = c.alphabet().clone();
+        let target = Regex::parse("a.b|cc.g", &mut ab).unwrap();
+        let limits = AwkLimits::default();
+        // Left-to-right: safe.
+        let awk = Awk::build(&w, &c, 1, &limits).unwrap();
+        let ltr = SafeGame::solve(
+            awk,
+            complement_of(&target, c.alphabet().len()),
+            BuildMode::Eager,
+        )
+        .is_safe();
+        assert!(ltr, "left-to-right is safe on this instance");
+        // Right-to-left: unsafe.
+        let rtl = safe_exists_rtl(&w, &c, &target, 1, &limits).unwrap();
+        assert!(!rtl, "right-to-left cannot use f's answer when deciding g");
+    }
+
+    #[test]
+    fn mirrored_instance_flips_the_verdict() {
+        // The mirror image: R = b.a | g.cc with word g.f — now RTL wins.
+        let c = Compiled::new(
+            Schema::builder()
+                .element("r", "b.a|g.cc")
+                .data_element("a")
+                .data_element("b")
+                .data_element("cc")
+                .function("f", "", "a|cc")
+                .function("g", "", "b")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let w = vec![
+            c.alphabet().lookup("g").unwrap(),
+            c.alphabet().lookup("f").unwrap(),
+        ];
+        let mut ab = c.alphabet().clone();
+        let target = Regex::parse("b.a|g.cc", &mut ab).unwrap();
+        let limits = AwkLimits::default();
+        let awk = Awk::build(&w, &c, 1, &limits).unwrap();
+        let ltr = SafeGame::solve(
+            awk,
+            complement_of(&target, c.alphabet().len()),
+            BuildMode::Eager,
+        )
+        .is_safe();
+        let rtl = safe_exists_rtl(&w, &c, &target, 1, &limits).unwrap();
+        assert!(!ltr, "left-to-right decides f before g's answer is known");
+        assert!(rtl, "right-to-left is safe on the mirrored instance");
+    }
+
+    #[test]
+    fn directions_agree_on_the_paper_instance() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let w: Vec<_> = ["title", "date", "Get_Temp", "TimeOut"]
+            .iter()
+            .map(|s| c.alphabet().lookup(s).unwrap())
+            .collect();
+        let mut ab = c.alphabet().clone();
+        let limits = AwkLimits::default();
+        for (model, expected) in [
+            ("title.date.temp.(TimeOut|exhibit*)", true),
+            ("title.date.temp.exhibit*", false),
+        ] {
+            let target = Regex::parse(model, &mut ab).unwrap();
+            let awk = Awk::build(&w, &c, 1, &limits).unwrap();
+            let ltr = SafeGame::solve(
+                awk,
+                complement_of(&target, c.alphabet().len()),
+                BuildMode::Eager,
+            )
+            .is_safe();
+            let rtl = safe_exists_rtl(&w, &c, &target, 1, &limits).unwrap();
+            assert_eq!(ltr, expected);
+            assert_eq!(rtl, expected, "directions agree on {model}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod lazy_counterexample_tests {
+    use super::*;
+    use crate::awk::AwkLimits;
+    use axml_automata::{Nfa, Regex};
+    use axml_schema::{Compiled, NoOracle, Schema};
+
+    #[test]
+    fn lazy_games_also_yield_counterexamples() {
+        let c = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let w: Vec<_> = ["title", "date", "Get_Temp", "TimeOut"]
+            .iter()
+            .map(|s| c.alphabet().lookup(s).unwrap())
+            .collect();
+        let mut ab = c.alphabet().clone();
+        let target = Regex::parse("title.date.temp.exhibit*", &mut ab).unwrap();
+        let awk = Awk::build(&w, &c, 1, &AwkLimits::default()).unwrap();
+        let game = SafeGame::solve(
+            awk,
+            complement_of(&target, c.alphabet().len()),
+            BuildMode::Lazy,
+        );
+        assert!(!game.is_safe());
+        let bad = game
+            .counterexample()
+            .expect("unsafe lazy games must still produce a trace");
+        let nfa = Nfa::thompson(&target, c.alphabet().len());
+        assert!(!nfa.accepts(&bad));
+    }
+}

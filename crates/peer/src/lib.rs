@@ -1,0 +1,23 @@
+//! Active XML peers (Sec. 7 of *Exchanging Intensional XML Data*).
+//!
+//! A peer is a node of the simulated Web-service world: it persists
+//! intensional documents ([`Repository`]), enriches them by triggering
+//! embedded calls, declares services over them, and exchanges SOAP
+//! envelopes with other peers — every exchange passing through the
+//! **Schema Enforcement module** that this reproduction is about:
+//! verify the data against the agreed type, rewrite (materialize) it when
+//! it does not conform, report an error when rewriting is impossible.
+//!
+//! [`Peer::send_document`] implements the Fig. 1 scenario directly: a
+//! sender holding an intensional document materializes exactly what the
+//! agreed exchange schema requires before shipping it.
+
+#![warn(missing_docs)]
+
+mod negotiate;
+mod peer;
+mod repository;
+
+pub use negotiate::{negotiate, Negotiation, Proposal};
+pub use peer::{InboundPolicy, Peer, PeerError, PeerServer, Query, RemoteInvoker};
+pub use repository::{RepoError, Repository, UpdateOp};

@@ -1,0 +1,282 @@
+//! Exchange-schema negotiation.
+//!
+//! The paper's conclusion sketches an extension where the enforcement
+//! module "could speak to other peers to agree with them on the intensional
+//! XML Schemas that should be used to exchange data". This module
+//! implements that handshake:
+//!
+//! 1. the sender proposes exchange schemas in preference order (most
+//!    intensional first — lazier is cheaper for the sender);
+//! 2. the receiver filters them through its [`InboundPolicy`] (a browser
+//!    rejects any schema that *permits* embedded calls; a cautious peer
+//!    only accepts schemas whose calls are all in its trusted list);
+//! 3. the sender keeps the first surviving proposal it can *guarantee*:
+//!    its own schema must safely rewrite into it (Sec. 6 / Def. 6).
+
+use crate::peer::InboundPolicy;
+use axml_core::schema_rw::schema_safe_rewrites;
+use axml_schema::{Content, NameKind, PatternOracle, Schema, SchemaError};
+
+/// A named exchange-schema proposal.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Human-readable name for the proposal.
+    pub name: String,
+    /// The proposed exchange schema.
+    pub schema: Schema,
+}
+
+/// Outcome of a negotiation.
+#[derive(Debug, Clone)]
+pub enum Negotiation {
+    /// Index of the agreed proposal.
+    Agreed {
+        /// Index into the proposal list.
+        index: usize,
+        /// Why earlier proposals were skipped.
+        skipped: Vec<(usize, String)>,
+    },
+    /// No proposal survived both sides.
+    Failed {
+        /// Why each proposal was rejected.
+        reasons: Vec<(usize, String)>,
+    },
+}
+
+impl InboundPolicy {
+    /// Checks whether this receiver policy can accept *documents of* the
+    /// given schema — i.e. whether any instance could carry an embedded
+    /// call the policy forbids. Conservative: a schema whose content
+    /// models mention a forbidden function (or any pattern/wildcard, whose
+    /// members are open-ended) is rejected.
+    pub fn accepts_schema(&self, schema: &Schema) -> Result<(), String> {
+        let forbidden = |name: &str| -> Option<String> {
+            match schema.kind_of(name) {
+                Some(NameKind::Function) => match self {
+                    InboundPolicy::AcceptAll => None,
+                    InboundPolicy::RejectFunctions => {
+                        Some(format!("schema permits embedded call '{name}'"))
+                    }
+                    InboundPolicy::AllowOnly(list) => {
+                        if list.iter().any(|f| f == name) {
+                            None
+                        } else {
+                            Some(format!("'{name}' is not in the trusted list"))
+                        }
+                    }
+                },
+                Some(NameKind::Pattern) | Some(NameKind::AnyFunction) => match self {
+                    InboundPolicy::AcceptAll => None,
+                    _ => Some(format!("schema permits open-ended calls via '{name}'")),
+                },
+                _ => None,
+            }
+        };
+        for def in schema.elements.values() {
+            if let Content::Model(re) = &def.content {
+                for sym in re.symbols() {
+                    if let Some(reason) = forbidden(schema.alphabet.name(sym)) {
+                        return Err(format!("in content of '{}': {reason}", def.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the negotiation. `sender_schema`/`root` describe what the sender
+/// will actually ship (Def. 6 check); `receiver` is the receiver's policy;
+/// `k` is the rewriting depth the sender is willing to spend.
+pub fn negotiate(
+    sender_schema: &Schema,
+    root: &str,
+    proposals: &[Proposal],
+    receiver: &InboundPolicy,
+    k: u32,
+    oracle: &dyn PatternOracle,
+) -> Result<Negotiation, SchemaError> {
+    let mut reasons = Vec::new();
+    for (i, p) in proposals.iter().enumerate() {
+        if let Err(reason) = receiver.accepts_schema(&p.schema) {
+            reasons.push((i, format!("receiver refuses: {reason}")));
+            continue;
+        }
+        let report = schema_safe_rewrites(sender_schema, root, &p.schema, k, oracle)?;
+        if !report.compatible() {
+            let detail = report
+                .failures
+                .first()
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "incompatible".to_owned());
+            reasons.push((i, format!("sender cannot guarantee it: {detail}")));
+            continue;
+        }
+        return Ok(Negotiation::Agreed {
+            index: i,
+            skipped: reasons,
+        });
+    }
+    Ok(Negotiation::Failed { reasons })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_schema::NoOracle;
+
+    fn newspaper_schema(model: &str) -> Schema {
+        Schema::builder()
+            .element("newspaper", model)
+            .data_element("title")
+            .data_element("date")
+            .data_element("temp")
+            .data_element("city")
+            .element("exhibit", "title.date")
+            .data_element("performance")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(exhibit|performance)*")
+            .root("newspaper")
+            .build()
+            .unwrap()
+    }
+
+    fn proposals() -> Vec<Proposal> {
+        vec![
+            Proposal {
+                name: "fully intensional".to_owned(),
+                schema: newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)"),
+            },
+            Proposal {
+                name: "temp materialized".to_owned(),
+                schema: newspaper_schema("title.date.temp.(TimeOut|exhibit*)"),
+            },
+            Proposal {
+                name: "fully extensional".to_owned(),
+                schema: newspaper_schema("title.date.temp.(exhibit|performance)*"),
+            },
+        ]
+    }
+
+    #[test]
+    fn axml_receiver_gets_the_laziest_schema() {
+        let sender = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let n = negotiate(
+            &sender,
+            "newspaper",
+            &proposals(),
+            &InboundPolicy::AcceptAll,
+            1,
+            &NoOracle,
+        )
+        .unwrap();
+        match n {
+            Negotiation::Agreed { index, skipped } => {
+                assert_eq!(index, 0, "the first (laziest) proposal wins");
+                assert!(skipped.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn browser_receiver_forces_the_extensional_schema() {
+        let sender = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let n = negotiate(
+            &sender,
+            "newspaper",
+            &proposals(),
+            &InboundPolicy::RejectFunctions,
+            1,
+            &NoOracle,
+        )
+        .unwrap();
+        match n {
+            Negotiation::Agreed { index, skipped } => {
+                assert_eq!(index, 2, "only the extensional schema survives");
+                assert_eq!(skipped.len(), 2);
+                assert!(skipped[0].1.contains("receiver refuses"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_only_receiver_accepts_trusted_calls() {
+        let sender = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        // The receiver trusts TimeOut but not Get_Temp: proposal 0 (which
+        // permits Get_Temp) is refused, proposal 1 (only TimeOut) is fine.
+        let n = negotiate(
+            &sender,
+            "newspaper",
+            &proposals(),
+            &InboundPolicy::AllowOnly(vec!["TimeOut".to_owned()]),
+            1,
+            &NoOracle,
+        )
+        .unwrap();
+        match n {
+            Negotiation::Agreed { index, .. } => assert_eq!(index, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiation_fails_when_sender_cannot_guarantee() {
+        // The sender's TimeOut may return performances, so it cannot
+        // guarantee the exhibits-only schema; with a receiver that rejects
+        // functions and only that proposal on the table, negotiation fails.
+        let sender = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let only_exhibits = vec![Proposal {
+            name: "exhibits only".to_owned(),
+            schema: newspaper_schema("title.date.temp.exhibit*"),
+        }];
+        let n = negotiate(
+            &sender,
+            "newspaper",
+            &only_exhibits,
+            &InboundPolicy::RejectFunctions,
+            1,
+            &NoOracle,
+        )
+        .unwrap();
+        match n {
+            Negotiation::Failed { reasons } => {
+                assert_eq!(reasons.len(), 1);
+                assert!(reasons[0].1.contains("sender cannot guarantee"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn patterns_are_open_ended_for_strict_receivers() {
+        let with_pattern = Schema::builder()
+            .element("newspaper", "title.date.(Forecast|temp).exhibit*")
+            .data_element("title")
+            .data_element("date")
+            .data_element("temp")
+            .data_element("city")
+            .element("exhibit", "title.date")
+            .data_element("performance")
+            .pattern(
+                "Forecast",
+                axml_schema::Predicate::NamePrefix("Get_".to_owned()),
+                "city",
+                "temp",
+            )
+            .function("Get_Temp", "city", "temp")
+            .root("newspaper")
+            .build()
+            .unwrap();
+        assert!(InboundPolicy::AcceptAll
+            .accepts_schema(&with_pattern)
+            .is_ok());
+        assert!(InboundPolicy::AllowOnly(vec!["Get_Temp".to_owned()])
+            .accepts_schema(&with_pattern)
+            .is_err());
+        assert!(InboundPolicy::RejectFunctions
+            .accepts_schema(&with_pattern)
+            .is_err());
+    }
+}

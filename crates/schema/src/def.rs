@@ -1,0 +1,820 @@
+//! Schema definitions: the paper's `(L, F, P, τ)` model (Sec. 2 and 2.1).
+//!
+//! A [`Schema`] maps element labels to content models, function names to
+//! signatures (input/output types), and function-pattern names to a boolean
+//! name-predicate plus a signature. Content models are regular expressions
+//! over *particles*: labels, functions, pattern references and wildcards.
+
+use axml_automata::{Alphabet, Regex};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Reserved particle name: wildcard matching any element (`<any/>`).
+pub const ANY_ELEMENT: &str = "ANY";
+/// Reserved particle name: wildcard matching any function call.
+pub const ANY_FUNCTION: &str = "ANYFUN";
+/// Reserved particle name: an atomic data value (the paper's `data`
+/// keyword, usable in function signatures, e.g. `τ_in(TimeOut) = data`).
+pub const DATA: &str = "data";
+
+/// Content of an element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Atomic data (`τ(title) = data`): children are text only.
+    Data,
+    /// A regular expression over particles.
+    Model(Regex),
+    /// Unconstrained subtree (wildcard content): anything validates.
+    Any,
+}
+
+/// An element type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDef {
+    /// The element label.
+    pub name: String,
+    /// Its content model.
+    pub content: Content,
+}
+
+/// A Web-service function declaration (a WSDL description in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionDef {
+    /// The function name.
+    pub name: String,
+    /// Input type `τ_in(f)`: regular expression over particles.
+    pub input: Regex,
+    /// Output type `τ_out(f)`.
+    pub output: Regex,
+    /// Whether rewritings may invoke this function (Sec. 2.1,
+    /// *Restricted service invocations*).
+    pub invocable: bool,
+}
+
+/// A boolean predicate over function names (Sec. 2.1, *Function patterns*).
+///
+/// `External` predicates (like the paper's `UDDIF` and `InACL`) are
+/// evaluated through a [`PatternOracle`] — in the real system these are Web
+/// services themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// True if the function name starts with the prefix.
+    NamePrefix(String),
+    /// True if the function name is in the set.
+    NameIn(BTreeSet<String>),
+    /// Deferred to a [`PatternOracle`] under the given predicate name.
+    External(String),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate on a function name.
+    pub fn eval(&self, function: &str, oracle: &dyn PatternOracle) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::NamePrefix(p) => function.starts_with(p.as_str()),
+            Predicate::NameIn(set) => set.contains(function),
+            Predicate::External(name) => oracle.check(name, function),
+            Predicate::Not(inner) => !inner.eval(function, oracle),
+            Predicate::And(parts) => parts.iter().all(|p| p.eval(function, oracle)),
+            Predicate::Or(parts) => parts.iter().any(|p| p.eval(function, oracle)),
+        }
+    }
+}
+
+/// Evaluator for [`Predicate::External`] — the paper implements these as Web
+/// services taking a function name and returning true/false (e.g. a UDDI
+/// registry lookup, an access-control list).
+pub trait PatternOracle {
+    /// Evaluates external predicate `predicate` on `function`.
+    fn check(&self, predicate: &str, function: &str) -> bool;
+}
+
+/// An oracle that rejects every external predicate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOracle;
+
+impl PatternOracle for NoOracle {
+    fn check(&self, _predicate: &str, _function: &str) -> bool {
+        false
+    }
+}
+
+/// A function-pattern declaration: predicate + required signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternDef {
+    /// The pattern name (used as a particle in content models).
+    pub name: String,
+    /// Name predicate a function must satisfy.
+    pub predicate: Predicate,
+    /// Required input type.
+    pub input: Regex,
+    /// Required output type.
+    pub output: Regex,
+    /// Whether functions matched through this pattern may be invoked.
+    pub invocable: bool,
+}
+
+/// A complete intensional schema `(L, F, P, τ)` with an optional root label.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Shared symbol interner for every regular expression in this schema.
+    pub alphabet: Alphabet,
+    /// Element declarations by label.
+    pub elements: BTreeMap<String, ElementDef>,
+    /// Function declarations by name.
+    pub functions: BTreeMap<String, FunctionDef>,
+    /// Pattern declarations by name.
+    pub patterns: BTreeMap<String, PatternDef>,
+    /// Distinguished root label (Def. 6 of the paper), if any.
+    pub root: Option<String>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// The declared kind of a name, if any.
+    pub fn kind_of(&self, name: &str) -> Option<NameKind> {
+        if name == ANY_ELEMENT {
+            return Some(NameKind::AnyElement);
+        }
+        if name == ANY_FUNCTION {
+            return Some(NameKind::AnyFunction);
+        }
+        if name == DATA {
+            return Some(NameKind::Data);
+        }
+        if self.elements.contains_key(name) {
+            Some(NameKind::Element)
+        } else if self.functions.contains_key(name) {
+            Some(NameKind::Function)
+        } else if self.patterns.contains_key(name) {
+            Some(NameKind::Pattern)
+        } else {
+            None
+        }
+    }
+}
+
+/// The kind of a declared name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameKind {
+    /// An element label.
+    Element,
+    /// A concrete function.
+    Function,
+    /// A function pattern.
+    Pattern,
+    /// The `ANY` element wildcard.
+    AnyElement,
+    /// The `ANYFUN` function wildcard.
+    AnyFunction,
+    /// The `data` atomic-value particle.
+    Data,
+}
+
+/// Errors raised while building or compiling schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A content model failed to parse.
+    Parse {
+        /// Name of the definition being parsed.
+        context: String,
+        /// Parser message.
+        message: String,
+    },
+    /// A name was declared twice (possibly with different kinds).
+    Duplicate {
+        /// The offending name.
+        name: String,
+    },
+    /// A content model references an undeclared name.
+    Undefined {
+        /// The undeclared name.
+        name: String,
+        /// Where it was referenced.
+        context: String,
+    },
+    /// A content model is not 1-unambiguous (XML Schema determinism).
+    Ambiguous {
+        /// The definition whose model is ambiguous.
+        context: String,
+        /// The symbol readable at two competing positions.
+        symbol: String,
+    },
+    /// Too many patterns for feasible class enumeration.
+    TooManyPatterns {
+        /// Number of declared patterns.
+        count: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// Validation failure (document does not conform).
+    Invalid {
+        /// Description of the mismatch.
+        message: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Parse { context, message } => {
+                write!(f, "in '{context}': {message}")
+            }
+            SchemaError::Duplicate { name } => write!(f, "duplicate declaration of '{name}'"),
+            SchemaError::Undefined { name, context } => {
+                write!(f, "'{context}' references undeclared name '{name}'")
+            }
+            SchemaError::Ambiguous { context, symbol } => write!(
+                f,
+                "content model of '{context}' is not 1-unambiguous on '{symbol}'"
+            ),
+            SchemaError::TooManyPatterns { count, max } => {
+                write!(f, "{count} patterns declared, at most {max} supported")
+            }
+            SchemaError::Invalid { message } => write!(f, "invalid document: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Incremental [`Schema`] builder; content models are given in the paper's
+/// textual notation and parsed immediately.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    alphabet: Alphabet,
+    elements: BTreeMap<String, ElementDef>,
+    functions: BTreeMap<String, FunctionDef>,
+    patterns: BTreeMap<String, PatternDef>,
+    root: Option<String>,
+    errors: Vec<SchemaError>,
+    /// Skip the 1-unambiguity check (used by benchmarks that exercise the
+    /// exponential complement; real XML Schema forbids this).
+    allow_ambiguous: bool,
+}
+
+impl SchemaBuilder {
+    fn parse(&mut self, context: &str, model: &str) -> Regex {
+        match Regex::parse(model, &mut self.alphabet) {
+            Ok(re) => re,
+            Err(e) => {
+                self.errors.push(SchemaError::Parse {
+                    context: context.to_owned(),
+                    message: e.to_string(),
+                });
+                Regex::Empty
+            }
+        }
+    }
+
+    fn declare(&mut self, name: &str) {
+        let dup = self.elements.contains_key(name)
+            || self.functions.contains_key(name)
+            || self.patterns.contains_key(name)
+            || name == ANY_ELEMENT
+            || name == ANY_FUNCTION
+            || name == DATA;
+        if dup {
+            self.errors.push(SchemaError::Duplicate {
+                name: name.to_owned(),
+            });
+        }
+        self.alphabet.intern(name);
+    }
+
+    /// Declares an element with a regular content model.
+    pub fn element(mut self, name: &str, model: &str) -> Self {
+        self.declare(name);
+        let content = Content::Model(self.parse(name, model));
+        self.elements.insert(
+            name.to_owned(),
+            ElementDef {
+                name: name.to_owned(),
+                content,
+            },
+        );
+        self
+    }
+
+    /// Declares an atomic element (`τ(name) = data`).
+    pub fn data_element(mut self, name: &str) -> Self {
+        self.declare(name);
+        self.elements.insert(
+            name.to_owned(),
+            ElementDef {
+                name: name.to_owned(),
+                content: Content::Data,
+            },
+        );
+        self
+    }
+
+    /// Declares an element with unconstrained content (wildcard subtree).
+    pub fn any_element(mut self, name: &str) -> Self {
+        self.declare(name);
+        self.elements.insert(
+            name.to_owned(),
+            ElementDef {
+                name: name.to_owned(),
+                content: Content::Any,
+            },
+        );
+        self
+    }
+
+    /// Declares an invocable function with input and output types.
+    pub fn function(self, name: &str, input: &str, output: &str) -> Self {
+        self.function_with(name, input, output, true)
+    }
+
+    /// Declares a function that rewritings must not invoke.
+    pub fn non_invocable_function(self, name: &str, input: &str, output: &str) -> Self {
+        self.function_with(name, input, output, false)
+    }
+
+    fn function_with(mut self, name: &str, input: &str, output: &str, invocable: bool) -> Self {
+        self.declare(name);
+        let input = self.parse(&format!("τ_in({name})"), input);
+        let output = self.parse(&format!("τ_out({name})"), output);
+        self.functions.insert(
+            name.to_owned(),
+            FunctionDef {
+                name: name.to_owned(),
+                input,
+                output,
+                invocable,
+            },
+        );
+        self
+    }
+
+    /// Declares a function pattern with a predicate and signature.
+    pub fn pattern(mut self, name: &str, predicate: Predicate, input: &str, output: &str) -> Self {
+        self.declare(name);
+        let input = self.parse(&format!("τ_in({name})"), input);
+        let output = self.parse(&format!("τ_out({name})"), output);
+        self.patterns.insert(
+            name.to_owned(),
+            PatternDef {
+                name: name.to_owned(),
+                predicate,
+                input,
+                output,
+                invocable: true,
+            },
+        );
+        self
+    }
+
+    /// Marks a previously declared function or pattern as non-invocable.
+    pub fn non_invocable(mut self, name: &str) -> Self {
+        if let Some(f) = self.functions.get_mut(name) {
+            f.invocable = false;
+        } else if let Some(p) = self.patterns.get_mut(name) {
+            p.invocable = false;
+        } else {
+            self.errors.push(SchemaError::Undefined {
+                name: name.to_owned(),
+                context: "non_invocable".to_owned(),
+            });
+        }
+        self
+    }
+
+    /// Sets the distinguished root label (Def. 6).
+    pub fn root(mut self, name: &str) -> Self {
+        self.root = Some(name.to_owned());
+        self
+    }
+
+    /// Disables the 1-unambiguity check (bench/testing escape hatch; real
+    /// XML Schema_int content models must stay deterministic).
+    pub fn allow_ambiguous(mut self) -> Self {
+        self.allow_ambiguous = true;
+        self
+    }
+
+    /// Finishes the schema, checking referential integrity and determinism.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let schema = Schema {
+            alphabet: self.alphabet,
+            elements: self.elements,
+            functions: self.functions,
+            patterns: self.patterns,
+            root: self.root,
+        };
+        // Referential integrity: every symbol used in a model is declared.
+        let check_regex = |context: &str, re: &Regex| -> Result<(), SchemaError> {
+            for sym in re.symbols() {
+                let name = schema.alphabet.name(sym);
+                if schema.kind_of(name).is_none() {
+                    return Err(SchemaError::Undefined {
+                        name: name.to_owned(),
+                        context: context.to_owned(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for e in schema.elements.values() {
+            if let Content::Model(re) = &e.content {
+                check_regex(&e.name, re)?;
+            }
+        }
+        for f in schema.functions.values() {
+            check_regex(&format!("τ_in({})", f.name), &f.input)?;
+            check_regex(&format!("τ_out({})", f.name), &f.output)?;
+        }
+        for p in schema.patterns.values() {
+            check_regex(&format!("τ_in({})", p.name), &p.input)?;
+            check_regex(&format!("τ_out({})", p.name), &p.output)?;
+        }
+        if let Some(root) = &schema.root {
+            if !schema.elements.contains_key(root) {
+                return Err(SchemaError::Undefined {
+                    name: root.clone(),
+                    context: "root".to_owned(),
+                });
+            }
+        }
+        // Determinism (1-unambiguity) at the particle level.
+        if !self.allow_ambiguous {
+            let check_det = |context: &str, re: &Regex| -> Result<(), SchemaError> {
+                let g = axml_automata::Glushkov::new(re, schema.alphabet.len());
+                g.check_unambiguous().map_err(|e| SchemaError::Ambiguous {
+                    context: context.to_owned(),
+                    symbol: schema.alphabet.name(e.symbol).to_owned(),
+                })
+            };
+            for e in schema.elements.values() {
+                if let Content::Model(re) = &e.content {
+                    check_det(&e.name, re)?;
+                }
+            }
+            for f in schema.functions.values() {
+                check_det(&format!("τ_in({})", f.name), &f.input)?;
+                check_det(&format!("τ_out({})", f.name), &f.output)?;
+            }
+            for p in schema.patterns.values() {
+                check_det(&format!("τ_in({})", p.name), &p.input)?;
+                check_det(&format!("τ_out({})", p.name), &p.output)?;
+            }
+        }
+        Ok(schema)
+    }
+}
+
+/// Overlays `extra`'s declarations onto `base` without overriding:
+/// declarations already present in `base` win silently (elements may
+/// legitimately differ between a sender schema and an exchange schema — the
+/// exchange schema's content models drive rewriting), but function
+/// signatures must agree (the paper's common-definitions assumption), with
+/// invocability intersected.
+pub fn overlay(base: &Schema, extra: &Schema) -> Result<Schema, SchemaError> {
+    let mut out = base.clone();
+    let remap = |re: &Regex, from: &Alphabet, alphabet: &mut Alphabet| {
+        re.map_symbols(&mut |sym| Regex::sym(alphabet.intern(from.name(sym))))
+    };
+    for e in extra.elements.values() {
+        if out.elements.contains_key(&e.name) {
+            continue;
+        }
+        if out.functions.contains_key(&e.name) || out.patterns.contains_key(&e.name) {
+            return Err(SchemaError::Duplicate {
+                name: e.name.clone(),
+            });
+        }
+        out.alphabet.intern(&e.name);
+        let content = match &e.content {
+            Content::Data => Content::Data,
+            Content::Any => Content::Any,
+            Content::Model(re) => Content::Model(remap(re, &extra.alphabet, &mut out.alphabet)),
+        };
+        out.elements.insert(
+            e.name.clone(),
+            ElementDef {
+                name: e.name.clone(),
+                content,
+            },
+        );
+    }
+    for f in extra.functions.values() {
+        let input = remap(&f.input, &extra.alphabet, &mut out.alphabet);
+        let output = remap(&f.output, &extra.alphabet, &mut out.alphabet);
+        match out.functions.entry(f.name.clone()) {
+            Entry::Vacant(v) => {
+                if out.elements.contains_key(&f.name) || out.patterns.contains_key(&f.name) {
+                    return Err(SchemaError::Duplicate {
+                        name: f.name.clone(),
+                    });
+                }
+                v.insert(FunctionDef {
+                    name: f.name.clone(),
+                    input,
+                    output,
+                    invocable: f.invocable,
+                });
+            }
+            Entry::Occupied(mut o) => {
+                let existing = o.get_mut();
+                if existing.input != input || existing.output != output {
+                    return Err(SchemaError::Duplicate {
+                        name: f.name.clone(),
+                    });
+                }
+                existing.invocable &= f.invocable;
+            }
+        }
+    }
+    for p in extra.patterns.values() {
+        if out.patterns.contains_key(&p.name) {
+            continue;
+        }
+        if out.elements.contains_key(&p.name) || out.functions.contains_key(&p.name) {
+            return Err(SchemaError::Duplicate {
+                name: p.name.clone(),
+            });
+        }
+        out.alphabet.intern(&p.name);
+        let input = remap(&p.input, &extra.alphabet, &mut out.alphabet);
+        let output = remap(&p.output, &extra.alphabet, &mut out.alphabet);
+        out.patterns.insert(
+            p.name.clone(),
+            PatternDef {
+                name: p.name.clone(),
+                predicate: p.predicate.clone(),
+                input,
+                output,
+                invocable: p.invocable,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Merges several schemas into one (used to combine the sender schema `s0`
+/// with the exchange schema `s`; the paper assumes common functions have the
+/// same definitions — conflicting duplicates are an error, identical
+/// re-declarations are allowed).
+pub fn merge(schemas: &[&Schema]) -> Result<Schema, SchemaError> {
+    let mut alphabet = Alphabet::new();
+    let mut elements: BTreeMap<String, ElementDef> = BTreeMap::new();
+    let mut functions: BTreeMap<String, FunctionDef> = BTreeMap::new();
+    let mut patterns: BTreeMap<String, PatternDef> = BTreeMap::new();
+    for s in schemas {
+        // Re-intern all regexes into the merged alphabet.
+        let remap = |re: &Regex, alphabet: &mut Alphabet| {
+            re.map_symbols(&mut |sym| Regex::sym(alphabet.intern(s.alphabet.name(sym))))
+        };
+        for e in s.elements.values() {
+            alphabet.intern(&e.name);
+            let content = match &e.content {
+                Content::Data => Content::Data,
+                Content::Any => Content::Any,
+                Content::Model(re) => Content::Model(remap(re, &mut alphabet)),
+            };
+            let def = ElementDef {
+                name: e.name.clone(),
+                content,
+            };
+            match elements.entry(e.name.clone()) {
+                Entry::Vacant(v) => {
+                    v.insert(def);
+                }
+                Entry::Occupied(o) => {
+                    if *o.get() != def {
+                        return Err(SchemaError::Duplicate {
+                            name: e.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for f in s.functions.values() {
+            alphabet.intern(&f.name);
+            let def = FunctionDef {
+                name: f.name.clone(),
+                input: remap(&f.input, &mut alphabet),
+                output: remap(&f.output, &mut alphabet),
+                invocable: f.invocable,
+            };
+            match functions.entry(f.name.clone()) {
+                Entry::Vacant(v) => {
+                    v.insert(def);
+                }
+                Entry::Occupied(mut o) => {
+                    // Invocability may legitimately differ (the receiver may
+                    // forbid calls the sender allows); conjunction applies.
+                    let existing = o.get_mut();
+                    if existing.input != def.input || existing.output != def.output {
+                        return Err(SchemaError::Duplicate {
+                            name: f.name.clone(),
+                        });
+                    }
+                    existing.invocable &= def.invocable;
+                }
+            }
+        }
+        for p in s.patterns.values() {
+            alphabet.intern(&p.name);
+            let def = PatternDef {
+                name: p.name.clone(),
+                predicate: p.predicate.clone(),
+                input: remap(&p.input, &mut alphabet),
+                output: remap(&p.output, &mut alphabet),
+                invocable: p.invocable,
+            };
+            match patterns.entry(p.name.clone()) {
+                Entry::Vacant(v) => {
+                    v.insert(def);
+                }
+                Entry::Occupied(o) => {
+                    if *o.get() != def {
+                        return Err(SchemaError::Duplicate {
+                            name: p.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Cross-kind duplicates.
+    for name in functions.keys() {
+        if elements.contains_key(name) || patterns.contains_key(name) {
+            return Err(SchemaError::Duplicate { name: name.clone() });
+        }
+    }
+    for name in patterns.keys() {
+        if elements.contains_key(name) {
+            return Err(SchemaError::Duplicate { name: name.clone() });
+        }
+    }
+    Ok(Schema {
+        alphabet,
+        elements,
+        functions,
+        patterns,
+        root: schemas.iter().find_map(|s| s.root.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's schema (*) from Sec. 2.
+    pub(crate) fn paper_schema() -> Schema {
+        Schema::builder()
+            .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+            .data_element("title")
+            .data_element("date")
+            .data_element("temp")
+            .data_element("city")
+            .element("exhibit", "title.(Get_Date|date)")
+            .data_element("performance")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(exhibit|performance)*")
+            .function("Get_Date", "title", "date")
+            .root("newspaper")
+            .build()
+            .expect("paper schema is well-formed")
+    }
+
+    #[test]
+    fn builds_paper_schema() {
+        let s = paper_schema();
+        assert_eq!(s.elements.len(), 7);
+        assert_eq!(s.functions.len(), 3);
+        assert_eq!(s.kind_of("newspaper"), Some(NameKind::Element));
+        assert_eq!(s.kind_of("Get_Temp"), Some(NameKind::Function));
+        assert_eq!(s.kind_of("nothing"), None);
+        assert_eq!(s.kind_of(ANY_ELEMENT), Some(NameKind::AnyElement));
+    }
+
+    #[test]
+    fn undefined_reference_rejected() {
+        let err = Schema::builder()
+            .element("a", "b.c")
+            .data_element("b")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Undefined { ref name, .. } if name == "c"));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = Schema::builder()
+            .data_element("a")
+            .element("a", "")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn ambiguous_model_rejected_unless_allowed() {
+        let build = || Schema::builder().element("r", "a*.a").data_element("a");
+        let err = build().build().unwrap_err();
+        assert!(matches!(err, SchemaError::Ambiguous { .. }));
+        assert!(build().allow_ambiguous().build().is_ok());
+    }
+
+    #[test]
+    fn bad_model_reports_parse_error() {
+        let err = Schema::builder().element("r", "a..b").build().unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { .. }));
+    }
+
+    #[test]
+    fn root_must_exist() {
+        let err = Schema::builder()
+            .data_element("a")
+            .root("missing")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::Undefined { .. }));
+    }
+
+    #[test]
+    fn predicates_evaluate() {
+        let p = Predicate::And(vec![
+            Predicate::NamePrefix("Get_".to_owned()),
+            Predicate::Not(Box::new(Predicate::NameIn(
+                ["Get_Evil".to_owned()].into_iter().collect(),
+            ))),
+        ]);
+        assert!(p.eval("Get_Temp", &NoOracle));
+        assert!(!p.eval("Get_Evil", &NoOracle));
+        assert!(!p.eval("TimeOut", &NoOracle));
+        assert!(!Predicate::External("UDDIF".to_owned()).eval("f", &NoOracle));
+        assert!(Predicate::Or(vec![Predicate::True]).eval("anything", &NoOracle));
+    }
+
+    #[test]
+    fn merge_combines_and_detects_conflicts() {
+        let s0 = paper_schema();
+        let s1 = Schema::builder()
+            .data_element("extra")
+            .data_element("city")
+            .data_element("temp")
+            .function("Get_Temp", "city", "temp")
+            .build()
+            .unwrap();
+        let merged = merge(&[&s0, &s1]).unwrap();
+        assert!(merged.elements.contains_key("extra"));
+        assert_eq!(merged.functions.len(), 3);
+        assert_eq!(merged.root.as_deref(), Some("newspaper"));
+
+        let conflicting = Schema::builder()
+            .function("Get_Temp", "city", "city")
+            .data_element("city")
+            .data_element("temp")
+            .build()
+            .unwrap();
+        assert!(merge(&[&s0, &conflicting]).is_err());
+    }
+
+    #[test]
+    fn merge_intersects_invocability() {
+        let s0 = Schema::builder()
+            .function("f", "", "a")
+            .data_element("a")
+            .build()
+            .unwrap();
+        let s1 = Schema::builder()
+            .non_invocable_function("f", "", "a")
+            .data_element("a")
+            .build()
+            .unwrap();
+        let merged = merge(&[&s0, &s1]).unwrap();
+        assert!(!merged.functions["f"].invocable);
+    }
+
+    #[test]
+    fn non_invocable_marker() {
+        let s = Schema::builder()
+            .function("f", "", "a")
+            .data_element("a")
+            .non_invocable("f")
+            .build()
+            .unwrap();
+        assert!(!s.functions["f"].invocable);
+        assert!(Schema::builder().non_invocable("ghost").build().is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! A textual schema language mirroring the paper's notation.
+//!
+//! The paper writes schemas as equations (Sec. 2):
+//!
+//! ```text
+//! element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+//! element title     = data
+//! element exhibit   = title.(Get_Date | date)
+//! function Get_Temp : city -> temp
+//! function TimeOut  : data -> (exhibit | performance)*   [non-invocable]
+//! pattern Forecast  [UDDIF && InACL] : city -> temp
+//! root newspaper
+//! ```
+//!
+//! Lines starting with `#` (or `//`) are comments. Element content `data`
+//! declares an atomic element, `ANYTREE` a wildcard subtree. Pattern
+//! predicates between `[` `]` combine names with `&&`, `||` and `!`:
+//! `prefix(Get_)` and `in(a,b,c)` are built in, any other bare name is an
+//! external predicate resolved through a
+//! [`PatternOracle`](crate::PatternOracle).
+
+use crate::def::{Predicate, Schema, SchemaBuilder, SchemaError};
+
+fn err(line_no: usize, message: impl Into<String>) -> SchemaError {
+    SchemaError::Parse {
+        context: format!("schema DSL line {line_no}"),
+        message: message.into(),
+    }
+}
+
+/// Parses the textual schema language into a [`Schema`].
+pub fn parse_schema_dsl(text: &str) -> Result<Schema, SchemaError> {
+    let mut builder = Schema::builder();
+    let mut root: Option<String> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let (keyword, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(line_no, format!("incomplete declaration '{line}'")))?;
+        let rest = rest.trim();
+        builder = match keyword {
+            "element" => parse_element(builder, rest, line_no)?,
+            "function" => parse_function(builder, rest, line_no, false)?,
+            "pattern" => parse_function(builder, rest, line_no, true)?,
+            "root" => {
+                root = Some(rest.to_owned());
+                builder
+            }
+            other => return Err(err(line_no, format!("unknown keyword '{other}'"))),
+        };
+    }
+    if let Some(r) = root {
+        builder = builder.root(&r);
+    }
+    builder.build()
+}
+
+fn parse_element(
+    builder: SchemaBuilder,
+    rest: &str,
+    line_no: usize,
+) -> Result<SchemaBuilder, SchemaError> {
+    let (name, model) = rest
+        .split_once('=')
+        .ok_or_else(|| err(line_no, "element declarations need '= <content model>'"))?;
+    let name = name.trim();
+    let model = model.trim();
+    Ok(match model {
+        "data" => builder.data_element(name),
+        "ANYTREE" => builder.any_element(name),
+        _ => builder.element(name, model),
+    })
+}
+
+fn parse_function(
+    builder: SchemaBuilder,
+    rest: &str,
+    line_no: usize,
+    is_pattern: bool,
+) -> Result<SchemaBuilder, SchemaError> {
+    // name [predicate]? : input -> output [non-invocable]?
+    let (head, sig) = rest
+        .split_once(':')
+        .ok_or_else(|| err(line_no, "signatures need ': <input> -> <output>'"))?;
+    let head = head.trim();
+    let (name, predicate) = match head.split_once('[') {
+        Some((n, p)) => {
+            let p = p
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated '[' in predicate"))?;
+            (n.trim(), Some(parse_predicate(p.trim(), line_no)?))
+        }
+        None => (head, None),
+    };
+    let mut sig = sig.trim();
+    let mut invocable = true;
+    if let Some(stripped) = sig.strip_suffix("[non-invocable]") {
+        sig = stripped.trim();
+        invocable = false;
+    }
+    let (input, output) = sig
+        .split_once("->")
+        .ok_or_else(|| err(line_no, "signatures need '->' between input and output"))?;
+    let input = normalize_type(input.trim());
+    let output = normalize_type(output.trim());
+    if is_pattern {
+        let predicate = predicate.unwrap_or(Predicate::True);
+        let b = builder.pattern(name, predicate, &input, &output);
+        Ok(if invocable { b } else { b.non_invocable(name) })
+    } else {
+        if predicate.is_some() {
+            return Err(err(line_no, "only patterns take a [predicate]"));
+        }
+        Ok(if invocable {
+            builder.function(name, &input, &output)
+        } else {
+            builder.non_invocable_function(name, &input, &output)
+        })
+    }
+}
+
+/// `()` denotes the empty input in the paper (`() -> temp`).
+fn normalize_type(t: &str) -> String {
+    if t == "()" {
+        String::new()
+    } else {
+        t.to_owned()
+    }
+}
+
+/// Predicate grammar: `||` (lowest), `&&`, `!`, atoms
+/// `prefix(P)` / `in(a,b,…)` / `true` / external name.
+fn parse_predicate(text: &str, line_no: usize) -> Result<Predicate, SchemaError> {
+    let mut parser = PredParser {
+        input: text,
+        pos: 0,
+        line_no,
+    };
+    let p = parser.or_expr()?;
+    parser.skip_ws();
+    if parser.pos < parser.input.len() {
+        return Err(err(line_no, "trailing input in predicate"));
+    }
+    Ok(p)
+}
+
+struct PredParser<'a> {
+    input: &'a str,
+    pos: usize,
+    line_no: usize,
+}
+
+impl PredParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, SchemaError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat("||") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Predicate::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, SchemaError> {
+        let mut parts = vec![self.atom()?];
+        while self.eat("&&") {
+            parts.push(self.atom()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Predicate::And(parts)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Predicate, SchemaError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(Predicate::Not(Box::new(self.atom()?)));
+        }
+        if self.eat("(") {
+            let inner = self.or_expr()?;
+            if !self.eat(")") {
+                return Err(err(self.line_no, "expected ')' in predicate"));
+            }
+            return Ok(inner);
+        }
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(err(self.line_no, "expected a predicate atom"));
+        }
+        let name = &rest[..end];
+        self.pos += end;
+        if self.eat("(") {
+            let args_end = self.input[self.pos..]
+                .find(')')
+                .ok_or_else(|| err(self.line_no, "unterminated predicate arguments"))?;
+            let args = &self.input[self.pos..self.pos + args_end];
+            self.pos += args_end + 1;
+            match name {
+                "prefix" => Ok(Predicate::NamePrefix(args.trim().to_owned())),
+                "in" => Ok(Predicate::NameIn(
+                    args.split(',').map(|s| s.trim().to_owned()).collect(),
+                )),
+                other => Err(err(
+                    self.line_no,
+                    format!("unknown predicate function '{other}'"),
+                )),
+            }
+        } else if name == "true" {
+            Ok(Predicate::True)
+        } else {
+            Ok(Predicate::External(name.to_owned()))
+        }
+    }
+}
+
+/// Renders a schema back into the DSL (round-trips with
+/// [`parse_schema_dsl`]).
+pub fn write_schema_dsl(schema: &Schema) -> String {
+    use crate::def::Content;
+    let mut out = String::new();
+    for e in schema.elements.values() {
+        let model = match &e.content {
+            Content::Data => "data".to_owned(),
+            Content::Any => "ANYTREE".to_owned(),
+            Content::Model(re) => {
+                let shown = re.display(&schema.alphabet).to_string();
+                if shown.is_empty() {
+                    "()".to_owned()
+                } else {
+                    shown
+                }
+            }
+        };
+        out.push_str(&format!("element {} = {}\n", e.name, model));
+    }
+    for f in schema.functions.values() {
+        out.push_str(&format!(
+            "function {} : {} -> {}{}\n",
+            f.name,
+            type_str(&f.input, schema),
+            type_str(&f.output, schema),
+            if f.invocable { "" } else { " [non-invocable]" }
+        ));
+    }
+    for p in schema.patterns.values() {
+        out.push_str(&format!(
+            "pattern {} [{}] : {} -> {}{}\n",
+            p.name,
+            predicate_str(&p.predicate),
+            type_str(&p.input, schema),
+            type_str(&p.output, schema),
+            if p.invocable { "" } else { " [non-invocable]" }
+        ));
+    }
+    if let Some(r) = &schema.root {
+        out.push_str(&format!("root {r}\n"));
+    }
+    out
+}
+
+fn type_str(re: &axml_automata::Regex, schema: &Schema) -> String {
+    let shown = re.display(&schema.alphabet).to_string();
+    if shown == "ε" || shown.is_empty() {
+        "()".to_owned()
+    } else {
+        shown
+    }
+}
+
+fn predicate_str(p: &Predicate) -> String {
+    match p {
+        Predicate::True => "true".to_owned(),
+        Predicate::NamePrefix(s) => format!("prefix({s})"),
+        Predicate::NameIn(set) => {
+            format!("in({})", set.iter().cloned().collect::<Vec<_>>().join(","))
+        }
+        Predicate::External(name) => name.clone(),
+        Predicate::Not(inner) => format!("!({})", predicate_str(inner)),
+        Predicate::And(parts) => parts
+            .iter()
+            .map(|q| format!("({})", predicate_str(q)))
+            .collect::<Vec<_>>()
+            .join(" && "),
+        Predicate::Or(parts) => parts
+            .iter()
+            .map(|q| format!("({})", predicate_str(q)))
+            .collect::<Vec<_>>()
+            .join(" || "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use crate::def::{NoOracle, PatternOracle};
+    use crate::doc::newspaper_example;
+    use crate::validate::validate;
+
+    const PAPER_DSL: &str = r#"
+# The paper's schema (*) from Sec. 2.
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title     = data
+element date      = data
+element temp      = data
+element city      = data
+element exhibit   = title.(Get_Date | date)
+element performance = data
+
+function Get_Temp : city -> temp
+function TimeOut  : data -> (exhibit | performance)*
+function Get_Date : title -> date
+root newspaper
+"#;
+
+    #[test]
+    fn parses_the_paper_schema() {
+        let schema = parse_schema_dsl(PAPER_DSL).unwrap();
+        assert_eq!(schema.elements.len(), 7);
+        assert_eq!(schema.functions.len(), 3);
+        assert_eq!(schema.root.as_deref(), Some("newspaper"));
+        let compiled = Compiled::new(schema, &NoOracle).unwrap();
+        validate(&newspaper_example(), &compiled).unwrap();
+    }
+
+    #[test]
+    fn dsl_roundtrip() {
+        let schema = parse_schema_dsl(PAPER_DSL).unwrap();
+        let text = write_schema_dsl(&schema);
+        let again = parse_schema_dsl(&text).unwrap();
+        assert_eq!(again.elements.len(), schema.elements.len());
+        assert_eq!(again.functions.len(), schema.functions.len());
+        assert_eq!(again.root, schema.root);
+        let c1 = Compiled::new(schema, &NoOracle).unwrap();
+        let c2 = Compiled::new(again, &NoOracle).unwrap();
+        assert_eq!(
+            validate(&newspaper_example(), &c1).is_ok(),
+            validate(&newspaper_example(), &c2).is_ok()
+        );
+    }
+
+    #[test]
+    fn patterns_with_predicates() {
+        let text = r#"
+element r = Forecast | temp
+element temp = data
+element city = data
+pattern Forecast [prefix(Get_) && !in(Get_Evil) && UDDIF] : city -> temp
+function Get_Temp : city -> temp
+"#;
+        let schema = parse_schema_dsl(text).unwrap();
+        let p = &schema.patterns["Forecast"];
+        struct Yes;
+        impl PatternOracle for Yes {
+            fn check(&self, _p: &str, _f: &str) -> bool {
+                true
+            }
+        }
+        assert!(p.predicate.eval("Get_Temp", &Yes));
+        assert!(!p.predicate.eval("Get_Evil", &Yes));
+        assert!(!p.predicate.eval("Get_Temp", &NoOracle)); // UDDIF false
+    }
+
+    #[test]
+    fn non_invocable_and_empty_input() {
+        let text = r#"
+element r = f | a
+element a = data
+function f : () -> a [non-invocable]
+"#;
+        let schema = parse_schema_dsl(text).unwrap();
+        let f = &schema.functions["f"];
+        assert!(!f.invocable);
+        assert_eq!(f.input, axml_automata::Regex::Epsilon);
+    }
+
+    #[test]
+    fn wildcard_content() {
+        let text = "element blob = ANYTREE\n";
+        let schema = parse_schema_dsl(text).unwrap();
+        assert!(matches!(
+            schema.elements["blob"].content,
+            crate::def::Content::Any
+        ));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_schema_dsl("element a = data\nbogus line here\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(parse_schema_dsl("element x\n").is_err());
+        assert!(parse_schema_dsl("function f : city temp\nelement city = data\n").is_err());
+        assert!(parse_schema_dsl("pattern P [oops : a -> b\nelement a = data\n").is_err());
+        assert!(parse_schema_dsl("function f [p] : a -> a\nelement a = data\n").is_err());
+    }
+
+    #[test]
+    fn or_predicates_parse() {
+        let text = r#"
+element r = P | a
+element a = data
+pattern P [prefix(A_) || (prefix(B_) && !X)] : () -> a
+"#;
+        let schema = parse_schema_dsl(text).unwrap();
+        let p = &schema.patterns["P"].predicate;
+        assert!(p.eval("A_service", &NoOracle));
+        assert!(p.eval("B_service", &NoOracle)); // X external → false → !X true
+        assert!(!p.eval("C_service", &NoOracle));
+    }
+}

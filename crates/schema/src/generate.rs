@@ -1,0 +1,289 @@
+//! Random instance generation.
+//!
+//! Used by the adversarial simulated services (a call may return *any*
+//! output instance of its type — Def. 4) and by the property-test suites
+//! (validation must accept everything this module produces).
+
+use crate::compile::{Compiled, CompiledContent, SymKind};
+use crate::doc::ITree;
+use axml_automata::{sample_word, Regex, SampleConfig, Symbol};
+use rand::{Rng, RngExt};
+
+/// Tuning for the instance generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Word-sampling configuration (star repetition behaviour).
+    pub words: SampleConfig,
+    /// Maximum element-nesting depth before the generator switches to
+    /// shortest-possible content.
+    pub max_depth: usize,
+    /// Budget on total generated nodes (guards against recursive schemas).
+    pub max_nodes: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            words: SampleConfig::default(),
+            max_depth: 8,
+            max_nodes: 10_000,
+        }
+    }
+}
+
+/// Errors from the generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The requested label is not declared.
+    UnknownLabel(String),
+    /// The node budget was exhausted (schema too recursive for the config).
+    BudgetExhausted,
+    /// A class symbol was sampled but no declared function realizes it.
+    UnrealizableClass(String),
+    /// The content language is empty.
+    EmptyLanguage(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::UnknownLabel(l) => write!(f, "unknown label '{l}'"),
+            GenError::BudgetExhausted => write!(f, "node budget exhausted"),
+            GenError::UnrealizableClass(c) => {
+                write!(f, "no declared function realizes class '{c}'")
+            }
+            GenError::EmptyLanguage(l) => write!(f, "content of '{l}' is the empty language"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Generates a random instance rooted at `label`.
+pub fn generate_instance<R: Rng + ?Sized>(
+    compiled: &Compiled,
+    label: &str,
+    rng: &mut R,
+    config: &GenConfig,
+) -> Result<ITree, GenError> {
+    let mut budget = config.max_nodes;
+    gen_element(compiled, label, rng, config, 0, &mut budget)
+}
+
+/// Generates a random *output instance* forest for the given output type.
+pub fn generate_output_instance<R: Rng + ?Sized>(
+    compiled: &Compiled,
+    output: &Regex,
+    rng: &mut R,
+    config: &GenConfig,
+) -> Result<Vec<ITree>, GenError> {
+    let mut budget = config.max_nodes;
+    gen_forest(compiled, output, rng, config, 0, &mut budget)
+}
+
+fn gen_element<R: Rng + ?Sized>(
+    compiled: &Compiled,
+    label: &str,
+    rng: &mut R,
+    config: &GenConfig,
+    depth: usize,
+    budget: &mut usize,
+) -> Result<ITree, GenError> {
+    if *budget == 0 {
+        return Err(GenError::BudgetExhausted);
+    }
+    *budget -= 1;
+    let content = compiled
+        .content_of(label)
+        .ok_or_else(|| GenError::UnknownLabel(label.to_owned()))?;
+    match content {
+        CompiledContent::Data => Ok(ITree::data(label, &random_text(rng))),
+        CompiledContent::Any => Ok(ITree::elem(
+            label,
+            vec![ITree::elem(
+                "anything",
+                vec![ITree::text(&random_text(rng))],
+            )],
+        )),
+        CompiledContent::Model { regex, .. } => {
+            let children = gen_forest(compiled, regex, rng, config, depth + 1, budget)?;
+            Ok(ITree::elem(label, children))
+        }
+    }
+}
+
+fn gen_forest<R: Rng + ?Sized>(
+    compiled: &Compiled,
+    regex: &Regex,
+    rng: &mut R,
+    config: &GenConfig,
+    depth: usize,
+    budget: &mut usize,
+) -> Result<Vec<ITree>, GenError> {
+    // Past max_depth, clamp star loops to zero iterations so the sampled
+    // word is as short as the model allows.
+    let words = if depth > config.max_depth {
+        SampleConfig {
+            star_continue: 0.0,
+            ..config.words
+        }
+    } else {
+        config.words
+    };
+    let word = sample_word(regex, rng, &words)
+        .ok_or_else(|| GenError::EmptyLanguage(format!("{regex:?}")))?;
+    let mut out = Vec::with_capacity(word.len());
+    for sym in word {
+        out.push(gen_symbol(compiled, sym, rng, config, depth, budget)?);
+    }
+    Ok(out)
+}
+
+fn gen_symbol<R: Rng + ?Sized>(
+    compiled: &Compiled,
+    sym: Symbol,
+    rng: &mut R,
+    config: &GenConfig,
+    depth: usize,
+    budget: &mut usize,
+) -> Result<ITree, GenError> {
+    if *budget == 0 {
+        return Err(GenError::BudgetExhausted);
+    }
+    match compiled.kind(sym) {
+        SymKind::Label => {
+            let label = compiled.alphabet().name(sym).to_owned();
+            gen_element(compiled, &label, rng, config, depth, budget)
+        }
+        SymKind::AnyElem => {
+            *budget -= 1;
+            Ok(ITree::elem("wild", vec![ITree::text(&random_text(rng))]))
+        }
+        SymKind::Function => {
+            *budget -= 1;
+            let sig = compiled.sig(sym).expect("functions carry signatures");
+            let params = gen_forest(compiled, &sig.input, rng, config, depth + 1, budget)?;
+            Ok(ITree::func(compiled.alphabet().name(sym), params))
+        }
+        SymKind::Class => {
+            // Realize the class with a declared function satisfying every
+            // pattern in the class (its expansion includes that function).
+            let class_name = compiled.alphabet().name(sym).to_owned();
+            let concrete = compiled.function_symbols().find(|&f| {
+                compiled.kind(f) == SymKind::Function && class_realizable_by(compiled, sym, f)
+            });
+            match concrete {
+                Some(f) => gen_symbol(compiled, f, rng, config, depth, budget),
+                None => Err(GenError::UnrealizableClass(class_name)),
+            }
+        }
+        SymKind::AnyFun => {
+            *budget -= 1;
+            Ok(ITree::func("opaque_service", vec![]))
+        }
+        SymKind::Data => {
+            *budget -= 1;
+            Ok(ITree::Text(random_text(rng)))
+        }
+    }
+}
+
+/// A declared function realizes a class if its signature matches the class
+/// signature (we compare the compiled input/output regexes).
+fn class_realizable_by(compiled: &Compiled, class: Symbol, func: Symbol) -> bool {
+    let (Some(cs), Some(fs)) = (compiled.sig(class), compiled.sig(func)) else {
+        return false;
+    };
+    cs.input == fs.input && cs.output == fs.output
+}
+
+fn random_text<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let n = rng.random_range(1..=8);
+    (0..n)
+        .map(|_| char::from(rng.random_range(b'a'..=b'z')))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::{NoOracle, Schema};
+    use crate::validate::validate;
+    use rand::SeedableRng;
+
+    fn paper_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+                .data_element("title")
+                .data_element("date")
+                .data_element("temp")
+                .data_element("city")
+                .element("exhibit", "title.(Get_Date|date)")
+                .data_element("performance")
+                .function("Get_Temp", "city", "temp")
+                .function("TimeOut", "data", "(exhibit|performance)*")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_instances_validate() {
+        let c = paper_compiled();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let t = generate_instance(&c, "newspaper", &mut rng, &GenConfig::default()).unwrap();
+            validate(&t, &c).unwrap_or_else(|e| panic!("generated invalid instance {t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_output_instances_validate() {
+        let c = paper_compiled();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let sig = c.sig_of("TimeOut").clone();
+        for _ in 0..100 {
+            let forest =
+                generate_output_instance(&c, &sig.output, &mut rng, &GenConfig::default()).unwrap();
+            crate::validate::validate_output_instance(&forest, &sig.output_dfa, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let c = paper_compiled();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(matches!(
+            generate_instance(&c, "nothing", &mut rng, &GenConfig::default()),
+            Err(GenError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn recursive_schema_respects_budget() {
+        // r -> r* is deeply recursive; generation must stop, one way or
+        // the other (short words or budget exhaustion), not hang.
+        let c = Compiled::new(
+            Schema::builder().element("r", "r*").build().unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = GenConfig {
+            max_depth: 3,
+            max_nodes: 200,
+            ..GenConfig::default()
+        };
+        for _ in 0..50 {
+            match generate_instance(&c, "r", &mut rng, &cfg) {
+                Ok(t) => assert!(t.size() <= 200),
+                Err(GenError::BudgetExhausted) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+}

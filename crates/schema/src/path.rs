@@ -1,0 +1,295 @@
+//! A small path-query language over intensional trees.
+//!
+//! The paper's peers provide "some Web services, defined declaratively as
+//! queries/updates on top of the repository documents" (Sec. 7). This
+//! module supplies the query language: an XPath-flavored subset that is
+//! enough to express the document/children/filter services the examples
+//! need, while staying aware of intensional nodes (`call(name)` steps
+//! select embedded service calls).
+//!
+//! Grammar:
+//!
+//! ```text
+//! path  := step ('/' step)*
+//! step  := '/'? axis
+//! axis  := label            -- child element with that label
+//!        | '*'              -- any child element
+//!        | '**'             -- any descendant element (self excluded)
+//!        | 'text()'         -- text children
+//!        | 'call(name)'     -- embedded calls to `name`
+//!        | 'call(*)'        -- any embedded call
+//! ```
+//!
+//! `newspaper/exhibit/title` selects the titles of all exhibits;
+//! `**/call(*)` selects every embedded call in the document.
+
+use crate::doc::ITree;
+use std::fmt;
+
+/// One step of a path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Child elements with this label.
+    Child(String),
+    /// Any child element.
+    AnyChild,
+    /// Any descendant element (strict).
+    Descendant,
+    /// Text children.
+    Text,
+    /// Embedded calls with this name (`None` = any call).
+    Call(Option<String>),
+}
+
+/// A parsed path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    steps: Vec<Step>,
+}
+
+/// Path parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathError(pub String);
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path query error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl PathQuery {
+    /// Parses a path expression.
+    pub fn parse(text: &str) -> Result<PathQuery, PathError> {
+        let text = text.trim().trim_start_matches('/');
+        if text.is_empty() {
+            return Err(PathError("empty path".to_owned()));
+        }
+        let mut steps = Vec::new();
+        for part in text.split('/') {
+            let part = part.trim();
+            let step = match part {
+                "" => return Err(PathError("empty step ('//' is written '**')".to_owned())),
+                "*" => Step::AnyChild,
+                "**" => Step::Descendant,
+                "text()" => Step::Text,
+                _ => {
+                    if let Some(inner) = part.strip_prefix("call(") {
+                        let name = inner
+                            .strip_suffix(')')
+                            .ok_or_else(|| PathError(format!("unterminated call step '{part}'")))?;
+                        if name == "*" {
+                            Step::Call(None)
+                        } else {
+                            Step::Call(Some(name.to_owned()))
+                        }
+                    } else if part
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+                    {
+                        Step::Child(part.to_owned())
+                    } else {
+                        return Err(PathError(format!("malformed step '{part}'")));
+                    }
+                }
+            };
+            steps.push(step);
+        }
+        Ok(PathQuery { steps })
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Evaluates the query against `root`, returning matching nodes in
+    /// document order. The first step matches against the root itself when
+    /// it is a `Child` step naming the root's label (XPath-like absolute
+    /// paths), and against the root's children otherwise.
+    pub fn select<'t>(&self, root: &'t ITree) -> Vec<&'t ITree> {
+        // Current frontier of context nodes.
+        let mut frontier: Vec<&'t ITree> = Vec::new();
+        let mut steps = self.steps.as_slice();
+        // Absolute-style head: `newspaper/...` rooted at a newspaper node.
+        match steps.first() {
+            Some(Step::Child(label)) if root.name() == Some(label) && !root.is_func() => {
+                frontier.push(root);
+                steps = &steps[1..];
+            }
+            _ => frontier.push(root),
+        }
+        for step in steps {
+            let mut next: Vec<&'t ITree> = Vec::new();
+            for node in frontier {
+                match step {
+                    Step::Child(label) => next.extend(
+                        node.children()
+                            .iter()
+                            .filter(|c| !c.is_func() && c.name() == Some(label)),
+                    ),
+                    Step::AnyChild => next.extend(
+                        node.children()
+                            .iter()
+                            .filter(|c| matches!(c, ITree::Elem { .. })),
+                    ),
+                    Step::Descendant => collect_descendants(node, &mut next),
+                    Step::Text => next.extend(
+                        node.children()
+                            .iter()
+                            .filter(|c| matches!(c, ITree::Text(_))),
+                    ),
+                    Step::Call(name) => next.extend(node.children().iter().filter(|c| match c {
+                        ITree::Func(f) => name.as_deref().is_none_or(|n| n == f.name),
+                        _ => false,
+                    })),
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Convenience: evaluates and clones the matches into a forest.
+    pub fn select_cloned(&self, root: &ITree) -> Vec<ITree> {
+        self.select(root).into_iter().cloned().collect()
+    }
+}
+
+fn collect_descendants<'t>(node: &'t ITree, out: &mut Vec<&'t ITree>) {
+    for c in node.children() {
+        if matches!(c, ITree::Elem { .. }) {
+            out.push(c);
+        }
+        collect_descendants(c, out);
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            match s {
+                Step::Child(l) => write!(f, "{l}")?,
+                Step::AnyChild => write!(f, "*")?,
+                Step::Descendant => write!(f, "**")?,
+                Step::Text => write!(f, "text()")?,
+                Step::Call(Some(n)) => write!(f, "call({n})")?,
+                Step::Call(None) => write!(f, "call(*)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::newspaper_example;
+
+    fn doc() -> ITree {
+        ITree::elem(
+            "newspaper",
+            vec![
+                ITree::data("title", "The Sun"),
+                ITree::data("date", "04/10/2002"),
+                ITree::data("temp", "15 C"),
+                ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Monet"), ITree::data("date", "Mon")],
+                ),
+                ITree::elem(
+                    "exhibit",
+                    vec![
+                        ITree::data("title", "Rodin"),
+                        ITree::func("Get_Date", vec![ITree::data("title", "Rodin")]),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn child_steps() {
+        let q = PathQuery::parse("newspaper/exhibit/title").unwrap();
+        let d = doc();
+        let hits = q.select(&d);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].text_first(), Some("Monet"));
+        assert_eq!(hits[1].text_first(), Some("Rodin"));
+    }
+
+    impl ITree {
+        /// Test helper: first text child.
+        fn text_first(&self) -> Option<&str> {
+            self.children().iter().find_map(|c| match c {
+                ITree::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+        }
+    }
+
+    #[test]
+    fn relative_head_matches_children() {
+        // Without the absolute head, 'exhibit' matches the root's children.
+        let q = PathQuery::parse("exhibit").unwrap();
+        assert_eq!(q.select(&doc()).len(), 2);
+    }
+
+    #[test]
+    fn wildcard_and_descendant() {
+        let q = PathQuery::parse("newspaper/*").unwrap();
+        assert_eq!(q.select(&doc()).len(), 5);
+        let q = PathQuery::parse("**").unwrap();
+        // All descendant elements: 5 children + 4 grandchildren elements.
+        assert_eq!(q.select(&doc()).len(), 9);
+        let q = PathQuery::parse("**/title").unwrap();
+        // Titles under any descendant: the two exhibit titles.
+        assert_eq!(q.select(&doc()).len(), 2);
+    }
+
+    #[test]
+    fn text_step() {
+        let q = PathQuery::parse("newspaper/title/text()").unwrap();
+        let d = doc();
+        let hits = q.select(&d);
+        assert_eq!(hits, vec![&ITree::text("The Sun")]);
+    }
+
+    #[test]
+    fn call_steps() {
+        let q = PathQuery::parse("newspaper/exhibit/call(Get_Date)").unwrap();
+        assert_eq!(q.select(&doc()).len(), 1);
+        let q = PathQuery::parse("newspaper/exhibit/call(*)").unwrap();
+        assert_eq!(q.select(&doc()).len(), 1);
+        let q = PathQuery::parse("newspaper/call(*)").unwrap();
+        assert_eq!(q.select(&doc()).len(), 0);
+        // The Fig. 2 document has two top-level calls.
+        let q = PathQuery::parse("newspaper/call(*)").unwrap();
+        assert_eq!(q.select(&newspaper_example()).len(), 2);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in [
+            "newspaper/exhibit/title",
+            "**/call(*)",
+            "a/*/text()",
+            "x/call(Get_Temp)",
+        ] {
+            let q = PathQuery::parse(text).unwrap();
+            assert_eq!(PathQuery::parse(&q.to_string()).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(PathQuery::parse("").is_err());
+        assert!(PathQuery::parse("a//b").is_err());
+        assert!(PathQuery::parse("call(x").is_err());
+        assert!(PathQuery::parse("a/<bad>").is_err());
+    }
+}

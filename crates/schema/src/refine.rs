@@ -1,0 +1,155 @@
+//! Schema refinement: pure containment, no rewriting.
+//!
+//! `s1` *refines* `s2` when every instance of `s1` is already an instance
+//! of `s2` — the degenerate case of Def. 6 where the empty rewriting
+//! sequence always works. The sender can then ship documents unchanged.
+//! Negotiation uses this as a fast pre-check before the full Sec. 6 game.
+//!
+//! The check is per element type, comparing content languages over the
+//! union of the two particle vocabularies (particles are compared by name,
+//! which is sound under the paper's assumption that common functions and
+//! patterns have identical definitions).
+
+use crate::def::{Content, Schema};
+use axml_automata::{Alphabet, Dfa, Nfa, Regex};
+
+/// One reason `s1` fails to refine `s2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefineFailure {
+    /// `s2` does not declare the label.
+    Missing(String),
+    /// The content kinds are incompatible (e.g. data vs elements).
+    Kind(String),
+    /// `lang(τ1(l)) ⊄ lang(τ2(l))`.
+    Content(String),
+}
+
+impl std::fmt::Display for RefineFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefineFailure::Missing(l) => write!(f, "'{l}' is not declared by the wider schema"),
+            RefineFailure::Kind(l) => write!(f, "content kinds of '{l}' are incompatible"),
+            RefineFailure::Content(l) => {
+                write!(f, "content of '{l}' is not contained in the wider schema's")
+            }
+        }
+    }
+}
+
+/// Checks whether every instance of `s1` is an instance of `s2`
+/// (considering every element type of `s1`). Returns the failures; empty
+/// means `s1` refines `s2`.
+pub fn schema_refines(s1: &Schema, s2: &Schema) -> Vec<RefineFailure> {
+    let mut failures = Vec::new();
+    for def in s1.elements.values() {
+        let Some(other) = s2.elements.get(&def.name) else {
+            failures.push(RefineFailure::Missing(def.name.clone()));
+            continue;
+        };
+        match (&def.content, &other.content) {
+            (_, Content::Any) => {}
+            (Content::Data, Content::Data) => {}
+            (Content::Data, Content::Model(_))
+            | (Content::Model(_), Content::Data)
+            | (Content::Any, _) => failures.push(RefineFailure::Kind(def.name.clone())),
+            (Content::Model(re1), Content::Model(re2)) => {
+                if !model_subset(re1, &s1.alphabet, re2, &s2.alphabet) {
+                    failures.push(RefineFailure::Content(def.name.clone()));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// `lang(re1) ⊆ lang(re2)` with symbols matched by name across alphabets.
+fn model_subset(re1: &Regex, ab1: &Alphabet, re2: &Regex, ab2: &Alphabet) -> bool {
+    let mut union = Alphabet::new();
+    let m1 = re1.map_symbols(&mut |s| Regex::sym(union.intern(ab1.name(s))));
+    let m2 = re2.map_symbols(&mut |s| Regex::sym(union.intern(ab2.name(s))));
+    let n = union.len();
+    let d1 = Dfa::determinize(&Nfa::thompson(&m1, n)).completed(n);
+    let d2 = Dfa::determinize(&Nfa::thompson(&m2, n)).completed(n);
+    d1.subset_of(&d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn newspaper(model: &str) -> Schema {
+        Schema::builder()
+            .element("newspaper", model)
+            .data_element("title")
+            .data_element("date")
+            .data_element("temp")
+            .data_element("city")
+            .element("exhibit", "title.(Get_Date|date)")
+            .data_element("performance")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(exhibit|performance)*")
+            .function("Get_Date", "title", "date")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn materialized_schema_refines_intensional_one() {
+        // (**) allows fewer documents than (*): every (**) instance is a
+        // (*) instance, but not the other way around.
+        let star = newspaper("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let star2 = newspaper("title.date.temp.(TimeOut|exhibit*)");
+        assert!(schema_refines(&star2, &star).is_empty());
+        let failures = schema_refines(&star, &star2);
+        assert!(failures
+            .iter()
+            .any(|f| matches!(f, RefineFailure::Content(l) if l == "newspaper")));
+    }
+
+    #[test]
+    fn identical_schemas_refine_each_other() {
+        let s = newspaper("title.date.temp.exhibit*");
+        assert!(schema_refines(&s, &s).is_empty());
+    }
+
+    #[test]
+    fn missing_and_kind_failures() {
+        let s1 = Schema::builder()
+            .element("r", "extra")
+            .data_element("extra")
+            .build()
+            .unwrap();
+        let s2 = Schema::builder()
+            .element("r", "")
+            .element("extra", "r")
+            .build()
+            .unwrap();
+        let failures = schema_refines(&s1, &s2);
+        assert!(failures
+            .iter()
+            .any(|f| matches!(f, RefineFailure::Content(l) if l == "r")));
+        assert!(failures
+            .iter()
+            .any(|f| matches!(f, RefineFailure::Kind(l) if l == "extra")));
+        let s3 = Schema::builder().element("r", "").build().unwrap();
+        assert!(schema_refines(&s1, &s3)
+            .iter()
+            .any(|f| matches!(f, RefineFailure::Missing(l) if l == "extra")));
+    }
+
+    #[test]
+    fn wildcard_content_absorbs_anything() {
+        let s1 = newspaper("title.date.temp.exhibit*");
+        let s2 = Schema::builder()
+            .any_element("newspaper")
+            .any_element("title")
+            .any_element("date")
+            .any_element("temp")
+            .any_element("exhibit")
+            .any_element("city")
+            .any_element("performance")
+            .build()
+            .unwrap();
+        assert!(schema_refines(&s1, &s2).is_empty());
+    }
+}

@@ -1,0 +1,564 @@
+//! XML Schema_int: the XML syntax for intensional schemas (Sec. 7).
+//!
+//! The paper extends XML Schema with `function` and `functionPattern`
+//! declarations that may appear wherever element particles are allowed.
+//! This module parses that syntax into a [`Schema`] and serializes a
+//! [`Schema`] back out, supporting the constructs the paper's own parser
+//! implemented: global `element` declarations, `complexType` with
+//! `sequence` / `choice` / `all` compositors, `element`/`function`/
+//! `functionPattern` references, `any` wildcards and
+//! `minOccurs`/`maxOccurs`.
+//!
+//! ```
+//! let text = r#"
+//! <schema>
+//!   <element name="newspaper">
+//!     <complexType><sequence>
+//!       <element ref="title"/>
+//!       <element ref="date"/>
+//!       <choice><functionPattern ref="Forecast"/><element ref="temp"/></choice>
+//!       <choice><function ref="TimeOut"/>
+//!               <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/></choice>
+//!     </sequence></complexType>
+//!   </element>
+//!   <element name="title" type="data"/>
+//!   <element name="date" type="data"/>
+//!   <element name="temp" type="data"/>
+//!   <element name="city" type="data"/>
+//!   <element name="exhibit">
+//!     <complexType><sequence>
+//!       <element ref="title"/>
+//!       <choice><function ref="Get_Date"/><element ref="date"/></choice>
+//!     </sequence></complexType>
+//!   </element>
+//!   <element name="performance" type="data"/>
+//!   <functionPattern id="Forecast" methodName="UDDIF">
+//!     <params><param><element ref="city"/></param></params>
+//!     <result><element ref="temp"/></result>
+//!   </functionPattern>
+//!   <function id="TimeOut">
+//!     <params><param><element ref="title"/></param></params>
+//!     <result><choice minOccurs="0" maxOccurs="unbounded">
+//!       <element ref="exhibit"/><element ref="performance"/>
+//!     </choice></result>
+//!   </function>
+//!   <function id="Get_Date">
+//!     <params><param><element ref="title"/></param></params>
+//!     <result><element ref="date"/></result>
+//!   </function>
+//! </schema>"#;
+//! let schema = axml_schema::xsd::parse_xml_schema(text).unwrap();
+//! assert_eq!(schema.elements.len(), 7);
+//! assert_eq!(schema.functions.len(), 2);
+//! assert_eq!(schema.patterns.len(), 1);
+//! ```
+
+use crate::def::{
+    Content, Predicate, Schema, SchemaBuilder, SchemaError, ANY_ELEMENT, ANY_FUNCTION,
+};
+use axml_xml::{parse_document, Element};
+
+fn err(message: impl Into<String>) -> SchemaError {
+    SchemaError::Parse {
+        context: "XML Schema_int".to_owned(),
+        message: message.into(),
+    }
+}
+
+/// Parses an XML Schema_int document into a [`Schema`].
+pub fn parse_xml_schema(text: &str) -> Result<Schema, SchemaError> {
+    let doc = parse_document(text).map_err(|e| err(e.to_string()))?;
+    parse_schema_element(&doc.root)
+}
+
+/// Parses an already-parsed `<schema>` element.
+pub fn parse_schema_element(root: &Element) -> Result<Schema, SchemaError> {
+    if root.name.local != "schema" {
+        return Err(err(format!(
+            "expected <schema> root, found <{}>",
+            root.name.local
+        )));
+    }
+    let mut builder = Schema::builder();
+    for child in root.child_elements() {
+        match child.name.local.as_str() {
+            "element" => builder = parse_global_element(child, builder)?,
+            "function" => builder = parse_function(child, builder, false)?,
+            "functionPattern" => builder = parse_function(child, builder, true)?,
+            "annotation" | "import" => {}
+            other => return Err(err(format!("unsupported top-level <{other}>"))),
+        }
+    }
+    let mut schema = builder.build()?;
+    // Root convention: a top-level attribute or the first declared element.
+    if let Some(r) = root.attribute("root") {
+        if !schema.elements.contains_key(r) {
+            return Err(err(format!("root element '{r}' is not declared")));
+        }
+        schema.root = Some(r.to_owned());
+    }
+    Ok(schema)
+}
+
+fn parse_global_element(e: &Element, builder: SchemaBuilder) -> Result<SchemaBuilder, SchemaError> {
+    let name = e
+        .attribute("name")
+        .ok_or_else(|| err("global <element> requires a name attribute"))?
+        .to_owned();
+    if let Some(ty) = e.attribute("type") {
+        return match ty {
+            "data" | "xs:string" | "string" => Ok(builder.data_element(&name)),
+            "any" | "xs:anyType" | "anyType" => Ok(builder.any_element(&name)),
+            other => Err(err(format!("unsupported element type '{other}'"))),
+        };
+    }
+    let Some(complex) = e.first_child("complexType") else {
+        // No content description: atomic data by default, like the paper's
+        // τ(title) = data entries.
+        return Ok(builder.data_element(&name));
+    };
+    let compositors: Vec<&Element> = complex.child_elements().collect();
+    let model = match compositors.as_slice() {
+        [] => String::new(),
+        [one] => particle_to_model(one)?,
+        _ => {
+            // Multiple children behave as an implicit sequence.
+            let parts: Result<Vec<String>, _> =
+                compositors.iter().map(|c| particle_to_model(c)).collect();
+            parts?.join(".")
+        }
+    };
+    Ok(builder.element(&name, &model))
+}
+
+/// Converts a particle or compositor element into the textual content-model
+/// notation (which the builder re-parses); occurrence attributes wrap the
+/// result in `{min,max}`.
+fn particle_to_model(e: &Element) -> Result<String, SchemaError> {
+    let core = match e.name.local.as_str() {
+        "sequence" => {
+            let parts: Result<Vec<String>, _> = e.child_elements().map(particle_to_model).collect();
+            let parts = parts?;
+            if parts.is_empty() {
+                "()".to_owned()
+            } else {
+                format!("({})", parts.join("."))
+            }
+        }
+        "choice" => {
+            let parts: Result<Vec<String>, _> = e.child_elements().map(particle_to_model).collect();
+            let parts = parts?;
+            if parts.is_empty() {
+                return Err(err("<choice> requires at least one alternative"));
+            }
+            format!("({})", parts.join("|"))
+        }
+        "all" => {
+            // XML Schema `all`: each child at most once, any order. We
+            // expand permutations (the compositor is limited to small
+            // collections in practice).
+            let parts: Result<Vec<String>, _> = e.child_elements().map(particle_to_model).collect();
+            let parts = parts?;
+            if parts.len() > 6 {
+                return Err(err("<all> supports at most 6 particles"));
+            }
+            let perms = permutations(&parts);
+            format!(
+                "({})",
+                perms
+                    .iter()
+                    .map(|p| p.join("."))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            )
+        }
+        "element" | "function" | "functionPattern" => {
+            let name = e
+                .attribute("ref")
+                .or_else(|| e.attribute("name"))
+                .ok_or_else(|| err(format!("<{}> particle requires ref", e.name.local)))?;
+            name.to_owned()
+        }
+        "any" => ANY_ELEMENT.to_owned(),
+        "data" => crate::def::DATA.to_owned(),
+        "anyFunction" => ANY_FUNCTION.to_owned(),
+        other => return Err(err(format!("unsupported particle <{other}>"))),
+    };
+    let min = parse_occurs(e.attribute("minOccurs"), 1)?;
+    let max = match e.attribute("maxOccurs") {
+        Some("unbounded") => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| err(format!("bad maxOccurs '{v}'")))?,
+        ),
+        None => Some(1),
+    };
+    if let Some(m) = max {
+        if m < min {
+            return Err(err("maxOccurs smaller than minOccurs"));
+        }
+    }
+    Ok(match (min, max) {
+        (1, Some(1)) => core,
+        (0, None) => format!("({core})*"),
+        (1, None) => format!("({core})+"),
+        (0, Some(1)) => format!("({core})?"),
+        (lo, Some(hi)) => format!("({core}){{{lo},{hi}}}"),
+        (lo, None) => format!("({core}){{{lo},}}"),
+    })
+}
+
+fn parse_occurs(v: Option<&str>, default: u32) -> Result<u32, SchemaError> {
+    match v {
+        None => Ok(default),
+        Some(s) => s
+            .parse::<u32>()
+            .map_err(|_| err(format!("bad occurrence '{s}'"))),
+    }
+}
+
+fn permutations(items: &[String]) -> Vec<Vec<String>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head.clone());
+            out.push(tail);
+        }
+    }
+    out
+}
+
+fn parse_function(
+    e: &Element,
+    builder: SchemaBuilder,
+    is_pattern: bool,
+) -> Result<SchemaBuilder, SchemaError> {
+    let name = e
+        .attribute("id")
+        .or_else(|| e.attribute("name"))
+        .ok_or_else(|| err("function declarations require an id"))?
+        .to_owned();
+    let input = match e.first_child("params") {
+        Some(params) => {
+            let parts: Result<Vec<String>, _> = params
+                .children_named("param")
+                .map(|p| {
+                    let inner: Vec<&Element> = p.child_elements().collect();
+                    match inner.as_slice() {
+                        [one] => particle_to_model(one),
+                        [] => Err(err("empty <param>")),
+                        many => {
+                            let parts: Result<Vec<String>, _> =
+                                many.iter().map(|c| particle_to_model(c)).collect();
+                            Ok(format!("({})", parts?.join(".")))
+                        }
+                    }
+                })
+                .collect();
+            parts?.join(".")
+        }
+        None => String::new(),
+    };
+    let output = match e.first_child("result").or_else(|| e.first_child("return")) {
+        Some(result) => {
+            let parts: Result<Vec<String>, _> =
+                result.child_elements().map(particle_to_model).collect();
+            parts?.join(".")
+        }
+        None => String::new(),
+    };
+    if is_pattern {
+        // The predicate is the SOAP boolean service named by methodName; the
+        // paper's convention: omitted attributes ⇒ predicate true for all.
+        let predicate = match e.attribute("methodName") {
+            Some(m) => Predicate::External(m.to_owned()),
+            None => Predicate::True,
+        };
+        Ok(builder.pattern(&name, predicate, &input, &output))
+    } else {
+        Ok(builder.function(&name, &input, &output))
+    }
+}
+
+/// Serializes a [`Schema`] to XML Schema_int text.
+pub fn write_xml_schema(schema: &Schema) -> String {
+    let mut root = Element::new("schema");
+    if let Some(r) = &schema.root {
+        root = root.attr("root", r);
+    }
+    for e in schema.elements.values() {
+        let mut el = Element::new("element").attr("name", &e.name);
+        match &e.content {
+            Content::Data => el = el.attr("type", "data"),
+            Content::Any => el = el.attr("type", "any"),
+            Content::Model(re) => {
+                let body = regex_to_particles(re, schema);
+                el = el.child(Element::new("complexType").child(body));
+            }
+        }
+        root = root.child(el);
+    }
+    for f in schema.functions.values() {
+        root = root.child(signature_element(
+            "function", &f.name, &f.input, &f.output, schema, None,
+        ));
+    }
+    for p in schema.patterns.values() {
+        let method = match &p.predicate {
+            Predicate::External(m) => Some(m.as_str()),
+            _ => None,
+        };
+        root = root.child(signature_element(
+            "functionPattern",
+            &p.name,
+            &p.input,
+            &p.output,
+            schema,
+            method,
+        ));
+    }
+    root.to_pretty_xml()
+}
+
+fn signature_element(
+    kind: &str,
+    name: &str,
+    input: &axml_automata::Regex,
+    output: &axml_automata::Regex,
+    schema: &Schema,
+    method: Option<&str>,
+) -> Element {
+    let mut e = Element::new(kind).attr("id", name);
+    if let Some(m) = method {
+        e = e.attr("methodName", m);
+    }
+    e = e.child(
+        Element::new("params")
+            .child(Element::new("param").child(regex_to_particles(input, schema))),
+    );
+    e.child(Element::new("result").child(regex_to_particles(output, schema)))
+}
+
+fn regex_to_particles(re: &axml_automata::Regex, schema: &Schema) -> Element {
+    use axml_automata::Regex as R;
+    match re {
+        R::Empty | R::Epsilon => Element::new("sequence"),
+        R::Sym(s) => {
+            let name = schema.alphabet.name(*s);
+            match name {
+                ANY_ELEMENT => Element::new("any"),
+                ANY_FUNCTION => Element::new("anyFunction"),
+                d if d == crate::def::DATA => Element::new("data"),
+                _ => {
+                    let kind = if schema.functions.contains_key(name) {
+                        "function"
+                    } else if schema.patterns.contains_key(name) {
+                        "functionPattern"
+                    } else {
+                        "element"
+                    };
+                    Element::new(kind).attr("ref", name)
+                }
+            }
+        }
+        R::Seq(parts) => {
+            let mut e = Element::new("sequence");
+            for p in parts {
+                e = e.child(regex_to_particles(p, schema));
+            }
+            e
+        }
+        R::Alt(parts) => {
+            let mut e = Element::new("choice");
+            for p in parts {
+                e = e.child(regex_to_particles(p, schema));
+            }
+            e
+        }
+        R::Star(inner) => occurs(regex_to_particles(inner, schema), "0", Some("unbounded")),
+        R::Plus(inner) => occurs(regex_to_particles(inner, schema), "1", Some("unbounded")),
+        R::Opt(inner) => occurs(regex_to_particles(inner, schema), "0", Some("1")),
+        R::Repeat(inner, min, max) => occurs(
+            regex_to_particles(inner, schema),
+            &min.to_string(),
+            Some(&max.map_or("unbounded".to_owned(), |m| m.to_string())),
+        ),
+    }
+}
+
+fn occurs(mut e: Element, min: &str, max: Option<&str>) -> Element {
+    // Occurrence attributes go on the particle itself; wrap bare particles
+    // that already carry occurrences in a sequence.
+    if e.attribute("minOccurs").is_some() || e.attribute("maxOccurs").is_some() {
+        e = Element::new("sequence").child(e);
+    }
+    e = e.attr("minOccurs", min);
+    if let Some(m) = max {
+        e = e.attr("maxOccurs", m);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use crate::def::NoOracle;
+    use crate::doc::newspaper_example;
+    use crate::validate::validate;
+
+    const PAPER_XSD: &str = r#"
+<schema root="newspaper">
+  <element name="newspaper">
+    <complexType><sequence>
+      <element ref="title"/>
+      <element ref="date"/>
+      <choice><function ref="Get_Temp"/><element ref="temp"/></choice>
+      <choice><function ref="TimeOut"/>
+              <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/></choice>
+    </sequence></complexType>
+  </element>
+  <element name="title" type="data"/>
+  <element name="date" type="data"/>
+  <element name="temp" type="data"/>
+  <element name="city" type="data"/>
+  <element name="exhibit">
+    <complexType><sequence>
+      <element ref="title"/>
+      <choice><function ref="Get_Date"/><element ref="date"/></choice>
+    </sequence></complexType>
+  </element>
+  <element name="performance" type="data"/>
+  <function id="Get_Temp">
+    <params><param><element ref="city"/></param></params>
+    <result><element ref="temp"/></result>
+  </function>
+  <function id="TimeOut">
+    <params><param><data/></param></params>
+    <result><choice minOccurs="0" maxOccurs="unbounded">
+      <element ref="exhibit"/><element ref="performance"/>
+    </choice></result>
+  </function>
+  <function id="Get_Date">
+    <params><param><element ref="title"/></param></params>
+    <result><element ref="date"/></result>
+  </function>
+</schema>"#;
+
+    #[test]
+    fn parses_paper_schema_and_validates_fig2() {
+        let schema = parse_xml_schema(PAPER_XSD).unwrap();
+        assert_eq!(schema.root.as_deref(), Some("newspaper"));
+        assert_eq!(schema.elements.len(), 7);
+        assert_eq!(schema.functions.len(), 3);
+        let compiled = Compiled::new(schema, &NoOracle).unwrap();
+        validate(&newspaper_example(), &compiled).unwrap();
+    }
+
+    #[test]
+    fn function_pattern_with_predicate() {
+        let text = r#"
+<schema>
+  <element name="r"><complexType>
+    <choice><functionPattern ref="Forecast"/><element ref="temp"/></choice>
+  </complexType></element>
+  <element name="temp" type="data"/>
+  <element name="city" type="data"/>
+  <functionPattern id="Forecast" methodName="UDDIF"
+                   endpointURL="http://registry/soap">
+    <params><param><element ref="city"/></param></params>
+    <result><element ref="temp"/></result>
+  </functionPattern>
+</schema>"#;
+        let schema = parse_xml_schema(text).unwrap();
+        let p = &schema.patterns["Forecast"];
+        assert_eq!(p.predicate, Predicate::External("UDDIF".to_owned()));
+    }
+
+    #[test]
+    fn all_compositor_expands_permutations() {
+        let text = r#"
+<schema>
+  <element name="r"><complexType>
+    <all><element ref="a"/><element ref="b"/></all>
+  </complexType></element>
+  <element name="a" type="data"/>
+  <element name="b" type="data"/>
+</schema>"#;
+        let schema = parse_xml_schema(text).unwrap();
+        let compiled = Compiled::new(schema, &NoOracle).unwrap();
+        use crate::doc::ITree;
+        let ab = ITree::elem("r", vec![ITree::data("a", "1"), ITree::data("b", "2")]);
+        let ba = ITree::elem("r", vec![ITree::data("b", "2"), ITree::data("a", "1")]);
+        let aa = ITree::elem("r", vec![ITree::data("a", "1"), ITree::data("a", "1")]);
+        validate(&ab, &compiled).unwrap();
+        validate(&ba, &compiled).unwrap();
+        assert!(validate(&aa, &compiled).is_err());
+    }
+
+    #[test]
+    fn occurrence_bounds() {
+        let text = r#"
+<schema>
+  <element name="r"><complexType>
+    <sequence><element ref="a" minOccurs="2" maxOccurs="3"/></sequence>
+  </complexType></element>
+  <element name="a" type="data"/>
+</schema>"#;
+        let schema = parse_xml_schema(text).unwrap();
+        let compiled = Compiled::new(schema, &NoOracle).unwrap();
+        use crate::doc::ITree;
+        let mk = |n: usize| ITree::elem("r", (0..n).map(|_| ITree::data("a", "x")).collect());
+        assert!(validate(&mk(1), &compiled).is_err());
+        validate(&mk(2), &compiled).unwrap();
+        validate(&mk(3), &compiled).unwrap();
+        assert!(validate(&mk(4), &compiled).is_err());
+    }
+
+    #[test]
+    fn wildcards_parse() {
+        let text = r#"
+<schema>
+  <element name="r"><complexType>
+    <sequence><any minOccurs="0" maxOccurs="unbounded"/><anyFunction minOccurs="0"/></sequence>
+  </complexType></element>
+</schema>"#;
+        let schema = parse_xml_schema(text).unwrap();
+        assert!(Compiled::new(schema, &NoOracle).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let schema = parse_xml_schema(PAPER_XSD).unwrap();
+        let text = write_xml_schema(&schema);
+        let again = parse_xml_schema(&text).unwrap();
+        assert_eq!(again.elements.len(), schema.elements.len());
+        assert_eq!(again.functions.len(), schema.functions.len());
+        // Language equality spot-check: both accept/reject the same docs.
+        let c1 = Compiled::new(schema, &NoOracle).unwrap();
+        let c2 = Compiled::new(again, &NoOracle).unwrap();
+        let doc = newspaper_example();
+        assert_eq!(validate(&doc, &c1).is_ok(), validate(&doc, &c2).is_ok());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_xml_schema("<notschema/>").is_err());
+        assert!(parse_xml_schema("<schema><element/></schema>").is_err());
+        assert!(parse_xml_schema(
+            "<schema><element name=\"r\"><complexType><bogus/></complexType></element></schema>"
+        )
+        .is_err());
+        assert!(parse_xml_schema(
+            r#"<schema><element name="r"><complexType>
+               <element ref="a" minOccurs="3" maxOccurs="2"/>
+               </complexType></element><element name="a" type="data"/></schema>"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! The paper's concrete services, plus simulation-oriented ones.
+//!
+//! * [`GetTemp`] — the weather forecast service of Fig. 2 (`city → temp`);
+//! * [`TimeOutGuide`] — the TimeOut listing service
+//!   (`data → (exhibit|performance)*`);
+//! * [`GetDate`] — `title → date` for exhibits;
+//! * [`SearchEngine`] — the Sec. 3 recursion example: returns a page of
+//!   results plus, possibly, a continuation handle to fetch more;
+//! * [`Adversarial`] — returns a *random output instance* of a declared
+//!   type: the universally-quantified opponent that safe rewriting must
+//!   withstand (Def. 4);
+//! * [`Flaky`] and [`IllTyped`] — failure injection.
+
+use crate::service::{ServiceError, ServiceImpl};
+use axml_automata::Regex;
+use axml_schema::{generate_output_instance, Compiled, GenConfig, ITree};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The Fig. 2 weather service: takes a `city`, returns a `temp`.
+pub struct GetTemp {
+    /// `(city, temperature)` table; unknown cities get a default.
+    pub table: Vec<(String, String)>,
+}
+
+impl GetTemp {
+    /// A service knowing a few European cities.
+    pub fn with_defaults() -> Self {
+        GetTemp {
+            table: vec![
+                ("Paris".to_owned(), "15 C".to_owned()),
+                ("Berlin".to_owned(), "8 C".to_owned()),
+                ("Rome".to_owned(), "21 C".to_owned()),
+                ("San Diego".to_owned(), "22 C".to_owned()),
+            ],
+        }
+    }
+}
+
+impl ServiceImpl for GetTemp {
+    fn call(&self, params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        let city = params
+            .first()
+            .and_then(|p| match p {
+                ITree::Elem { label, children } if label == "city" => {
+                    children.first().and_then(|c| match c {
+                        ITree::Text(t) => Some(t.clone()),
+                        _ => None,
+                    })
+                }
+                _ => None,
+            })
+            .ok_or_else(|| ServiceError("expected a city parameter".to_owned()))?;
+        let temp = self
+            .table
+            .iter()
+            .find(|(c, _)| *c == city)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_else(|| "12 C".to_owned());
+        Ok(vec![ITree::data("temp", &temp)])
+    }
+}
+
+/// The TimeOut local guide: returns current exhibits and performances.
+pub struct TimeOutGuide {
+    /// Exhibit titles with dates.
+    pub exhibits: Vec<(String, String)>,
+    /// Performance names.
+    pub performances: Vec<String>,
+}
+
+impl TimeOutGuide {
+    /// A guide with a small Paris program.
+    pub fn with_defaults() -> Self {
+        TimeOutGuide {
+            exhibits: vec![
+                ("Monet".to_owned(), "Mon".to_owned()),
+                ("Rodin".to_owned(), "Tue".to_owned()),
+            ],
+            performances: vec!["Hamlet".to_owned()],
+        }
+    }
+
+    /// A guide currently listing only exhibits (makes possible rewritings
+    /// into `exhibit*` succeed).
+    pub fn exhibits_only() -> Self {
+        TimeOutGuide {
+            exhibits: vec![
+                ("Monet".to_owned(), "Mon".to_owned()),
+                ("Rodin".to_owned(), "Tue".to_owned()),
+            ],
+            performances: Vec::new(),
+        }
+    }
+}
+
+impl ServiceImpl for TimeOutGuide {
+    fn call(&self, params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        // The single data parameter filters the program kind.
+        let filter = params.first().and_then(|p| match p {
+            ITree::Text(t) => Some(t.as_str()),
+            _ => None,
+        });
+        let mut out = Vec::new();
+        if filter != Some("performances") {
+            for (title, date) in &self.exhibits {
+                out.push(ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", title), ITree::data("date", date)],
+                ));
+            }
+        }
+        if filter != Some("exhibits") {
+            for p in &self.performances {
+                out.push(ITree::elem("performance", vec![ITree::text(p)]));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// `title → date`: looks a date up in a program table.
+pub struct GetDate {
+    /// `(title, date)` pairs.
+    pub table: Vec<(String, String)>,
+}
+
+impl ServiceImpl for GetDate {
+    fn call(&self, params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        let title = params
+            .first()
+            .map(|p| match p {
+                ITree::Elem { label, .. } if label == "title" => Ok(p
+                    .children()
+                    .first()
+                    .and_then(|c| match c {
+                        ITree::Text(t) => Some(t.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default()),
+                _ => Err(ServiceError("expected a title parameter".to_owned())),
+            })
+            .transpose()?
+            .unwrap_or_default();
+        let date = self
+            .table
+            .iter()
+            .find(|(t, _)| *t == title)
+            .map(|(_, d)| d.clone())
+            .unwrap_or_else(|| "TBA".to_owned());
+        Ok(vec![ITree::data("date", &date)])
+    }
+}
+
+/// The Sec. 3 search engine: for a keyword, returns a page of `url`
+/// elements plus a continuation call when more results remain.
+///
+/// Output type: `url*.SearchMore?` — the recursive-handles situation that
+/// motivates the k-depth restriction.
+pub struct SearchEngine {
+    /// All result URLs.
+    pub results: Vec<String>,
+    /// Page size.
+    pub page: usize,
+    /// Name of the continuation operation (usually this service itself).
+    pub continuation: String,
+    offset: Mutex<usize>,
+}
+
+impl SearchEngine {
+    /// A search engine over `results` with the given page size.
+    pub fn new(results: Vec<String>, page: usize, continuation: &str) -> Self {
+        SearchEngine {
+            results,
+            page: page.max(1),
+            continuation: continuation.to_owned(),
+            offset: Mutex::new(0),
+        }
+    }
+}
+
+impl ServiceImpl for SearchEngine {
+    fn call(&self, _params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        let mut offset = self.offset.lock();
+        let end = (*offset + self.page).min(self.results.len());
+        let mut out: Vec<ITree> = self.results[*offset..end]
+            .iter()
+            .map(|u| ITree::data("url", u))
+            .collect();
+        *offset = end;
+        if end < self.results.len() {
+            out.push(ITree::func(&self.continuation, vec![]));
+        }
+        Ok(out)
+    }
+}
+
+/// Returns a *random output instance* of the declared output type, drawn
+/// through the schema-aware generator. This is the Def. 4 adversary: safe
+/// rewriting must succeed whatever this service answers.
+pub struct Adversarial {
+    compiled: Arc<Compiled>,
+    output: Regex,
+    rng: Mutex<StdRng>,
+    config: GenConfig,
+}
+
+impl Adversarial {
+    /// An adversary for the output type of `function` as compiled in
+    /// `compiled`, seeded deterministically.
+    pub fn for_function(compiled: Arc<Compiled>, function: &str, seed: u64) -> Self {
+        let output = compiled.sig_of(function).output.clone();
+        Adversarial {
+            compiled,
+            output,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            config: GenConfig::default(),
+        }
+    }
+}
+
+impl ServiceImpl for Adversarial {
+    fn call(&self, _params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        let mut rng = self.rng.lock();
+        generate_output_instance(&self.compiled, &self.output, &mut *rng, &self.config)
+            .map_err(|e| ServiceError(e.to_string()))
+    }
+}
+
+/// Fails every `n`-th call (failure injection).
+pub struct Flaky {
+    inner: Arc<dyn ServiceImpl>,
+    every: u64,
+    count: Mutex<u64>,
+}
+
+impl Flaky {
+    /// Wraps `inner`, failing every `every`-th call (1 = always fail).
+    pub fn every(inner: Arc<dyn ServiceImpl>, every: u64) -> Self {
+        Flaky {
+            inner,
+            every: every.max(1),
+            count: Mutex::new(0),
+        }
+    }
+}
+
+impl ServiceImpl for Flaky {
+    fn call(&self, params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        let mut count = self.count.lock();
+        *count += 1;
+        if (*count).is_multiple_of(self.every) {
+            return Err(ServiceError("simulated transient failure".to_owned()));
+        }
+        self.inner.call(params)
+    }
+}
+
+/// Always returns the same (typically ill-typed) forest, regardless of its
+/// declared output type — for testing the rewriter's runtime type checks.
+pub struct IllTyped {
+    /// The forest to return.
+    pub forest: Vec<ITree>,
+}
+
+impl ServiceImpl for IllTyped {
+    fn call(&self, _params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        Ok(self.forest.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_schema::{NoOracle, Schema};
+
+    #[test]
+    fn get_temp_looks_up_cities() {
+        let svc = GetTemp::with_defaults();
+        let out = svc.call(&[ITree::data("city", "Paris")]).unwrap();
+        assert_eq!(out, vec![ITree::data("temp", "15 C")]);
+        let out = svc.call(&[ITree::data("city", "Atlantis")]).unwrap();
+        assert_eq!(out, vec![ITree::data("temp", "12 C")]);
+        assert!(svc.call(&[]).is_err());
+        assert!(svc.call(&[ITree::data("date", "x")]).is_err());
+    }
+
+    #[test]
+    fn timeout_filters_by_parameter() {
+        let svc = TimeOutGuide::with_defaults();
+        let all = svc.call(&[ITree::text("everything")]).unwrap();
+        assert_eq!(all.len(), 3);
+        let ex = svc.call(&[ITree::text("exhibits")]).unwrap();
+        assert_eq!(ex.len(), 2);
+        assert!(ex.iter().all(|t| t.name() == Some("exhibit")));
+        let perf = svc.call(&[ITree::text("performances")]).unwrap();
+        assert_eq!(perf.len(), 1);
+        assert_eq!(perf[0].name(), Some("performance"));
+    }
+
+    #[test]
+    fn get_date_lookup() {
+        let svc = GetDate {
+            table: vec![("Monet".to_owned(), "Mon".to_owned())],
+        };
+        let out = svc.call(&[ITree::data("title", "Monet")]).unwrap();
+        assert_eq!(out, vec![ITree::data("date", "Mon")]);
+        let out = svc.call(&[ITree::data("title", "Unknown")]).unwrap();
+        assert_eq!(out, vec![ITree::data("date", "TBA")]);
+    }
+
+    #[test]
+    fn search_engine_paginates_with_continuations() {
+        let svc = SearchEngine::new(
+            (0..5).map(|i| format!("http://r/{i}")).collect(),
+            2,
+            "SearchMore",
+        );
+        let p1 = svc.call(&[]).unwrap();
+        assert_eq!(p1.len(), 3); // 2 urls + continuation
+        assert!(p1[2].is_func());
+        let p2 = svc.call(&[]).unwrap();
+        assert_eq!(p2.len(), 3);
+        let p3 = svc.call(&[]).unwrap();
+        assert_eq!(p3.len(), 1); // final url, no continuation
+        assert!(!p3[0].is_func());
+        let p4 = svc.call(&[]).unwrap();
+        assert!(p4.is_empty());
+    }
+
+    #[test]
+    fn adversarial_outputs_are_type_correct() {
+        let compiled = Arc::new(
+            Compiled::new(
+                Schema::builder()
+                    .element("exhibit", "title.(Get_Date|date)")
+                    .data_element("title")
+                    .data_element("date")
+                    .data_element("performance")
+                    .function("TimeOut", "data", "(exhibit|performance)*")
+                    .function("Get_Date", "title", "date")
+                    .build()
+                    .unwrap(),
+                &NoOracle,
+            )
+            .unwrap(),
+        );
+        let svc = Adversarial::for_function(Arc::clone(&compiled), "TimeOut", 7);
+        let sig = compiled.sig_of("TimeOut");
+        for _ in 0..50 {
+            let out = svc.call(&[]).unwrap();
+            axml_schema::validate_output_instance(&out, &sig.output_dfa, &compiled).unwrap();
+        }
+    }
+
+    #[test]
+    fn flaky_fails_periodically() {
+        let inner = Arc::new(|_: &[ITree]| Ok(vec![ITree::data("a", "1")]));
+        let svc = Flaky::every(inner, 3);
+        assert!(svc.call(&[]).is_ok());
+        assert!(svc.call(&[]).is_ok());
+        assert!(svc.call(&[]).is_err());
+        assert!(svc.call(&[]).is_ok());
+    }
+
+    #[test]
+    fn ill_typed_returns_fixed_forest() {
+        let svc = IllTyped {
+            forest: vec![ITree::data("wrong", "x")],
+        };
+        assert_eq!(svc.call(&[]).unwrap()[0], ITree::data("wrong", "x"));
+    }
+}

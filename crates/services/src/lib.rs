@@ -1,0 +1,26 @@
+//! Simulated Web services for the Active XML system.
+//!
+//! The paper's system lives in a world of SOAP/WSDL/UDDI Web services.
+//! This crate simulates that world faithfully enough for every algorithm
+//! to run end to end:
+//!
+//! * [`ServiceDef`]/[`ServiceImpl`] — WSDL_int descriptions and executable
+//!   behaviours, with side-effect/fee/latency metadata (the Sec. 1
+//!   exchange trade-offs);
+//! * [`Registry`] — a UDDI-like registry with per-principal ACLs, the
+//!   `UDDIF`/`InACL` pattern predicates of Sec. 2.1, call accounting, and
+//!   an [`axml_core::invoke::Invoker`] adapter for the rewriter;
+//! * [`soap`] — request/response/fault envelopes used by the peers;
+//! * [`builtin`] — the paper's concrete services (`Get_Temp`, `TimeOut`,
+//!   `Get_Date`), the Sec. 3 continuation-style search engine, and the
+//!   Def. 4 adversary that returns arbitrary output instances.
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+mod registry;
+mod service;
+pub mod soap;
+
+pub use registry::{CallStats, Registry, RegistryInvoker, RegistryOracle};
+pub use service::{ServiceDef, ServiceError, ServiceImpl};

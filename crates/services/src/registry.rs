@@ -1,0 +1,384 @@
+//! The service registry: a simulated UDDI plus access control.
+//!
+//! The paper's function patterns rely on boolean predicates implemented as
+//! Web services — `UDDIF` ("is this function registered in the UDDI
+//! registry?") and `InACL` ("may this client call it?") in the Sec. 2.1
+//! example. The [`Registry`] provides both: it stores service descriptions
+//! and implementations, maintains per-principal access-control lists, and
+//! implements [`PatternOracle`] so compiled schemas can evaluate pattern
+//! membership against it.
+//!
+//! It also implements the rewriter's [`Invoker`] boundary through
+//! [`Registry::invoker`], with full call accounting (calls, fees, simulated
+//! latency, side effects) — the inputs to the paper's Sec. 1 trade-offs.
+
+use crate::service::{ServiceDef, ServiceError, ServiceImpl};
+use axml_core::invoke::{InvokeError, Invoker};
+use axml_schema::{ITree, PatternOracle, SchemaBuilder};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+struct Registered {
+    def: ServiceDef,
+    imp: Arc<dyn ServiceImpl>,
+}
+
+/// Cumulative call accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallStats {
+    /// Total calls, per service.
+    pub calls: BTreeMap<String, u64>,
+    /// Total fees charged, in cents.
+    pub fees_cents: u64,
+    /// Total simulated latency, in microseconds.
+    pub latency_us: u64,
+    /// Calls made to services with side effects.
+    pub side_effect_calls: u64,
+}
+
+impl CallStats {
+    /// Total number of calls across services.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.values().sum()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    services: HashMap<String, Registered>,
+    /// principal -> set of services it may call.
+    acls: HashMap<String, BTreeSet<String>>,
+    stats: CallStats,
+}
+
+/// A thread-safe UDDI-like service registry.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service (replacing any previous entry with that name).
+    pub fn register(&self, def: ServiceDef, imp: Arc<dyn ServiceImpl>) {
+        self.inner
+            .write()
+            .services
+            .insert(def.name.clone(), Registered { def, imp });
+    }
+
+    /// Registers a closure-backed service.
+    pub fn register_fn<F>(&self, def: ServiceDef, f: F)
+    where
+        F: Fn(&[ITree]) -> Result<Vec<ITree>, ServiceError> + Send + Sync + 'static,
+    {
+        self.register(def, Arc::new(f));
+    }
+
+    /// True if a service with this name is registered (the `UDDIF`
+    /// predicate).
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.inner.read().services.contains_key(name)
+    }
+
+    /// The WSDL_int description of `name`.
+    pub fn describe(&self, name: &str) -> Option<ServiceDef> {
+        self.inner.read().services.get(name).map(|r| r.def.clone())
+    }
+
+    /// All registered descriptions (UDDI browse).
+    pub fn descriptions(&self) -> Vec<ServiceDef> {
+        let mut out: Vec<ServiceDef> = self
+            .inner
+            .read()
+            .services
+            .values()
+            .map(|r| r.def.clone())
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// UDDI green-pages search: services whose signature matches exactly.
+    pub fn find_by_signature(&self, input: &str, output: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .inner
+            .read()
+            .services
+            .values()
+            .filter(|r| r.def.input == input && r.def.output == output)
+            .map(|r| r.def.name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Grants `principal` the right to call `service` (the `InACL`
+    /// predicate data).
+    pub fn grant(&self, principal: &str, service: &str) {
+        self.inner
+            .write()
+            .acls
+            .entry(principal.to_owned())
+            .or_default()
+            .insert(service.to_owned());
+    }
+
+    /// Revokes a previously granted right.
+    pub fn revoke(&self, principal: &str, service: &str) {
+        if let Some(set) = self.inner.write().acls.get_mut(principal) {
+            set.remove(service);
+        }
+    }
+
+    /// True if `principal` may call `service`.
+    pub fn allowed(&self, principal: &str, service: &str) -> bool {
+        self.inner
+            .read()
+            .acls
+            .get(principal)
+            .is_some_and(|s| s.contains(service))
+    }
+
+    /// Adds every registered service's WSDL_int description as a function
+    /// declaration on `builder` (used to build the sender's schema `s0`).
+    pub fn augment(&self, mut builder: SchemaBuilder) -> SchemaBuilder {
+        for def in self.descriptions() {
+            builder = builder.function(&def.name, &def.input, &def.output);
+        }
+        builder
+    }
+
+    /// A snapshot of the call accounting.
+    pub fn stats(&self) -> CallStats {
+        self.inner.read().stats.clone()
+    }
+
+    /// Resets the call accounting.
+    pub fn reset_stats(&self) {
+        self.inner.write().stats = CallStats::default();
+    }
+
+    /// Executes a call, with accounting. Enforces the principal's ACL when
+    /// one is given.
+    pub fn call(
+        &self,
+        principal: Option<&str>,
+        name: &str,
+        params: &[ITree],
+    ) -> Result<Vec<ITree>, InvokeError> {
+        // Look up without holding the lock during the call itself.
+        let (imp, def) = {
+            let inner = self.inner.read();
+            let reg = inner.services.get(name).ok_or_else(|| InvokeError {
+                function: name.to_owned(),
+                message: "service not registered".to_owned(),
+            })?;
+            (Arc::clone(&reg.imp), reg.def.clone())
+        };
+        if let Some(p) = principal {
+            if !self.allowed(p, name) {
+                return Err(InvokeError {
+                    function: name.to_owned(),
+                    message: format!("principal '{p}' is not in the ACL"),
+                });
+            }
+        }
+        let result = imp.call(params).map_err(|e| InvokeError {
+            function: name.to_owned(),
+            message: e.0,
+        })?;
+        let mut inner = self.inner.write();
+        *inner.stats.calls.entry(name.to_owned()).or_insert(0) += 1;
+        inner.stats.fees_cents += u64::from(def.fee_cents);
+        inner.stats.latency_us += def.latency_us;
+        if def.side_effects {
+            inner.stats.side_effect_calls += 1;
+        }
+        Ok(result)
+    }
+
+    /// An [`Invoker`] view bound to an optional principal.
+    pub fn invoker(&self, principal: Option<&str>) -> RegistryInvoker<'_> {
+        RegistryInvoker {
+            registry: self,
+            principal: principal.map(str::to_owned),
+        }
+    }
+}
+
+/// [`Invoker`] adapter over a [`Registry`].
+pub struct RegistryInvoker<'r> {
+    registry: &'r Registry,
+    principal: Option<String>,
+}
+
+impl Invoker for RegistryInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        self.registry
+            .call(self.principal.as_deref(), function, params)
+    }
+}
+
+/// [`PatternOracle`] over a registry: understands the paper's predicates.
+///
+/// * `UDDIF` — true iff the function is registered;
+/// * `InACL` — true iff the oracle's principal may call the function;
+/// * anything else — false.
+pub struct RegistryOracle<'r> {
+    registry: &'r Registry,
+    principal: Option<String>,
+}
+
+impl Registry {
+    /// An oracle evaluating `UDDIF`/`InACL` against this registry for the
+    /// given principal.
+    pub fn oracle(&self, principal: Option<&str>) -> RegistryOracle<'_> {
+        RegistryOracle {
+            registry: self,
+            principal: principal.map(str::to_owned),
+        }
+    }
+}
+
+impl PatternOracle for RegistryOracle<'_> {
+    fn check(&self, predicate: &str, function: &str) -> bool {
+        match predicate {
+            "UDDIF" => self.registry.is_registered(function),
+            "InACL" => self
+                .principal
+                .as_deref()
+                .is_some_and(|p| self.registry.allowed(p, function)),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_service() -> (ServiceDef, Arc<dyn ServiceImpl>) {
+        let def = ServiceDef::new("Get_Temp", "city", "temp").with_fee(3);
+        let imp = Arc::new(|_p: &[ITree]| Ok(vec![ITree::data("temp", "15 C")]));
+        (def, imp as Arc<dyn ServiceImpl>)
+    }
+
+    #[test]
+    fn register_lookup_describe() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def.clone(), imp);
+        assert!(reg.is_registered("Get_Temp"));
+        assert!(!reg.is_registered("ghost"));
+        assert_eq!(reg.describe("Get_Temp"), Some(def));
+        assert_eq!(reg.descriptions().len(), 1);
+    }
+
+    #[test]
+    fn signature_search() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def, imp);
+        reg.register_fn(ServiceDef::new("Get_Berlin_Temp", "city", "temp"), |_| {
+            Ok(vec![ITree::data("temp", "8 C")])
+        });
+        reg.register_fn(ServiceDef::new("Other", "data", "date"), |_| {
+            Ok(vec![ITree::data("date", "x")])
+        });
+        assert_eq!(
+            reg.find_by_signature("city", "temp"),
+            vec!["Get_Berlin_Temp".to_owned(), "Get_Temp".to_owned()]
+        );
+    }
+
+    #[test]
+    fn calls_account_fees_and_stats() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def, imp);
+        let mut inv = reg.invoker(None);
+        for _ in 0..3 {
+            inv.invoke("Get_Temp", &[ITree::data("city", "Paris")])
+                .unwrap();
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.total_calls(), 3);
+        assert_eq!(stats.calls["Get_Temp"], 3);
+        assert_eq!(stats.fees_cents, 9);
+        assert!(stats.latency_us > 0);
+        reg.reset_stats();
+        assert_eq!(reg.stats().total_calls(), 0);
+    }
+
+    #[test]
+    fn acl_enforced_for_principals() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def, imp);
+        let mut inv = reg.invoker(Some("alice"));
+        let err = inv.invoke("Get_Temp", &[]).unwrap_err();
+        assert!(err.message.contains("ACL"));
+        reg.grant("alice", "Get_Temp");
+        assert!(inv.invoke("Get_Temp", &[]).is_ok());
+        reg.revoke("alice", "Get_Temp");
+        assert!(inv.invoke("Get_Temp", &[]).is_err());
+        // Anonymous invokers bypass ACLs (trusted local caller).
+        assert!(reg.invoker(None).invoke("Get_Temp", &[]).is_ok());
+    }
+
+    #[test]
+    fn oracle_implements_uddif_and_inacl() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def, imp);
+        reg.grant("bob", "Get_Temp");
+        let oracle = reg.oracle(Some("bob"));
+        assert!(oracle.check("UDDIF", "Get_Temp"));
+        assert!(!oracle.check("UDDIF", "ghost"));
+        assert!(oracle.check("InACL", "Get_Temp"));
+        assert!(!reg.oracle(Some("eve")).check("InACL", "Get_Temp"));
+        assert!(!reg.oracle(None).check("InACL", "Get_Temp"));
+        assert!(!oracle.check("Unknown", "Get_Temp"));
+    }
+
+    #[test]
+    fn unknown_service_fails() {
+        let reg = Registry::new();
+        let err = reg.invoker(None).invoke("nope", &[]).unwrap_err();
+        assert!(err.message.contains("not registered"));
+    }
+
+    #[test]
+    fn augment_adds_function_declarations() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def, imp);
+        let schema = reg
+            .augment(
+                axml_schema::Schema::builder()
+                    .data_element("city")
+                    .data_element("temp"),
+            )
+            .build()
+            .unwrap();
+        assert!(schema.functions.contains_key("Get_Temp"));
+    }
+
+    #[test]
+    fn service_errors_propagate() {
+        let reg = Registry::new();
+        reg.register_fn(ServiceDef::new("flaky", "", ""), |_| {
+            Err(ServiceError("backend down".to_owned()))
+        });
+        let err = reg.invoker(None).invoke("flaky", &[]).unwrap_err();
+        assert!(err.message.contains("backend down"));
+        // Failed calls are not accounted.
+        assert_eq!(reg.stats().total_calls(), 0);
+    }
+}

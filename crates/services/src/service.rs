@@ -1,0 +1,122 @@
+//! Service descriptions and implementations.
+//!
+//! A [`ServiceDef`] is the WSDL_int description of one Web-service
+//! operation: its name, input/output types (in the paper's content-model
+//! notation), and exchange-relevant metadata — whether calls have side
+//! effects and what they cost (the Sec. 1 considerations: performance,
+//! security, fees). A [`ServiceImpl`] is the executable behaviour.
+
+use axml_schema::ITree;
+use std::fmt;
+
+/// The WSDL_int description of a service operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDef {
+    /// Operation name (the function name used in documents).
+    pub name: String,
+    /// Input type `τ_in` in the paper's textual notation.
+    pub input: String,
+    /// Output type `τ_out`.
+    pub output: String,
+    /// Whether invoking the service has side effects (Sec. 1, *Security*).
+    pub side_effects: bool,
+    /// Fee charged per call, in cents (Sec. 1, *Functionalities*).
+    pub fee_cents: u32,
+    /// Simulated processing latency in microseconds (accounted, not slept).
+    pub latency_us: u64,
+    /// SOAP endpoint URL advertised for this operation.
+    pub endpoint: String,
+}
+
+impl ServiceDef {
+    /// A plain free, side-effect-free service.
+    pub fn new(name: &str, input: &str, output: &str) -> Self {
+        ServiceDef {
+            name: name.to_owned(),
+            input: input.to_owned(),
+            output: output.to_owned(),
+            side_effects: false,
+            fee_cents: 0,
+            latency_us: 100,
+            endpoint: format!("http://services.example.org/soap/{name}"),
+        }
+    }
+
+    /// Marks the service as having side effects.
+    pub fn with_side_effects(mut self) -> Self {
+        self.side_effects = true;
+        self
+    }
+
+    /// Sets the per-call fee.
+    pub fn with_fee(mut self, cents: u32) -> Self {
+        self.fee_cents = cents;
+        self
+    }
+
+    /// Sets the simulated latency.
+    pub fn with_latency_us(mut self, us: u64) -> Self {
+        self.latency_us = us;
+        self
+    }
+}
+
+/// Error raised by a service implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError(pub String);
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Executable behaviour of a service operation.
+///
+/// Implementations must be thread-safe: an Active XML peer serves calls
+/// from several sessions concurrently.
+pub trait ServiceImpl: Send + Sync {
+    /// Handles one call.
+    fn call(&self, params: &[ITree]) -> Result<Vec<ITree>, ServiceError>;
+}
+
+impl<F> ServiceImpl for F
+where
+    F: Fn(&[ITree]) -> Result<Vec<ITree>, ServiceError> + Send + Sync,
+{
+    fn call(&self, params: &[ITree]) -> Result<Vec<ITree>, ServiceError> {
+        self(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_builder() {
+        let d = ServiceDef::new("Get_Temp", "city", "temp")
+            .with_fee(5)
+            .with_side_effects()
+            .with_latency_us(250);
+        assert_eq!(d.name, "Get_Temp");
+        assert_eq!(d.fee_cents, 5);
+        assert!(d.side_effects);
+        assert_eq!(d.latency_us, 250);
+        assert!(d.endpoint.contains("Get_Temp"));
+    }
+
+    #[test]
+    fn closures_are_services() {
+        let svc = |params: &[ITree]| -> Result<Vec<ITree>, ServiceError> {
+            Ok(vec![ITree::data(
+                "echo",
+                &format!("{} params", params.len()),
+            )])
+        };
+        let out = ServiceImpl::call(&svc, &[ITree::text("x")]).unwrap();
+        assert_eq!(out[0], ITree::data("echo", "1 params"));
+    }
+}

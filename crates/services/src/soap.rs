@@ -1,0 +1,207 @@
+//! SOAP-style envelopes for peer-to-peer exchange.
+//!
+//! All exchanges between Active XML peers and with other Web-service
+//! providers/consumers use SOAP (Sec. 7). This module provides the minimal
+//! envelope subset the system needs: request envelopes carrying a method
+//! name and intensional parameters, response envelopes carrying an
+//! intensional result forest, and fault envelopes.
+
+use axml_schema::ITree;
+use axml_xml::{parse_document, Element, Node};
+
+/// The SOAP 1.1 envelope namespace.
+pub const SOAP_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// A decoded SOAP message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A call request: method + parameters.
+    Request {
+        /// The method (function) name.
+        method: String,
+        /// Parameter forest.
+        params: Vec<ITree>,
+    },
+    /// A successful response carrying the result forest.
+    Response {
+        /// The returned trees.
+        result: Vec<ITree>,
+    },
+    /// A fault.
+    Fault {
+        /// Fault code (e.g. `Client`, `Server`).
+        code: String,
+        /// Human-readable fault string.
+        message: String,
+    },
+}
+
+fn envelope(body_content: Element) -> Element {
+    Element::with_ns("soap", "Envelope", SOAP_NS)
+        .xmlns("soap", SOAP_NS)
+        .child(Element::with_ns("soap", "Body", SOAP_NS).child(body_content))
+}
+
+/// Builds a request envelope.
+pub fn request(method: &str, params: &[ITree]) -> Element {
+    let mut call = Element::new("call").attr("method", method);
+    for p in params {
+        let mut param = Element::new("param");
+        push_tree(&mut param, p);
+        call.children.push(Node::Element(param));
+    }
+    envelope(call)
+}
+
+/// Builds a response envelope.
+pub fn response(result: &[ITree]) -> Element {
+    let mut res = Element::new("result");
+    for t in result {
+        push_tree(&mut res, t);
+    }
+    envelope(res)
+}
+
+/// Builds a fault envelope.
+pub fn fault(code: &str, message: &str) -> Element {
+    envelope(
+        Element::with_ns("soap", "Fault", SOAP_NS)
+            .child(Element::new("faultcode").text(code))
+            .child(Element::new("faultstring").text(message)),
+    )
+}
+
+fn push_tree(parent: &mut Element, tree: &ITree) {
+    match tree {
+        ITree::Text(t) => parent.children.push(Node::Text(t.clone())),
+        other => parent.children.push(Node::Element(other.to_xml())),
+    }
+}
+
+/// Decodes an envelope from its XML text.
+pub fn decode(text: &str) -> Result<Message, String> {
+    let doc = parse_document(text).map_err(|e| e.to_string())?;
+    decode_element(&doc.root)
+}
+
+/// Decodes an envelope from a parsed element.
+pub fn decode_element(root: &Element) -> Result<Message, String> {
+    if !root.name.matches(SOAP_NS, "Envelope") {
+        return Err(format!("not a SOAP envelope: <{}>", root.name));
+    }
+    let body = root
+        .child_elements()
+        .find(|e| e.name.matches(SOAP_NS, "Body"))
+        .ok_or("envelope has no Body")?;
+    let content = body.child_elements().next().ok_or("empty Body")?;
+    if content.name.matches(SOAP_NS, "Fault") {
+        let code = content
+            .first_child("faultcode")
+            .map(Element::text_content)
+            .unwrap_or_default();
+        let message = content
+            .first_child("faultstring")
+            .map(Element::text_content)
+            .unwrap_or_default();
+        return Ok(Message::Fault { code, message });
+    }
+    match content.name.local.as_str() {
+        "call" => {
+            let method = content
+                .attribute("method")
+                .ok_or("call without method")?
+                .to_owned();
+            let mut params = Vec::new();
+            for p in content.children_named("param") {
+                params.push(decode_forest_item(p)?);
+            }
+            Ok(Message::Request { method, params })
+        }
+        "result" => {
+            let mut result = Vec::new();
+            for c in &content.children {
+                match c {
+                    Node::Element(e) => result.push(ITree::from_xml(e)?),
+                    Node::Text(t) if !t.trim().is_empty() => {
+                        result.push(ITree::text(t.trim()));
+                    }
+                    _ => {}
+                }
+            }
+            Ok(Message::Response { result })
+        }
+        other => Err(format!("unsupported body element <{other}>")),
+    }
+}
+
+fn decode_forest_item(param: &Element) -> Result<ITree, String> {
+    let elems: Vec<&Element> = param.child_elements().collect();
+    match elems.as_slice() {
+        [one] => ITree::from_xml(one),
+        [] => {
+            let t = param.text_content();
+            if t.is_empty() {
+                Err("empty param".to_owned())
+            } else {
+                Ok(ITree::text(&t))
+            }
+        }
+        _ => Err("param must hold a single tree".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let params = vec![
+            ITree::data("city", "Paris"),
+            ITree::text("verbose"),
+            ITree::func("Get_Date", vec![ITree::data("title", "Expo")]),
+        ];
+        let env = request("Get_Temp", &params);
+        let text = env.to_xml();
+        match decode(&text).unwrap() {
+            Message::Request { method, params: p } => {
+                assert_eq!(method, "Get_Temp");
+                assert_eq!(p, params);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_preserves_intensional_parts() {
+        let result = vec![
+            ITree::elem("exhibit", vec![ITree::data("title", "Expo")]),
+            ITree::func("Get_Exhibits", vec![]),
+        ];
+        let env = response(&result);
+        match decode(&env.to_xml()).unwrap() {
+            Message::Response { result: r } => assert_eq!(r, result),
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let env = fault("Client", "type mismatch in parameters");
+        match decode(&env.to_xml()).unwrap() {
+            Message::Fault { code, message } => {
+                assert_eq!(code, "Client");
+                assert!(message.contains("type mismatch"));
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode("<notsoap/>").is_err());
+        assert!(decode("not xml at all").is_err());
+        let env = Element::with_ns("soap", "Envelope", SOAP_NS).xmlns("soap", SOAP_NS);
+        assert!(decode_element(&env).is_err()); // no body
+    }
+}

@@ -1,0 +1,131 @@
+//! Escaping and unescaping of XML character data.
+
+use std::borrow::Cow;
+
+/// Escapes text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape(s, false)
+}
+
+/// Escapes attribute values: `&`, `<`, `>`, `"`, `'`.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape(s, true)
+}
+
+fn escape(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\'')));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves the five predefined entities and numeric character references.
+///
+/// Unknown entities are an error, reported as `Err(entity_name)`.
+pub fn unescape(s: &str) -> Result<Cow<'_, str>, String> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos + 1..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity near '&{rest}'"))?;
+        let name = &rest[..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    let cp = u32::from_str_radix(hex, 16)
+                        .map_err(|_| format!("bad hex character reference '&{name};'"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| format!("invalid code point in '&{name};'"))?,
+                    );
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    let cp: u32 = dec
+                        .parse()
+                        .map_err(|_| format!("bad character reference '&{name};'"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| format!("invalid code point in '&{name};'"))?,
+                    );
+                } else {
+                    return Err(format!("unknown entity '&{name};'"));
+                }
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("plain"), "plain");
+        assert!(matches!(escape_text("plain"), Cow::Borrowed(_)));
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        // Quotes untouched in text context.
+        assert_eq!(escape_text("\"q\""), "\"q\"");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr("a\"b'c"), "a&quot;b&apos;c");
+        assert_eq!(escape_attr("x<y"), "x&lt;y");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("a &lt; b &amp; c").unwrap(), "a < b & c");
+        assert_eq!(unescape("&quot;&apos;&gt;").unwrap(), "\"'>");
+        assert!(matches!(unescape("no entities").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("&#x20AC;").unwrap(), "€");
+    }
+
+    #[test]
+    fn unescape_errors() {
+        assert!(unescape("&nbsp;").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
+        assert!(unescape("&unterminated").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nasty = "a<b>&\"'\u{20AC}";
+        assert_eq!(unescape(&escape_attr(nasty)).unwrap(), nasty);
+        assert_eq!(unescape(&escape_text(nasty)).unwrap(), nasty);
+    }
+}

@@ -1,0 +1,126 @@
+//! Exchange-schema negotiation (the conclusion's "negotiator" extension).
+//!
+//! A newspaper peer proposes three exchange schemas, laziest first. Three
+//! receivers with different capabilities negotiate; each lands on the
+//! laziest schema it can live with and that the sender can guarantee
+//! (Def. 6). The chosen schema is then enforced on an actual document.
+//!
+//! Run with: `cargo run --example negotiation`
+
+use axml::core::rewrite::enforce;
+use axml::peer::{negotiate, InboundPolicy, Negotiation, Proposal};
+use axml::schema::{newspaper_example, schema_refines, Compiled, NoOracle, Schema};
+use axml::services::builtin::{GetDate, GetTemp, TimeOutGuide};
+use axml::services::{Registry, ServiceDef};
+use std::sync::Arc;
+
+fn newspaper_schema(newspaper_model: &str, exhibit_model: &str) -> Schema {
+    Schema::builder()
+        .element("newspaper", newspaper_model)
+        .data_element("title")
+        .data_element("date")
+        .data_element("temp")
+        .data_element("city")
+        .element("exhibit", exhibit_model)
+        .data_element("performance")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit|performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let sender = newspaper_schema(
+        "title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+        "title.(Get_Date|date)",
+    );
+    let proposals = vec![
+        Proposal {
+            name: "fully intensional".to_owned(),
+            schema: newspaper_schema(
+                "title.date.(Get_Temp|temp).(TimeOut|exhibit*)",
+                "title.(Get_Date|date)",
+            ),
+        },
+        Proposal {
+            name: "temperature materialized".to_owned(),
+            schema: newspaper_schema(
+                "title.date.temp.(TimeOut|exhibit*)",
+                "title.(Get_Date|date)",
+            ),
+        },
+        Proposal {
+            name: "fully extensional".to_owned(),
+            schema: newspaper_schema("title.date.temp.(exhibit|performance)*", "title.date"),
+        },
+    ];
+
+    // Refinement pre-check: each proposal is strictly wider than the next.
+    println!("Proposal lattice (refinement pre-checks):");
+    for w in proposals.windows(2) {
+        let narrower_refines = schema_refines(&w[1].schema, &w[0].schema).is_empty();
+        println!(
+            "  '{}' refines '{}': {narrower_refines}",
+            w[1].name, w[0].name
+        );
+    }
+    println!();
+
+    let receivers = [
+        ("Active XML peer", InboundPolicy::AcceptAll),
+        (
+            "cautious peer (trusts TimeOut only)",
+            InboundPolicy::AllowOnly(vec!["TimeOut".to_owned()]),
+        ),
+        ("plain browser", InboundPolicy::RejectFunctions),
+    ];
+
+    let registry = Registry::new();
+    registry.register(
+        ServiceDef::new("Get_Temp", "city", "temp"),
+        Arc::new(GetTemp::with_defaults()),
+    );
+    registry.register(
+        ServiceDef::new("TimeOut", "data", "(exhibit|performance)*"),
+        Arc::new(TimeOutGuide::with_defaults()),
+    );
+    registry.register(
+        ServiceDef::new("Get_Date", "title", "date"),
+        Arc::new(GetDate {
+            table: vec![
+                ("Monet".to_owned(), "Mon".to_owned()),
+                ("Rodin".to_owned(), "Tue".to_owned()),
+                ("Hamlet".to_owned(), "Fri".to_owned()),
+            ],
+        }),
+    );
+
+    for (who, policy) in receivers {
+        match negotiate(&sender, "newspaper", &proposals, &policy, 1, &NoOracle).unwrap() {
+            Negotiation::Agreed { index, skipped } => {
+                println!("{who}: agreed on '{}'", proposals[index].name);
+                for (i, why) in &skipped {
+                    println!("    skipped '{}': {why}", proposals[*i].name);
+                }
+                // Ship a document under the agreed schema.
+                let compiled = Compiled::new(proposals[index].schema.clone(), &NoOracle).unwrap();
+                let mut invoker = registry.invoker(None);
+                let (sent, report) =
+                    enforce(&compiled, &newspaper_example(), 2, &mut invoker).unwrap();
+                println!(
+                    "    shipped with {} call(s) materialized: {sent}",
+                    report.invoked.len()
+                );
+            }
+            Negotiation::Failed { reasons } => {
+                println!("{who}: negotiation failed");
+                for (i, why) in reasons {
+                    println!("    '{}': {why}", proposals[i].name);
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the Fig. 2 newspaper document, the three schemas of Sec. 2
+//! ((*), (**), (***)), and shows validation, safe rewriting, and possible
+//! rewriting — reproducing the decisions of Figs. 6, 8 and 11.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use axml::core::invoke::ScriptedInvoker;
+use axml::core::rewrite::{RewriteError, Rewriter};
+use axml::schema::{newspaper_example, validate, Compiled, ITree, NoOracle, Schema};
+
+fn schema(newspaper_model: &str) -> Compiled {
+    let schema = Schema::builder()
+        .element("newspaper", newspaper_model)
+        .data_element("title")
+        .data_element("date")
+        .data_element("temp")
+        .data_element("city")
+        .element("exhibit", "title.(Get_Date|date)")
+        .data_element("performance")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit|performance)*")
+        .function("Get_Date", "title", "date")
+        .build()
+        .expect("well-formed schema");
+    Compiled::new(schema, &NoOracle).expect("compilable schema")
+}
+
+fn main() {
+    // The intensional document of Fig. 2.a: explicit title and date, a
+    // Get_Temp call for the temperature, a TimeOut call for the listings.
+    let doc = newspaper_example();
+    println!("Document (Fig. 2.a):\n  {doc}\n");
+    println!("As XML:\n{}\n", doc.to_xml().to_pretty_xml());
+
+    // Schema (*): both calls may stay intensional.
+    let star = schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+    println!(
+        "(*)   title.date.(Get_Temp|temp).(TimeOut|exhibit*)  -> instance? {}",
+        validate(&doc, &star).is_ok()
+    );
+
+    // Schema (**): the temperature must be materialized.
+    let star2 = schema("title.date.temp.(TimeOut|exhibit*)");
+    println!(
+        "(**)  title.date.temp.(TimeOut|exhibit*)             -> instance? {}",
+        validate(&doc, &star2).is_ok()
+    );
+
+    // Safe rewriting into (**): invoke Get_Temp, keep TimeOut (Fig. 6).
+    let mut rewriter = Rewriter::new(&star2).with_k(1);
+    let mut invoker = ScriptedInvoker::new().answer("Get_Temp", vec![ITree::data("temp", "15 C")]);
+    let (sent, report) = rewriter
+        .rewrite_safe(&doc, &mut invoker)
+        .expect("the paper proves this safe");
+    println!("\nSafe rewriting into (**) invoked {:?}:", report.invoked);
+    println!("  {sent}");
+    assert!(validate(&sent, &star2).is_ok());
+
+    // Schema (***): everything extensional; safe rewriting is impossible
+    // because TimeOut may return performance elements (Fig. 8).
+    let star3 = schema("title.date.temp.exhibit*");
+    let mut rewriter3 = Rewriter::new(&star3).with_k(1);
+    match rewriter3.analyze_safe(&doc) {
+        Err(RewriteError::NotSafe { context, word }) => {
+            println!("\nSafe rewriting into (***): impossible at '{context}' (children {word})")
+        }
+        other => panic!("expected NotSafe, got {other:?}"),
+    }
+
+    // …but a *possible* rewriting exists (Fig. 11) — it succeeds when
+    // TimeOut happens to return only exhibits.
+    let mut invoker3 = ScriptedInvoker::new()
+        .answer("Get_Temp", vec![ITree::data("temp", "15 C")])
+        .answer(
+            "TimeOut",
+            vec![ITree::elem(
+                "exhibit",
+                vec![ITree::data("title", "Monet"), ITree::data("date", "Mon")],
+            )],
+        );
+    let (sent3, report3) = rewriter3
+        .rewrite_possible(&doc, &mut invoker3)
+        .expect("TimeOut cooperated");
+    println!(
+        "Possible rewriting into (***) invoked {:?} ({} wasted):",
+        report3.invoked, report3.wasted_calls
+    );
+    println!("  {sent3}");
+    assert!(validate(&sent3, &star3).is_ok());
+}

@@ -1,0 +1,67 @@
+//! Schema-to-schema compatibility (Sec. 6, Def. 6).
+//!
+//! Before wiring two applications together, the sender checks that *all*
+//! documents its schema can generate safely rewrite into the agreed
+//! exchange schema — reproducing the Sec. 2 claims: schema (*) safely
+//! rewrites into (**) but not into (***).
+//!
+//! Run with: `cargo run --example schema_compat`
+
+use axml::core::schema_rw::schema_safe_rewrites;
+use axml::schema::{NoOracle, Schema};
+
+fn newspaper_schema(newspaper_model: &str) -> Schema {
+    Schema::builder()
+        .element("newspaper", newspaper_model)
+        .data_element("title")
+        .data_element("date")
+        .data_element("temp")
+        .data_element("city")
+        .element("exhibit", "title.(Get_Date|date)")
+        .data_element("performance")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit|performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let star = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+    let star2 = newspaper_schema("title.date.temp.(TimeOut|exhibit*)");
+    let star3 = newspaper_schema("title.date.temp.exhibit*");
+
+    println!("Checking Def. 6 compatibility with root 'newspaper', k = 1:\n");
+    for (name, target) in [("(**)", &star2), ("(***)", &star3), ("(*)", &star)] {
+        let report = schema_safe_rewrites(&star, "newspaper", target, 1, &NoOracle)
+            .expect("well-formed schemas");
+        println!(
+            "(*) safely rewrites into {name}? {}   (checked element types: {})",
+            report.compatible(),
+            report.checked.len()
+        );
+        for failure in &report.failures {
+            println!("    ✗ {failure}");
+        }
+    }
+
+    // Depth sensitivity: nested continuation handles need a deeper k.
+    println!("\nDepth sensitivity (Sec. 3 handles example):");
+    let mk = |model: &str| {
+        Schema::builder()
+            .element("r", model)
+            .element("exhibit", "")
+            .function("Get_Exhibits", "", "Get_Exhibit*")
+            .function("Get_Exhibit", "", "exhibit")
+            .root("r")
+            .build()
+            .unwrap()
+    };
+    let sender = mk("Get_Exhibits|exhibit*");
+    let receiver = mk("exhibit*");
+    for k in 1..=2 {
+        let report = schema_safe_rewrites(&sender, "r", &receiver, k, &NoOracle).unwrap();
+        println!("  k = {k}: compatible? {}", report.compatible());
+    }
+}

@@ -1,0 +1,96 @@
+//! The Sec. 3 recursion example: continuation-style search results.
+//!
+//! A search engine returns a page of `url` elements plus, possibly, a
+//! `SearchMore` handle for the next page: `τ_out(SearchMore) =
+//! url*.SearchMore?`. Receivers wanting plain data must call the handles
+//! repeatedly — and the k-depth restriction (Def. 7) bounds how deep that
+//! chase may go, which is exactly why the restriction exists.
+//!
+//! Run with: `cargo run --example search_engine`
+
+use axml::core::rewrite::{RewriteError, Rewriter};
+use axml::schema::{validate, Compiled, ITree, NoOracle, Schema};
+use axml::services::builtin::SearchEngine;
+use axml::services::{Registry, ServiceDef};
+use std::sync::Arc;
+
+fn compiled() -> Compiled {
+    let schema = Schema::builder()
+        // The receiver wants only fully materialized result lists.
+        .element("results", "url*")
+        .data_element("url")
+        .data_element("keyword")
+        .function("SearchMore", "", "url*.SearchMore?")
+        .function("Search", "keyword", "url*.SearchMore?")
+        .build()
+        .unwrap();
+    Compiled::new(schema, &NoOracle).unwrap()
+}
+
+fn main() {
+    let compiled = compiled();
+    let registry = Registry::new();
+    // 7 results, 2 per page: materializing everything takes 1 Search plus
+    // 3 SearchMore continuations.
+    let urls: Vec<String> = (1..=7).map(|i| format!("http://hit.example/{i}")).collect();
+    registry.register(
+        ServiceDef::new("Search", "keyword", "url*.SearchMore?"),
+        Arc::new(SearchEngine::new(urls.clone(), 2, "SearchMore")),
+    );
+    registry.register(
+        ServiceDef::new("SearchMore", "", "url*.SearchMore?"),
+        Arc::new(SearchEngine::new(urls[2..].to_vec(), 2, "SearchMore")),
+    );
+
+    let doc = ITree::elem(
+        "results",
+        vec![ITree::func("Search", vec![ITree::data("keyword", "xml")])],
+    );
+    println!("Intensional result document:\n  {doc}\n");
+
+    // The target schema wants url* — plain data. Whether that is *safely*
+    // achievable depends on the rewriting depth k: each level of k chases
+    // one more continuation handle, but the signature always allows the
+    // service to return yet another handle, so NO finite k is safe.
+    for k in 1..=3 {
+        let mut rewriter = Rewriter::new(&compiled).with_k(k);
+        match rewriter.analyze_safe(&doc) {
+            Ok(_) => println!("k = {k}: safe (unexpected!)"),
+            Err(RewriteError::NotSafe { .. }) => {
+                println!("k = {k}: NOT safe — a depth-{k} chase may still end on a handle")
+            }
+            Err(e) => println!("k = {k}: {e}"),
+        }
+    }
+
+    // A *possible* rewriting is a different matter: if the actual chain of
+    // answers bottoms out within k steps, materialization succeeds. Our
+    // engine needs 1 + 3 continuation levels, so k = 4 works.
+    println!();
+    for k in [2, 4] {
+        // Fresh services per attempt (the engine is stateful).
+        let registry = Registry::new();
+        registry.register(
+            ServiceDef::new("Search", "keyword", "url*.SearchMore?"),
+            Arc::new(SearchEngine::new(urls.clone(), 2, "SearchMore")),
+        );
+        registry.register(
+            ServiceDef::new("SearchMore", "", "url*.SearchMore?"),
+            Arc::new(SearchEngine::new(urls[2..].to_vec(), 2, "SearchMore")),
+        );
+        let mut rewriter = Rewriter::new(&compiled).with_k(k);
+        let mut invoker = registry.invoker(None);
+        match rewriter.rewrite_possible(&doc, &mut invoker) {
+            Ok((flat, report)) => {
+                println!(
+                    "k = {k}: possible rewriting succeeded with {} calls:",
+                    report.invoked.len()
+                );
+                println!("  {flat}");
+                validate(&flat, &compiled).unwrap();
+                assert_eq!(flat.children().len(), 7);
+            }
+            Err(e) => println!("k = {k}: failed — {e}"),
+        }
+    }
+}

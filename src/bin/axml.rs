@@ -1,0 +1,278 @@
+//! `axml` — command-line front-end for the Active XML toolkit.
+//!
+//! ```text
+//! axml validate <schema> <doc.xml> [--stream]
+//! axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]
+//! axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]
+//! axml plan     <schema> <doc.xml> [--k N]
+//! ```
+//!
+//! Schemas are loaded from XML Schema_int when the file starts with `<`,
+//! from the textual DSL otherwise (see `axml_schema::dsl`). Exit code 0
+//! means "valid / safe / compatible"; 1 means the check failed; 2 means
+//! usage or I/O errors.
+
+use axml::core::invoke::{InvokeError, Invoker};
+use axml::core::rewrite::Rewriter;
+use axml::core::schema_rw::schema_safe_rewrites;
+use axml::schema::{
+    dsl, generate_output_instance, validate, validate_xml_stream, xsd, Compiled, GenConfig, ITree,
+    NoOracle, Schema,
+};
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("axml: {msg}");
+    ExitCode::from(2)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_schema(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if text.trim_start().starts_with('<') {
+        xsd::parse_xml_schema(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        dsl::parse_schema_dsl(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_doc(path: &str) -> Result<ITree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed = axml::xml::parse_document(&text).map_err(|e| format!("{path}: {e}"))?;
+    ITree::from_xml(&parsed.root).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `--k N`, defaulting to 2; a malformed value is an error rather
+/// than a silent default.
+fn parse_k(args: &[String]) -> Result<u32, String> {
+    match flag_value(args, "--k") {
+        None => Ok(2),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--k expects a non-negative integer, got '{v}'")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+struct CliAdversary {
+    compiled: std::sync::Arc<Compiled>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Invoker for CliAdversary {
+    fn invoke(&mut self, function: &str, _params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let output = self.compiled.sig_of(function).output.clone();
+        generate_output_instance(
+            &self.compiled,
+            &output,
+            &mut self.rng,
+            &GenConfig::default(),
+        )
+        .map_err(|e| InvokeError {
+            function: function.to_owned(),
+            message: e.to_string(),
+        })
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "validate" => cmd_validate(&args[1..]),
+        "rewrite" => cmd_rewrite(&args[1..], true),
+        "plan" => cmd_rewrite(&args[1..], false),
+        "compat" => cmd_compat(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let (Some(schema_path), Some(doc_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let schema = match load_schema(schema_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let compiled = match Compiled::new(schema, &NoOracle) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let result = if args.iter().any(|a| a == "--stream") {
+        match std::fs::read_to_string(doc_path) {
+            Ok(text) => validate_xml_stream(&text, &compiled),
+            Err(e) => return fail(&format!("{doc_path}: {e}")),
+        }
+    } else {
+        match load_doc(doc_path) {
+            Ok(doc) => validate(&doc, &compiled),
+            Err(e) => return fail(&e),
+        }
+    };
+    match result {
+        Ok(()) => {
+            println!("valid");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("invalid: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_rewrite(args: &[String], execute_allowed: bool) -> ExitCode {
+    let (Some(schema_path), Some(doc_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let k = match parse_k(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
+    let schema = match load_schema(schema_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let compiled = match Compiled::new(schema, &NoOracle) {
+        Ok(c) => std::sync::Arc::new(c),
+        Err(e) => return fail(&e.to_string()),
+    };
+    let doc = match load_doc(doc_path) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let mut rewriter = Rewriter::new(&compiled).with_k(k);
+    let possible = args.iter().any(|a| a == "--possible");
+    let analysis = if possible {
+        rewriter.analyze_possible(&doc)
+    } else {
+        rewriter.analyze_safe(&doc)
+    };
+    match analysis {
+        Ok(a) => {
+            println!(
+                "{}: yes ({} word games, {} product nodes, k = {k})",
+                if possible { "possible" } else { "safe" },
+                a.games,
+                a.product_nodes
+            );
+            print_root_plan(&compiled, &doc, k, possible);
+        }
+        Err(e) => {
+            println!("{}: no — {e}", if possible { "possible" } else { "safe" });
+            return ExitCode::from(1);
+        }
+    }
+    if execute_allowed {
+        if let Some(seed) = flag_value(args, "--execute").and_then(|v| v.parse::<u64>().ok()) {
+            let mut adversary = CliAdversary {
+                compiled: std::sync::Arc::clone(&compiled),
+                rng: rand::rngs::StdRng::seed_from_u64(seed),
+            };
+            let run = if possible {
+                rewriter.rewrite_possible(&doc, &mut adversary)
+            } else {
+                rewriter.rewrite_safe(&doc, &mut adversary)
+            };
+            match run {
+                Ok((out, report)) => {
+                    eprintln!(
+                        "executed with simulated services (seed {seed}): invoked {:?}",
+                        report.invoked
+                    );
+                    println!("{}", out.to_xml().to_pretty_xml());
+                }
+                Err(e) => {
+                    println!("execution failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the invoke/keep decisions for the root's children word — the
+/// paper's "rewriting sequence" (Fig. 3 step 19 / Fig. 9 step 7).
+fn print_root_plan(compiled: &Compiled, doc: &ITree, k: u32, possible: bool) {
+    use axml::core::awk::{Awk, AwkLimits};
+    use axml::core::possible::{target_of, PossibleGame};
+    use axml::core::safe::{complement_of, BuildMode, SafeGame};
+    let ITree::Elem { label, children } = doc else {
+        return;
+    };
+    let Some(axml::schema::CompiledContent::Model { regex, .. }) = compiled.content_of(label)
+    else {
+        return;
+    };
+    let Ok(word) = axml::schema::words_of(children, compiled) else {
+        return;
+    };
+    let Ok(awk) = Awk::build(&word, compiled, k, &AwkLimits::default()) else {
+        return;
+    };
+    let n = compiled.alphabet().len();
+    let plan = if possible {
+        PossibleGame::solve(awk, target_of(regex, n)).plan()
+    } else {
+        SafeGame::solve(awk, complement_of(regex, n), BuildMode::Lazy).plan()
+    };
+    if let Some(plan) = plan {
+        for d in plan {
+            println!(
+                "  {} {}",
+                if d.invoke { "invoke" } else { "keep  " },
+                compiled.alphabet().name(d.func)
+            );
+        }
+    }
+}
+
+fn cmd_compat(args: &[String]) -> ExitCode {
+    let (Some(s0_path), Some(s_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(root) = flag_value(args, "--root") else {
+        return usage();
+    };
+    let k = match parse_k(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
+    let (s0, s) = match (load_schema(s0_path), load_schema(s_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    match schema_safe_rewrites(&s0, &root, &s, k, &NoOracle) {
+        Ok(report) if report.compatible() => {
+            println!(
+                "compatible ({} element types checked, k = {k})",
+                report.checked.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            println!("incompatible:");
+            for f in &report.failures {
+                println!("  - {f}");
+            }
+            ExitCode::from(1)
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}

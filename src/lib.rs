@@ -1,0 +1,24 @@
+//! # axml — Exchanging Intensional XML Data
+//!
+//! Umbrella crate for the Rust reproduction of *Exchanging Intensional XML
+//! Data* (Milo, Abiteboul, Amann, Benjelloun, Dang Ngoc — SIGMOD 2003), the
+//! schema-enforcement core of the Active XML system.
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`automata`] — regular expressions, NFAs/DFAs, Glushkov determinism.
+//! * [`xml`] — from-scratch XML data model, parser and serializer.
+//! * [`schema`] — intensional schemas (simple model + XML Schema_int).
+//! * [`core`] — safe / possible / mixed rewriting and schema compatibility.
+//! * [`services`] — simulated Web services, registry, SOAP-style envelopes.
+//! * [`peer`] — Active XML peers and the Schema Enforcement module.
+//!
+//! See the repository README for a guided tour and `examples/` for runnable
+//! scenarios (start with `examples/quickstart.rs`).
+
+pub use axml_automata as automata;
+pub use axml_core as core;
+pub use axml_peer as peer;
+pub use axml_schema as schema;
+pub use axml_services as services;
+pub use axml_xml as xml;

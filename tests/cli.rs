@@ -1,0 +1,205 @@
+//! End-to-end tests of the `axml` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_axml"))
+}
+
+fn fixture_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("axml-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const STAR_DSL: &str = r#"
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title     = data
+element date      = data
+element temp      = data
+element city      = data
+element exhibit   = title.(Get_Date | date)
+element performance = data
+function Get_Temp : city -> temp
+function TimeOut  : data -> (exhibit | performance)*
+function Get_Date : title -> date
+root newspaper
+"#;
+
+const STAR2_DSL: &str = r#"
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+element title     = data
+element date      = data
+element temp      = data
+element city      = data
+element exhibit   = title.(Get_Date | date)
+element performance = data
+function Get_Temp : city -> temp
+function TimeOut  : data -> (exhibit | performance)*
+function Get_Date : title -> date
+root newspaper
+"#;
+
+const STAR3_DSL: &str = r#"
+element newspaper = title.date.temp.exhibit*
+element title     = data
+element date      = data
+element temp      = data
+element city      = data
+element exhibit   = title.(Get_Date | date)
+element performance = data
+function Get_Temp : city -> temp
+function TimeOut  : data -> (exhibit | performance)*
+function Get_Date : title -> date
+root newspaper
+"#;
+
+fn write_fixtures() -> (PathBuf, PathBuf, PathBuf, PathBuf) {
+    let dir = fixture_dir();
+    let star = dir.join("star.schema");
+    let star2 = dir.join("star2.schema");
+    let star3 = dir.join("star3.schema");
+    let doc = dir.join("newspaper.xml");
+    std::fs::write(&star, STAR_DSL).unwrap();
+    std::fs::write(&star2, STAR2_DSL).unwrap();
+    std::fs::write(&star3, STAR3_DSL).unwrap();
+    std::fs::write(
+        &doc,
+        axml::schema::newspaper_example().to_xml().to_pretty_xml(),
+    )
+    .unwrap();
+    (star, star2, star3, doc)
+}
+
+#[test]
+fn validate_accepts_and_rejects() {
+    let (star, star2, _star3, doc) = write_fixtures();
+    let ok = bin()
+        .args(["validate"])
+        .arg(&star)
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("valid"));
+
+    // Against (**) the intensional document is invalid.
+    let bad = bin()
+        .args(["validate"])
+        .arg(&star2)
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("invalid"));
+
+    // Streaming mode agrees.
+    let ok = bin()
+        .args(["validate"])
+        .arg(&star)
+        .arg(&doc)
+        .arg("--stream")
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+}
+
+#[test]
+fn plan_reports_safety() {
+    let (_star, star2, star3, doc) = write_fixtures();
+    let safe = bin()
+        .args(["plan"])
+        .arg(&star2)
+        .arg(&doc)
+        .args(["--k", "1"])
+        .output()
+        .unwrap();
+    assert!(safe.status.success());
+    assert!(String::from_utf8_lossy(&safe.stdout).contains("safe: yes"));
+
+    let unsafe_out = bin()
+        .args(["plan"])
+        .arg(&star3)
+        .arg(&doc)
+        .args(["--k", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(unsafe_out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&unsafe_out.stdout).contains("safe: no"));
+
+    // Possible analysis still succeeds on (***).
+    let possible = bin()
+        .args(["plan"])
+        .arg(&star3)
+        .arg(&doc)
+        .args(["--k", "1", "--possible"])
+        .output()
+        .unwrap();
+    assert!(possible.status.success());
+    assert!(String::from_utf8_lossy(&possible.stdout).contains("possible: yes"));
+}
+
+#[test]
+fn rewrite_executes_against_simulated_services() {
+    let (_star, star2, _star3, doc) = write_fixtures();
+    let out = bin()
+        .args(["rewrite"])
+        .arg(&star2)
+        .arg(&doc)
+        .args(["--k", "1", "--execute", "42"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("<temp>"),
+        "temperature materialized:\n{stdout}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Get_Temp"));
+}
+
+#[test]
+fn compat_matches_the_paper() {
+    let (star, star2, star3, _doc) = write_fixtures();
+    let ok = bin()
+        .args(["compat"])
+        .arg(&star)
+        .arg(&star2)
+        .args(["--root", "newspaper", "--k", "1"])
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("compatible"));
+
+    let bad = bin()
+        .args(["compat"])
+        .arg(&star)
+        .arg(&star3)
+        .args(["--root", "newspaper", "--k", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("incompatible"));
+}
+
+#[test]
+fn bad_usage_and_missing_files() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["validate", "/nonexistent", "/nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

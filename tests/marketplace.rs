@@ -1,0 +1,174 @@
+//! A second application domain: an electronics marketplace.
+//!
+//! Exercises the whole stack on a schema unrelated to the paper's
+//! newspaper: function patterns with registry predicates, per-principal
+//! ACLs, safe rewriting with patterns in output types, possible rewriting
+//! with backtracking, and schema negotiation — showing nothing in the
+//! implementation is specific to the running example.
+
+use axml::core::rewrite::Rewriter;
+use axml::core::schema_rw::schema_safe_rewrites;
+use axml::schema::{validate, Compiled, ITree, Predicate, Schema};
+use axml::services::builtin::Adversarial;
+use axml::services::{Registry, ServiceDef, ServiceError};
+use std::sync::Arc;
+
+/// catalog ::= product+, product ::= name.(Quote|price).(Stock_Check|stock?)
+/// The `Quote` pattern accepts any registered, ACL-cleared pricing service.
+fn marketplace_schema(product_model: &str) -> Schema {
+    Schema::builder()
+        .element("catalog", "product+")
+        .element("product", product_model)
+        .data_element("name")
+        .data_element("price")
+        .data_element("stock")
+        .data_element("sku")
+        .pattern(
+            "Quote",
+            Predicate::And(vec![
+                Predicate::External("UDDIF".to_owned()),
+                Predicate::External("InACL".to_owned()),
+            ]),
+            "sku",
+            "price",
+        )
+        .function("Stock_Check", "sku", "stock?")
+        .function("Euro_Quote", "sku", "price")
+        .root("catalog")
+        .build()
+        .unwrap()
+}
+
+fn catalog() -> ITree {
+    let product = |name: &str, sku: &str| {
+        ITree::elem(
+            "product",
+            vec![
+                ITree::data("name", name),
+                ITree::func("Euro_Quote", vec![ITree::data("sku", sku)]),
+                ITree::func("Stock_Check", vec![ITree::data("sku", sku)]),
+            ],
+        )
+    };
+    ITree::elem(
+        "catalog",
+        vec![product("Laptop", "SKU-1"), product("Phone", "SKU-2")],
+    )
+}
+
+fn registry() -> Arc<Registry> {
+    let reg = Registry::new();
+    reg.register_fn(ServiceDef::new("Euro_Quote", "sku", "price"), |params| {
+        let sku = params
+            .first()
+            .and_then(|p| p.children().first())
+            .and_then(|c| match c {
+                ITree::Text(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .ok_or_else(|| ServiceError("expected a sku".to_owned()))?;
+        let price = if sku.ends_with('1') { "999" } else { "599" };
+        Ok(vec![ITree::data("price", price)])
+    });
+    reg.register_fn(ServiceDef::new("Stock_Check", "sku", "stock?"), |_| {
+        Ok(vec![ITree::data("stock", "42")])
+    });
+    Arc::new(reg)
+}
+
+#[test]
+fn pattern_validation_depends_on_principal() {
+    let reg = registry();
+    reg.grant("buyer", "Euro_Quote");
+    let lazy = marketplace_schema("name.(Quote|price).(Stock_Check|stock?)");
+    // For the cleared buyer, the embedded Euro_Quote call matches Quote.
+    let for_buyer = Compiled::new(lazy.clone(), &reg.oracle(Some("buyer"))).unwrap();
+    validate(&catalog(), &for_buyer).unwrap();
+    // A stranger has no grant: the call matches no particle.
+    let for_stranger = Compiled::new(lazy, &reg.oracle(Some("stranger"))).unwrap();
+    assert!(validate(&catalog(), &for_stranger).is_err());
+}
+
+#[test]
+fn safe_rewriting_materializes_for_the_stranger() {
+    let reg = registry();
+    let strict = marketplace_schema("name.price.(Stock_Check|stock?)");
+    let compiled = Compiled::new(strict, &reg.oracle(Some("stranger"))).unwrap();
+    let mut rewriter = Rewriter::new(&compiled).with_k(1);
+    let mut invoker = reg.invoker(None);
+    let (sent, report) = rewriter.rewrite_safe(&catalog(), &mut invoker).unwrap();
+    validate(&sent, &compiled).unwrap();
+    // Both quotes were priced; both stock checks may stay intensional.
+    assert_eq!(
+        report.invoked.iter().filter(|f| *f == "Euro_Quote").count(),
+        2
+    );
+    assert_eq!(sent.num_funcs(), 2, "Stock_Check calls kept");
+    // The first product got the SKU-1 price.
+    let first = &sent.children()[0];
+    assert_eq!(first.children()[1], ITree::data("price", "999"));
+}
+
+#[test]
+fn fully_extensional_target_needs_possible_rewriting() {
+    // stock? output means Stock_Check may return nothing: target
+    // name.price.stock is only *possibly* reachable.
+    let reg = registry();
+    let rigid = marketplace_schema("name.price.stock");
+    let compiled = Compiled::new(rigid, &reg.oracle(None)).unwrap();
+    let mut rewriter = Rewriter::new(&compiled).with_k(1);
+    assert!(rewriter.analyze_safe(&catalog()).is_err());
+    let mut invoker = reg.invoker(None);
+    let (sent, _) = rewriter.rewrite_possible(&catalog(), &mut invoker).unwrap();
+    validate(&sent, &compiled).unwrap();
+    assert_eq!(sent.num_funcs(), 0);
+}
+
+#[test]
+fn optional_stock_is_safe() {
+    // name.price.stock? tolerates the empty Stock_Check answer: safe.
+    let reg = registry();
+    let tolerant = marketplace_schema("name.price.stock?");
+    let compiled = Compiled::new(tolerant, &reg.oracle(None)).unwrap();
+    let mut rewriter = Rewriter::new(&compiled).with_k(1);
+    rewriter.analyze_safe(&catalog()).unwrap();
+    // Execute against an adversary that may return either zero or one
+    // stock element — all outcomes must conform.
+    for seed in 0..10 {
+        let adversary_reg = Registry::new();
+        let arc = Arc::new(compiled.clone());
+        adversary_reg.register(
+            ServiceDef::new("Euro_Quote", "sku", "price"),
+            Arc::new(Adversarial::for_function(
+                Arc::clone(&arc),
+                "Euro_Quote",
+                seed,
+            )),
+        );
+        adversary_reg.register(
+            ServiceDef::new("Stock_Check", "sku", "stock?"),
+            Arc::new(Adversarial::for_function(
+                Arc::clone(&arc),
+                "Stock_Check",
+                seed,
+            )),
+        );
+        let mut invoker = adversary_reg.invoker(None);
+        let (sent, _) = rewriter.rewrite_safe(&catalog(), &mut invoker).unwrap();
+        validate(&sent, &compiled).unwrap();
+    }
+}
+
+#[test]
+fn schema_level_compatibility_across_the_domain() {
+    let lazy = marketplace_schema("name.(Quote|price).(Stock_Check|stock?)");
+    let strict = marketplace_schema("name.price.(Stock_Check|stock?)");
+    let rigid = marketplace_schema("name.price.stock");
+    let reg = registry();
+    reg.grant("buyer", "Euro_Quote");
+    let oracle = reg.oracle(Some("buyer"));
+    let ok = schema_safe_rewrites(&lazy, "catalog", &strict, 1, &oracle).unwrap();
+    assert!(ok.compatible(), "{:?}", ok.failures);
+    let not_ok = schema_safe_rewrites(&lazy, "catalog", &rigid, 1, &oracle).unwrap();
+    assert!(!not_ok.compatible(), "stock? cannot be guaranteed");
+}

@@ -1,0 +1,137 @@
+//! Soundness of the Sec. 6 reduction: when `schema_safe_rewrites` declares
+//! two schemas compatible, every sampled instance of the sender schema
+//! must individually pass the document-level safety analysis — and execute
+//! successfully against an adversary.
+
+use axml::core::invoke::{InvokeError, Invoker};
+use axml::core::rewrite::Rewriter;
+use axml::core::schema_rw::schema_safe_rewrites;
+use axml::schema::{
+    generate_instance, generate_output_instance, validate, Compiled, GenConfig, ITree, NoOracle,
+    Schema,
+};
+use rand::SeedableRng;
+
+struct Adversary<'c> {
+    compiled: &'c Compiled,
+    rng: rand::rngs::StdRng,
+}
+
+impl Invoker for Adversary<'_> {
+    fn invoke(&mut self, function: &str, _params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let output = self.compiled.sig_of(function).output.clone();
+        generate_output_instance(self.compiled, &output, &mut self.rng, &GenConfig::default())
+            .map_err(|e| InvokeError {
+                function: function.to_owned(),
+                message: e.to_string(),
+            })
+    }
+}
+
+fn paper_star() -> Schema {
+    Schema::builder()
+        .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+        .data_element("title")
+        .data_element("date")
+        .data_element("temp")
+        .data_element("city")
+        .element("exhibit", "title.(Get_Date|date)")
+        .data_element("performance")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit|performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build()
+        .unwrap()
+}
+
+fn paper_star_star() -> Schema {
+    Schema::builder()
+        .element("newspaper", "title.date.temp.(TimeOut|exhibit*)")
+        .data_element("title")
+        .data_element("date")
+        .data_element("temp")
+        .data_element("city")
+        .element("exhibit", "title.(Get_Date|date)")
+        .data_element("performance")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit|performance)*")
+        .function("Get_Date", "title", "date")
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn compatible_schemas_imply_per_instance_safety_and_execution() {
+    let s0 = paper_star();
+    let s = paper_star_star();
+    // k = 1 suffices for (*) → (**) per the paper's Sec. 2 discussion.
+    let report = schema_safe_rewrites(&s0, "newspaper", &s, 1, &NoOracle).unwrap();
+    assert!(report.compatible(), "{:?}", report.failures);
+
+    let source = Compiled::new(s0, &NoOracle).unwrap();
+    let target = Compiled::new(s, &NoOracle).unwrap();
+    let mut rewriter = Rewriter::new(&target).with_k(1);
+
+    let mut checked = 0;
+    for seed in 0..200u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let doc = generate_instance(&source, "newspaper", &mut rng, &GenConfig::default())
+            .expect("generable");
+        // Def. 6 promises safety for EVERY instance.
+        rewriter
+            .analyze_safe(&doc)
+            .unwrap_or_else(|e| panic!("instance (seed {seed}) not safe: {e}\n{doc}"));
+        // And execution against an adversary must always succeed.
+        let mut adversary = Adversary {
+            compiled: &target,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED),
+        };
+        let (out, _) = rewriter
+            .rewrite_safe(&doc, &mut adversary)
+            .unwrap_or_else(|e| panic!("execution failed (seed {seed}): {e}"));
+        validate(&out, &target).unwrap();
+        checked += 1;
+    }
+    assert_eq!(checked, 200);
+}
+
+#[test]
+fn incompatible_schemas_have_witness_instances() {
+    // (*) does not rewrite into (***); some instance must fail the
+    // document-level analysis too (completeness spot-check).
+    let s0 = paper_star();
+    let star3 = Schema::builder()
+        .element("newspaper", "title.date.temp.exhibit*")
+        .data_element("title")
+        .data_element("date")
+        .data_element("temp")
+        .data_element("city")
+        .element("exhibit", "title.(Get_Date|date)")
+        .data_element("performance")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit|performance)*")
+        .function("Get_Date", "title", "date")
+        .build()
+        .unwrap();
+    let report = schema_safe_rewrites(&s0, "newspaper", &star3, 1, &NoOracle).unwrap();
+    assert!(!report.compatible());
+
+    let source = Compiled::new(s0, &NoOracle).unwrap();
+    let target = Compiled::new(star3, &NoOracle).unwrap();
+    let mut rewriter = Rewriter::new(&target).with_k(1);
+    let mut found_witness = false;
+    for seed in 0..100u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let doc = generate_instance(&source, "newspaper", &mut rng, &GenConfig::default())
+            .expect("generable");
+        if rewriter.analyze_safe(&doc).is_err() {
+            found_witness = true;
+            break;
+        }
+    }
+    assert!(
+        found_witness,
+        "an unsafe instance (one containing a TimeOut call) must show up"
+    );
+}

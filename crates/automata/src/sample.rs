@@ -9,7 +9,7 @@
 
 use crate::alphabet::Symbol;
 use crate::regex::Regex;
-use rand::{Rng, RngExt};
+use axml_support::rng::{Rng, RngExt};
 
 /// Tuning knobs for [`sample_word`].
 #[derive(Debug, Clone, Copy)]
@@ -103,7 +103,7 @@ mod tests {
     use super::*;
     use crate::alphabet::Alphabet;
     use crate::nfa::Nfa;
-    use rand::SeedableRng;
+    use axml_support::rng::SeedableRng;
 
     #[test]
     fn samples_are_in_the_language() {
@@ -115,7 +115,7 @@ mod tests {
             "a+.(b|c)*",
             "ε",
         ];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(42);
         for pattern in patterns {
             let re = Regex::parse(pattern, &mut ab).unwrap();
             let nfa = Nfa::thompson(&re, ab.len());
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn empty_language_yields_none() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(1);
         assert_eq!(
             sample_word(&Regex::Empty, &mut rng, &SampleConfig::default()),
             None
@@ -142,7 +142,7 @@ mod tests {
     fn alternation_eventually_covers_all_branches() {
         let mut ab = Alphabet::new();
         let re = Regex::parse("a|b|c", &mut ab).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(7);
         let mut seen = [false; 3];
         for _ in 0..100 {
             let w = sample_word(&re, &mut rng, &SampleConfig::default()).unwrap();
@@ -159,7 +159,7 @@ mod tests {
             star_continue: 0.99,
             max_star: 3,
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let w = sample_word(&re, &mut rng, &cfg).unwrap();
             assert!(w.len() <= 3);

@@ -1,0 +1,67 @@
+//! Per-crate property tests for the automata toolkit, under the in-repo
+//! harness (`axml-support`). The root `tests/props.rs` suite covers the
+//! cross-construction agreements end-to-end; these properties pin the
+//! algebraic laws the rewriting layers lean on, at the crate boundary.
+
+use axml_automata::{sample_word, Dfa, Nfa, Regex, SampleConfig};
+use axml_support::prelude::*;
+use axml_support::rng::{SeedableRng, StdRng};
+
+/// Random regexes over `n` symbols, nesting seq/alt/star.
+fn regex_strategy(n: u32) -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![(0..n).prop_map(Regex::sym), Just(Regex::Epsilon)];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Regex::seq),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Regex::alt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+fn word_strategy(n: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..n, 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A word is accepted by a complete DFA or by its complement — never
+    /// both, never neither.
+    #[test]
+    fn complement_partitions_words(re in regex_strategy(3), w in word_strategy(3)) {
+        let n = 3usize;
+        let complete = Dfa::determinize(&Nfa::thompson(&re, n)).completed(n);
+        let comp = complete.complemented();
+        prop_assert!(complete.accepts(&w) != comp.accepts(&w));
+    }
+
+    /// Complementing twice gives back the original language.
+    #[test]
+    fn complement_is_an_involution(re in regex_strategy(3), w in word_strategy(3)) {
+        let n = 3usize;
+        let complete = Dfa::determinize(&Nfa::thompson(&re, n)).completed(n);
+        let twice = complete.complemented().complemented();
+        prop_assert_eq!(complete.accepts(&w), twice.accepts(&w));
+    }
+
+    /// Minimization is language-preserving and idempotent on state count.
+    #[test]
+    fn minimization_preserves_language(re in regex_strategy(3), w in word_strategy(3)) {
+        let n = 3usize;
+        let complete = Dfa::determinize(&Nfa::thompson(&re, n)).completed(n);
+        let min = complete.minimized();
+        prop_assert_eq!(complete.accepts(&w), min.accepts(&w));
+        prop_assert_eq!(min.minimized().num_states(), min.num_states());
+    }
+
+    /// Sampling draws only words of the language (whenever the language is
+    /// non-empty), for any seed.
+    #[test]
+    fn sampled_words_are_in_language(re in regex_strategy(3), seed in 0u64..5000) {
+        prop_assume!(!re.is_empty_language());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = sample_word(&re, &mut rng, &SampleConfig::default()).unwrap();
+        prop_assert!(Nfa::thompson(&re, 3).accepts(&w), "sampled {w:?} rejected");
+    }
+}

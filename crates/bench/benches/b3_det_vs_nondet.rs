@@ -4,7 +4,7 @@
 
 use axml_bench::{det_family, nondet_family};
 use axml_core::safe::complement_of;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use axml_support::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

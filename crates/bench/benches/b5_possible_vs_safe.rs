@@ -5,7 +5,7 @@ use axml_bench::wide_instance;
 use axml_core::awk::{Awk, AwkLimits};
 use axml_core::possible::{target_of, PossibleGame};
 use axml_core::safe::{complement_of, BuildMode, SafeGame};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use axml_support::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 
 use axml_bench::{fanout_schema, FanoutInvoker};
 use axml_core::rewrite::Rewriter;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use axml_support::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 use axml_bench::chain_schemas;
 use axml_core::schema_rw::schema_safe_rewrites;
 use axml_schema::NoOracle;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use axml_support::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

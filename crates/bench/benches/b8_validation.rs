@@ -2,7 +2,7 @@
 
 use axml_bench::{paper_schema, sized_instance};
 use axml_schema::validate;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use axml_support::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

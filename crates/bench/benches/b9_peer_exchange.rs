@@ -6,7 +6,7 @@ use axml_core::rewrite::enforce;
 use axml_schema::{Compiled, NoOracle, Schema};
 use axml_services::builtin::{GetDate, GetTemp, TimeOutGuide};
 use axml_services::{Registry, ServiceDef};
-use criterion::{criterion_group, criterion_main, Criterion};
+use axml_support::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 

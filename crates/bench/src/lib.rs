@@ -200,9 +200,9 @@ pub fn chain_schemas(n: usize) -> (Schema, Schema) {
 /// B8/B9: a random instance of the paper schema, preferring at least
 /// `min_size` nodes (retries generation and keeps the largest).
 pub fn sized_instance(seed: u64, min_size: usize) -> ITree {
-    use rand::SeedableRng;
+    use axml_support::rng::SeedableRng;
     let compiled = paper_schema();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
     let config = axml_schema::GenConfig {
         words: axml_automata::SampleConfig {
             star_continue: 0.8,

@@ -19,8 +19,8 @@ use axml_core::invoke::{InvokeError, Invoker};
 use axml_core::rewrite::{RewriteError, RewriteReport, Rewriter};
 use axml_schema::{validate_output_instance, Compiled, ITree};
 use axml_services::{soap, Registry, ServiceDef};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use axml_support::sync::channel::{bounded, unbounded, Receiver, Sender};
+use axml_support::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;

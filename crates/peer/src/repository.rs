@@ -8,7 +8,7 @@
 
 use axml_core::invoke::{InvokeError, Invoker};
 use axml_schema::{validate_output_instance, Compiled, ITree};
-use parking_lot::RwLock;
+use axml_support::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

@@ -7,7 +7,7 @@
 use crate::compile::{Compiled, CompiledContent, SymKind};
 use crate::doc::ITree;
 use axml_automata::{sample_word, Regex, SampleConfig, Symbol};
-use rand::{Rng, RngExt};
+use axml_support::rng::{Rng, RngExt};
 
 /// Tuning for the instance generator.
 #[derive(Debug, Clone)]
@@ -209,7 +209,7 @@ mod tests {
     use super::*;
     use crate::def::{NoOracle, Schema};
     use crate::validate::validate;
-    use rand::SeedableRng;
+    use axml_support::rng::SeedableRng;
 
     fn paper_compiled() -> Compiled {
         Compiled::new(
@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn generated_instances_validate() {
         let c = paper_compiled();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(11);
         for _ in 0..100 {
             let t = generate_instance(&c, "newspaper", &mut rng, &GenConfig::default()).unwrap();
             validate(&t, &c).unwrap_or_else(|e| panic!("generated invalid instance {t}: {e}"));
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn generated_output_instances_validate() {
         let c = paper_compiled();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(12);
         let sig = c.sig_of("TimeOut").clone();
         for _ in 0..100 {
             let forest =
@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn unknown_label_is_an_error() {
         let c = paper_compiled();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(1);
         assert!(matches!(
             generate_instance(&c, "nothing", &mut rng, &GenConfig::default()),
             Err(GenError::UnknownLabel(_))
@@ -272,7 +272,7 @@ mod tests {
             &NoOracle,
         )
         .unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(5);
         let cfg = GenConfig {
             max_depth: 3,
             max_nodes: 200,

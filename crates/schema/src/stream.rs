@@ -261,7 +261,7 @@ mod tests {
     use crate::doc::newspaper_example;
     use crate::generate::{generate_instance, GenConfig};
     use crate::validate::validate;
-    use rand::SeedableRng;
+    use axml_support::rng::SeedableRng;
 
     fn paper_compiled() -> Compiled {
         Compiled::new(
@@ -293,7 +293,7 @@ mod tests {
     #[test]
     fn agrees_with_dom_validation_on_random_instances() {
         let c = paper_compiled();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(77);
         for _ in 0..100 {
             let doc = generate_instance(&c, "newspaper", &mut rng, &GenConfig::default()).unwrap();
             let xml = doc.to_xml().to_pretty_xml();

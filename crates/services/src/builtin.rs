@@ -14,9 +14,9 @@
 use crate::service::{ServiceError, ServiceImpl};
 use axml_automata::Regex;
 use axml_schema::{generate_output_instance, Compiled, GenConfig, ITree};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use axml_support::sync::Mutex;
+use axml_support::rng::StdRng;
+use axml_support::rng::SeedableRng;
 use std::sync::Arc;
 
 /// The Fig. 2 weather service: takes a `city`, returns a `temp`.

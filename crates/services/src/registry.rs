@@ -15,7 +15,7 @@
 use crate::service::{ServiceDef, ServiceError, ServiceImpl};
 use axml_core::invoke::{InvokeError, Invoker};
 use axml_schema::{ITree, PatternOracle, SchemaBuilder};
-use parking_lot::RwLock;
+use axml_support::sync::RwLock;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 

@@ -1,0 +1,418 @@
+//! A micro-benchmark harness behind a Criterion-compatible facade.
+//!
+//! The `crates/bench/benches/b*.rs` workloads keep their upstream shape
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!`); this module supplies the
+//! measurement loop: a timed warm-up, adaptively batched samples, and
+//! median / p95 / min / max / mean statistics per benchmark.
+//!
+//! Environment knobs:
+//!
+//! * `AXML_BENCH_SMOKE=1` — smoke mode: one warm-up iteration and three
+//!   samples per benchmark, so every bench binary finishes in seconds.
+//!   CI uses this to prove the workloads still run.
+//! * `AXML_BENCH_JSON=<dir>` (or `1` for the current directory) — write
+//!   one `BENCH_<group>.json` per benchmark group. Schema (documented in
+//!   DESIGN.md): `{"group", "smoke", "benchmarks": [{"id", "samples",
+//!   "iters_per_sample", "median_ns", "p95_ns", "min_ns", "max_ns",
+//!   "mean_ns", "throughput_elements"}]}`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// True when `AXML_BENCH_SMOKE` requests the fast smoke configuration.
+pub fn smoke_mode() -> bool {
+    matches!(
+        std::env::var("AXML_BENCH_SMOKE").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Per-element throughput annotation (`group.throughput(...)`). Only the
+/// `Elements` flavour is used by the workloads; it is recorded into the
+/// JSON report, not used to rescale timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: an optional function name plus
+/// a `Display`-formatted parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure under measurement; [`Bencher::iter`] runs and
+/// times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    warm_up: Duration,
+    /// Filled by `iter`: per-iteration nanosecond samples.
+    recorded: &'a mut Vec<f64>,
+    iters_per_sample: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`: warm-up, then `samples` batches, recording the mean
+    /// per-iteration time of each batch. Batch size adapts so one batch
+    /// costs roughly a millisecond, keeping timer noise out of fast
+    /// workloads.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        std::hint::black_box(f());
+        let first = warm_start.elapsed();
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+        }
+
+        const TARGET_BATCH: Duration = Duration::from_millis(1);
+        let est = first.max(Duration::from_nanos(1));
+        let iters = (TARGET_BATCH.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        *self.iters_per_sample = iters;
+
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.recorded.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BenchResult {
+    id: String,
+    samples: usize,
+    iters_per_sample: u64,
+    median_ns: f64,
+    p95_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    mean_ns: f64,
+    throughput_elements: Option<u64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// A named collection of benchmarks sharing measurement settings; created
+/// by [`Criterion::benchmark_group`], reported when [`finish`]ed.
+///
+/// [`finish`]: BenchmarkGroup::finish
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        if !smoke_mode() {
+            self.sample_size = n;
+        }
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if !smoke_mode() {
+            self.warm_up = d;
+        }
+        self
+    }
+
+    /// Accepted for source compatibility; the harness sizes measurement by
+    /// sample count, not wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let id = id.into();
+        self.record(id.id.clone(), |b| f(b));
+        self
+    }
+
+    /// Measures `f` under `id`, passing `input` through — the upstream
+    /// shape for parameterized benchmarks.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        self.record(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    fn record(&mut self, id: String, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let mut recorded = Vec::new();
+        let mut iters_per_sample = 1u64;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            recorded: &mut recorded,
+            iters_per_sample: &mut iters_per_sample,
+        };
+        f(&mut bencher);
+        assert!(
+            !recorded.is_empty(),
+            "benchmark '{}/{id}' never called Bencher::iter",
+            self.name
+        );
+        recorded.sort_by(|a, b| a.total_cmp(b));
+        let mean = recorded.iter().sum::<f64>() / recorded.len() as f64;
+        let result = BenchResult {
+            id,
+            samples: recorded.len(),
+            iters_per_sample,
+            median_ns: percentile(&recorded, 0.5),
+            p95_ns: percentile(&recorded, 0.95),
+            min_ns: recorded[0],
+            max_ns: recorded[recorded.len() - 1],
+            mean_ns: mean,
+            throughput_elements: match self.throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+        };
+        println!(
+            "{:<40} median {:>12.1} ns  p95 {:>12.1} ns  ({} samples x {} iters)",
+            format!("{}/{}", self.name, result.id),
+            result.median_ns,
+            result.p95_ns,
+            result.samples,
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+    }
+
+    /// Emits the group's report (stdout summary always; JSON when
+    /// `AXML_BENCH_JSON` is set) and ends the group.
+    pub fn finish(self) {
+        let json = render_json(&self.name, &self.results);
+        self.criterion.emit(&self.name, &json);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(group: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"group\": \"{}\",\n  \"smoke\": {},\n  \"benchmarks\": [",
+        json_escape(group),
+        smoke_mode()
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"throughput_elements\": {}}}",
+            json_escape(&r.id),
+            r.samples,
+            r.iters_per_sample,
+            r.median_ns,
+            r.p95_ns,
+            r.min_ns,
+            r.max_ns,
+            r.mean_ns,
+            r.throughput_elements
+                .map_or("null".to_string(), |n| n.to_string()),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Entry point mirroring `criterion::Criterion`: hands out benchmark
+/// groups and emits their reports.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let smoke = smoke_mode();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: if smoke { 3 } else { 30 },
+            warm_up: if smoke {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(300)
+            },
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures a single standalone benchmark — a one-entry group named
+    /// after the benchmark itself.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    fn emit(&mut self, group: &str, json: &str) {
+        let Ok(dest) = std::env::var("AXML_BENCH_JSON") else {
+            return;
+        };
+        if dest.is_empty() || dest == "0" {
+            return;
+        }
+        let dir = if dest == "1" || dest == "true" {
+            std::path::PathBuf::from(".")
+        } else {
+            std::path::PathBuf::from(dest)
+        };
+        let _ = std::fs::create_dir_all(&dir);
+        let slug: String = group
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("BENCH_{slug}.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets in order, as
+/// `criterion::criterion_group!` does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main()` invoking each benchmark group function, as
+/// `criterion::criterion_main!` does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_renders_json() {
+        // Force-quick settings regardless of env.
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size = 3;
+        group.warm_up = Duration::ZERO;
+        group.throughput(Throughput::Elements(7));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        assert_eq!(group.results.len(), 1);
+        let r = &group.results[0];
+        assert_eq!(r.id, "sum/10");
+        assert!(r.median_ns >= 0.0 && r.min_ns <= r.max_ns);
+        assert_eq!(r.throughput_elements, Some(7));
+        let json = render_json(&group.name, &group.results);
+        assert!(json.contains("\"group\": \"selftest\""));
+        assert!(json.contains("\"id\": \"sum/10\""));
+        assert!(json.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("safe", 4).id, "safe/4");
+        assert_eq!(BenchmarkId::from_parameter("x2_k3").id, "x2_k3");
+    }
+}

@@ -1,0 +1,136 @@
+//! A minimal, deterministic property-testing harness.
+//!
+//! Ported surface of the upstream `proptest` crate, sized to what the
+//! workspace's suites use: strategy combinators, a `proptest!` macro,
+//! `prop_assert*` / `prop_assume!`, bounded shrinking and seed-corpus
+//! replay.
+//!
+//! ## How it works
+//!
+//! A [`Strategy`] draws its value from a [`Source`] — a recorded stream of
+//! `u64` choices backed by the deterministic [`crate::rng::StdRng`]. When a
+//! property fails, the harness **shrinks the choice stream**, not the
+//! value: it deletes blocks and binary-searches individual choices toward
+//! zero, replaying the strategy on each candidate stream and keeping those
+//! that still fail. Because every combinator (including `prop_map` and
+//! `prop_recursive`) regenerates from the stream, shrinking composes
+//! through arbitrary mappings for free — the trick Hypothesis popularized.
+//!
+//! ## Regression corpus
+//!
+//! Before generating novel cases, [`run`] replays every seed listed in
+//! `regressions/<property>.seeds` (resolved against `AXML_REGRESSIONS_DIR`
+//! or `CARGO_MANIFEST_DIR`). A failing run prints the seed to add. Lines
+//! are decimal or `0x`-hex `u64`s; `#` starts a comment.
+
+mod runner;
+mod strategy;
+mod string;
+
+pub use runner::{check, run, Failure, ProptestConfig};
+pub use strategy::{
+    collection, select, BoxedStrategy, Just, Recursive, Select, Strategy, Union,
+};
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+/// The outcome of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; shrinking will start from this case.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (assumption not met) with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// The choice stream strategies draw from.
+///
+/// In `Fresh` mode every drawn `u64` comes from the PRNG and is recorded;
+/// in `Replay` mode draws come from a fixed stream (padding with zeros once
+/// exhausted), which is what shrinking and regression replay rely on.
+pub struct Source {
+    rng: StdRng,
+    mode: Mode,
+    /// Number of draws the current generation consumed.
+    consumed: usize,
+}
+
+enum Mode {
+    Fresh { recorded: Vec<u64> },
+    Replay { stream: Vec<u64> },
+}
+
+impl Source {
+    /// A fresh recording source seeded deterministically.
+    pub fn fresh(seed: u64) -> Self {
+        Source {
+            rng: StdRng::seed_from_u64(seed),
+            mode: Mode::Fresh {
+                recorded: Vec::new(),
+            },
+            consumed: 0,
+        }
+    }
+
+    /// A replay source over a fixed choice stream.
+    pub fn replay(stream: Vec<u64>) -> Self {
+        Source {
+            // The rng is unused during replay but keeps the type uniform.
+            rng: StdRng::seed_from_u64(0),
+            mode: Mode::Replay { stream },
+            consumed: 0,
+        }
+    }
+
+    /// The recorded (fresh) or consumed (replay) choice stream so far.
+    pub fn stream(&self) -> &[u64] {
+        match &self.mode {
+            Mode::Fresh { recorded } => recorded,
+            Mode::Replay { stream } => stream,
+        }
+    }
+
+    /// How many draws the last generation used.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+}
+
+impl Rng for Source {
+    fn next_u64(&mut self) -> u64 {
+        let i = self.consumed;
+        self.consumed += 1;
+        match &mut self.mode {
+            Mode::Fresh { recorded } => {
+                let v = self.rng.next_u64();
+                recorded.push(v);
+                v
+            }
+            Mode::Replay { stream } => stream.get(i).copied().unwrap_or(0),
+        }
+    }
+}

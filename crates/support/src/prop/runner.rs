@@ -1,0 +1,457 @@
+//! Case execution, choice-stream shrinking, and seed-corpus replay.
+
+use super::strategy::Strategy;
+use super::{Source, TestCaseError, TestCaseResult};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Once;
+
+/// Knobs for one property's run, mirroring upstream proptest's type.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required to pass.
+    pub cases: u32,
+    /// Budget of candidate replays the shrinker may spend.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// The default configuration with `cases` overridden.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A property failure after shrinking: the minimal counterexample found,
+/// the seed that uncovered it, and the message of the failing assertion.
+#[derive(Debug)]
+pub struct Failure<V> {
+    /// The property's name as given to [`run`]/[`check`].
+    pub name: String,
+    /// PRNG seed that produced the original failing case. Adding it to
+    /// `regressions/<name>.seeds` replays it on every future run.
+    pub seed: u64,
+    /// Minimal failing value the shrinker converged on.
+    pub value: V,
+    /// Assertion/panic message from the minimal case.
+    pub message: String,
+    /// The minimal choice stream (what the shrinker actually minimized).
+    pub stream: Vec<u64>,
+}
+
+// Panics thrown inside catch_unwind during shrinking would spam stderr via
+// the default hook. Install (once) a delegating hook that a thread-local
+// flag can mute, so muting one property run never hides another thread's
+// real panic output.
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+enum Trial {
+    Pass,
+    Reject,
+    Fail { message: String, stream: Vec<u64> },
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Generates from `source` and runs `test`, catching panics. The returned
+/// failing stream is truncated to the draws generation actually consumed.
+fn run_one<S, F>(strategy: &S, source: &mut Source, test: &F) -> Trial
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    QUIET.with(|q| q.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let value = strategy.generate(source);
+        test(value)
+    }));
+    QUIET.with(|q| q.set(false));
+    let failing_stream = |source: &Source| {
+        let stream = source.stream();
+        stream[..source.consumed().min(stream.len())].to_vec()
+    };
+    match outcome {
+        Ok(Ok(())) => Trial::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => Trial::Reject,
+        Ok(Err(TestCaseError::Fail(message))) => Trial::Fail {
+            message,
+            stream: failing_stream(source),
+        },
+        Err(payload) => Trial::Fail {
+            message: panic_message(payload),
+            stream: failing_stream(source),
+        },
+    }
+}
+
+/// Shrinks a failing choice stream: block deletion with halving block
+/// sizes, then per-entry minimization toward zero by binary search, looping
+/// to a fixpoint within `budget` replays. Candidates are only accepted when
+/// strictly smaller (shorter, or lexicographically below at equal length),
+/// so the loop terminates.
+fn shrink<S, F>(
+    strategy: &S,
+    test: &F,
+    mut stream: Vec<u64>,
+    mut message: String,
+    budget: u32,
+) -> (Vec<u64>, String)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let spent = Cell::new(0u32);
+    let attempt = |candidate: Vec<u64>| -> Option<(Vec<u64>, String)> {
+        if spent.get() >= budget {
+            return None;
+        }
+        spent.set(spent.get() + 1);
+        let mut src = Source::replay(candidate);
+        match run_one(strategy, &mut src, test) {
+            Trial::Fail { message, stream } => Some((stream, message)),
+            _ => None,
+        }
+    };
+
+    loop {
+        let before = stream.clone();
+
+        // Pass 1: delete blocks, largest first.
+        let mut block = (stream.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < stream.len() {
+                let end = (start + block).min(stream.len());
+                let mut candidate = stream.clone();
+                candidate.drain(start..end);
+                if let Some((s, m)) = attempt(candidate) {
+                    if s.len() < stream.len() {
+                        stream = s;
+                        message = m;
+                        continue; // retry same start against shorter stream
+                    }
+                }
+                start += block;
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+
+        // Pass 2: minimize each entry toward zero.
+        let mut i = 0;
+        while i < stream.len() {
+            let cur = stream[i];
+            if cur != 0 {
+                let mut zeroed = stream.clone();
+                zeroed[i] = 0;
+                if let Some((s, m)) = attempt(zeroed) {
+                    stream = s;
+                    message = m;
+                } else {
+                    // 0 passes, `cur` fails: binary-search the least
+                    // failing value in between.
+                    let (mut lo, mut hi) = (0u64, cur);
+                    while lo + 1 < hi {
+                        if i >= stream.len() {
+                            break;
+                        }
+                        let mid = lo + (hi - lo) / 2;
+                        let mut candidate = stream.clone();
+                        candidate[i] = mid;
+                        if let Some((s, m)) = attempt(candidate) {
+                            hi = mid;
+                            stream = s;
+                            message = m;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    if i < stream.len() && stream[i] == cur && hi < cur {
+                        stream[i] = hi;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if stream == before || spent.get() >= budget {
+            return (stream, message);
+        }
+    }
+}
+
+/// Runs the property, returning the shrunk [`Failure`] instead of
+/// panicking. [`run`] is the `#[test]`-facing wrapper; `check` exists so
+/// the harness can test itself (and so callers can inspect failures).
+pub fn check<S, F>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    test: F,
+) -> Result<(), Failure<S::Value>>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    install_quiet_hook();
+
+    let finish = |seed: u64, stream: Vec<u64>, message: String| {
+        let (stream, message) = shrink(&strategy, &test, stream, message, config.max_shrink_iters);
+        // The accepted candidate generated successfully during shrinking,
+        // so regenerating it deterministically cannot panic.
+        let mut src = Source::replay(stream.clone());
+        let value = strategy.generate(&mut src);
+        Failure {
+            name: name.to_string(),
+            seed,
+            value,
+            message,
+            stream,
+        }
+    };
+
+    // Regression corpus first: known-bad seeds from earlier failures.
+    for seed in regression_seeds(name) {
+        let mut src = Source::fresh(seed);
+        if let Trial::Fail { message, stream } = run_one(&strategy, &mut src, &test) {
+            return Err(finish(seed, stream, message));
+        }
+    }
+
+    let base = fnv1a64(name.as_bytes());
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let mut rejects = 0u32;
+    while passed < config.cases {
+        let seed = case_seed(base, attempts);
+        attempts += 1;
+        let mut src = Source::fresh(seed);
+        match run_one(&strategy, &mut src, &test) {
+            Trial::Pass => passed += 1,
+            Trial::Reject => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.cases.saturating_mul(16).saturating_add(64),
+                    "property '{name}': too many cases rejected by prop_assume! \
+                     ({rejects} rejects for {passed} passes) — loosen the strategy"
+                );
+            }
+            Trial::Fail { message, stream } => return Err(finish(seed, stream, message)),
+        }
+    }
+    Ok(())
+}
+
+/// Runs the property `config.cases` times (after replaying the regression
+/// corpus), shrinking and panicking with the minimal counterexample on
+/// failure. This is what the [`crate::proptest!`] macro expands to.
+pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    if let Err(failure) = check(name, config, strategy, test) {
+        panic!(
+            "property '{name}' failed: {message}\n\
+             minimal failing input: {value:#?}\n\
+             seed: 0x{seed:016x}\n\
+             replay: add the seed above to regressions/{name}.seeds",
+            message = failure.message,
+            value = failure.value,
+            seed = failure.seed,
+        );
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-case seeds: deterministic in (property name, case index) so a run
+/// is reproducible without any global state, yet distinct across both.
+fn case_seed(base: u64, attempt: u64) -> u64 {
+    use crate::rng::Rng;
+    crate::rng::SplitMix64::new(base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn regressions_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("AXML_REGRESSIONS_DIR") {
+        return Some(PathBuf::from(dir));
+    }
+    // Walk up from the crate being tested to the workspace root.
+    let mut dir = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").ok()?);
+    for _ in 0..4 {
+        let candidate = dir.join("regressions");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+/// Seeds listed in `regressions/<name>.seeds`: one decimal or `0x`-hex
+/// `u64` per line, `#` starting a comment. A missing file means no corpus.
+fn regression_seeds(name: &str) -> Vec<u64> {
+    let Some(dir) = regressions_dir() else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(dir.join(format!("{name}.seeds"))) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim().replace('_', "");
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = match line.strip_prefix("0x").or_else(|| line.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => line.parse(),
+        };
+        match parsed {
+            Ok(seed) => seeds.push(seed),
+            Err(_) => panic!(
+                "regressions/{name}.seeds line {}: '{line}' is not a u64 seed",
+                lineno + 1
+            ),
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::collection;
+
+    #[test]
+    fn passing_property_passes() {
+        let cfg = ProptestConfig::with_cases(64);
+        check("always_in_range", &cfg, 0u32..10, |v| {
+            assert!(v < 10);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn failing_property_shrinks_scalar_to_boundary() {
+        let cfg = ProptestConfig::with_cases(64);
+        let failure = check("scalar_boundary", &cfg, 0u32..10_000, |v| {
+            if v >= 1000 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(failure.value, 1000, "binary search finds the boundary");
+    }
+
+    #[test]
+    fn vec_property_shrinks_to_single_minimal_element() {
+        let cfg = ProptestConfig::with_cases(128);
+        let failure = check(
+            "vec_minimal",
+            &cfg,
+            collection::vec(0u32..2000, 0..=8),
+            |v| {
+                if v.iter().any(|&x| x >= 1000) {
+                    Err(TestCaseError::fail("has a big element"))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(failure.value, vec![1000]);
+    }
+
+    #[test]
+    fn panics_are_failures_and_shrink_too() {
+        let cfg = ProptestConfig::with_cases(64);
+        let failure = check("panicky", &cfg, 0u64..100, |v| {
+            assert!(v < 7, "blew up on {v}");
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(failure.value, 7);
+        assert!(failure.message.contains("blew up"));
+    }
+
+    #[test]
+    fn minimal_stream_replays_to_same_failure() {
+        let cfg = ProptestConfig::with_cases(64);
+        let strategy = || collection::vec(0u32..500, 1..=6);
+        let prop = |v: Vec<u32>| {
+            if v.iter().sum::<u32>() >= 300 {
+                Err(TestCaseError::fail("sum too large"))
+            } else {
+                Ok(())
+            }
+        };
+        let failure = check("replayable", &cfg, strategy(), prop).unwrap_err();
+        let mut src = Source::replay(failure.stream.clone());
+        let replayed = strategy().generate(&mut src);
+        assert_eq!(replayed, failure.value);
+        assert!(prop(replayed).is_err());
+    }
+
+    #[test]
+    fn rejects_do_not_fail() {
+        let cfg = ProptestConfig::with_cases(16);
+        check("rejecting", &cfg, 0u32..10, |v| {
+            if v % 2 == 0 {
+                Err(TestCaseError::reject("odd only"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! Pattern-string strategies: `"[a-z]{1,6}"` as a `Strategy<Value = String>`.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes; the
+//! workspace's suites use a small dialect — literal characters, `.`
+//! (any character), character classes `[a-z_]` with ranges, and `{m,n}` /
+//! `{n}` repetition — which is what this module implements. Unsupported
+//! syntax panics with a clear message, since a pattern is test code.
+
+use super::strategy::Strategy;
+use super::Source;
+use crate::rng::RngExt;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Any,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern '{pattern}'"),
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next().unwrap_or_else(|| {
+                                    panic!("dangling '-' in pattern '{pattern}'")
+                                });
+                                if hi == ']' {
+                                    ranges.push((lo, lo));
+                                    ranges.push(('-', '-'));
+                                    break;
+                                }
+                                assert!(lo <= hi, "inverted range in pattern '{pattern}'");
+                                ranges.push((lo, hi));
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in '{pattern}'");
+                Atom::Class(ranges)
+            }
+            '.' => Atom::Any,
+            '\\' => Atom::Lit(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern '{pattern}'")),
+            ),
+            other => Atom::Lit(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().unwrap_or_else(|_| bad_quant(pattern)),
+                    n.trim().parse().unwrap_or_else(|_| bad_quant(pattern)),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or_else(|_| bad_quant(pattern));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern '{pattern}'");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn bad_quant(pattern: &str) -> usize {
+    panic!("malformed {{m,n}} quantifier in pattern '{pattern}'")
+}
+
+fn sample_atom(atom: &Atom, src: &mut Source) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut i = src.random_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if i < span {
+                    return char::from_u32(*lo as u32 + i).expect("class stays in scalar range");
+                }
+                i -= span;
+            }
+            unreachable!("index within total class size")
+        }
+        Atom::Any => {
+            // Mostly ASCII (including controls — good fuzz food for the
+            // parsers), occasionally an arbitrary scalar value.
+            if src.random_bool(0.95) {
+                src.random_range('\u{0}'..='\u{7f}')
+            } else {
+                src.random_range('\u{80}'..=char::MAX)
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, src: &mut Source) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = src.random_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, src));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &'static str, seed: u64) -> String {
+        let mut src = Source::fresh(seed);
+        pattern.generate(&mut src)
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,6}", seed);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let s = gen("[A-Z][a-z_]{0,5}", seed);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_uppercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn dot_ranges_over_anything() {
+        for seed in 0..20 {
+            let s = gen(".{0,200}", seed);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen("abc", 1), "abc");
+        assert_eq!(gen("a{3}", 1), "aaa");
+    }
+}

@@ -1,0 +1,302 @@
+//! Deterministic, seedable pseudo-random number generation.
+//!
+//! The workspace needs reproducible randomness in three places: the
+//! regular-language word sampler (`axml-automata`), the schema instance
+//! generators (`axml-schema`), and the adversarial simulated services
+//! (`axml-services`). All of them seed from a `u64` and must produce the
+//! same stream on every platform and every run — so the generator lives
+//! here, in-repo, instead of behind a registry crate.
+//!
+//! The core is xoshiro256\*\* (Blackman & Vigna), seeded by expanding the
+//! `u64` seed through SplitMix64 — the construction the reference
+//! implementation recommends. Neither algorithm is cryptographic; they are
+//! fast, well-distributed simulation PRNGs, which is exactly the job here.
+
+/// A source of random `u64`s. Object-safe; everything richer lives in
+/// [`RngExt`].
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The SplitMix64 generator: a tiny, fast PRNG whose main role here is
+/// expanding one `u64` seed into the 256-bit xoshiro state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* — the workspace's standard generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+/// The default generator type, by its `rand`-era name.
+pub type StdRng = Xoshiro256StarStar;
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = mix.next_u64();
+        }
+        // All-zero state is the one fixed point; the SplitMix expansion of
+        // any seed cannot produce it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+mod sealed {
+    use super::Rng;
+
+    /// Types [`super::RngExt::random_range`] can draw uniformly.
+    pub trait UniformSample: Copy + PartialOrd {
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        fn sample_exclusive_upper<R: Rng + ?Sized>(rng: &mut R, lo: Self, end: Self) -> Self;
+    }
+
+    macro_rules! impl_uniform_unsigned {
+        ($($t:ty),*) => {$(
+            impl UniformSample for $t {
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    // Fixed-point multiply maps 2^64 draws onto span+1
+                    // buckets; the bias is < (span+1)/2^64 — irrelevant for
+                    // simulation use and, crucially, deterministic.
+                    let draw = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                    lo.wrapping_add(draw as $t)
+                }
+
+                fn sample_exclusive_upper<R: Rng + ?Sized>(rng: &mut R, lo: Self, end: Self) -> Self {
+                    Self::sample_inclusive(rng, lo, end - 1)
+                }
+            }
+        )*};
+    }
+    impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_signed {
+        ($($t:ty => $u:ty),*) => {$(
+            impl UniformSample for $t {
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    // Shift into the unsigned domain, sample, shift back.
+                    let lo_u = (lo as $u).wrapping_sub(<$t>::MIN as $u);
+                    let hi_u = (hi as $u).wrapping_sub(<$t>::MIN as $u);
+                    let s = <$u as UniformSample>::sample_inclusive(rng, lo_u, hi_u);
+                    s.wrapping_add(<$t>::MIN as $u) as $t
+                }
+
+                fn sample_exclusive_upper<R: Rng + ?Sized>(rng: &mut R, lo: Self, end: Self) -> Self {
+                    Self::sample_inclusive(rng, lo, end - 1)
+                }
+            }
+        )*};
+    }
+    impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl UniformSample for char {
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            // Rejection-free over the surrogate gap: sample the code-point
+            // range with the gap removed, then shift past it.
+            const GAP_LO: u32 = 0xD800;
+            const GAP_LEN: u32 = 0xE000 - 0xD800;
+            let lo = lo as u32;
+            let hi = hi as u32;
+            let lo_packed = if lo >= GAP_LO { lo - GAP_LEN } else { lo };
+            let hi_packed = if hi >= GAP_LO { hi - GAP_LEN } else { hi };
+            let v = u32::sample_inclusive(rng, lo_packed, hi_packed);
+            let v = if v >= GAP_LO { v + GAP_LEN } else { v };
+            char::from_u32(v).expect("sampled a valid scalar value")
+        }
+
+        fn sample_exclusive_upper<R: Rng + ?Sized>(rng: &mut R, lo: Self, end: Self) -> Self {
+            let prev = char::from_u32(end as u32 - 1)
+                .or_else(|| char::from_u32(0xD7FF))
+                .expect("non-empty char range");
+            Self::sample_inclusive(rng, lo, prev)
+        }
+    }
+}
+
+use sealed::UniformSample;
+
+/// A half-open or inclusive range an [`RngExt`] method can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range. Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_exclusive_upper(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Convenience methods over any [`Rng`], mirroring the `rand` extension
+/// surface the workspace uses.
+pub trait RngExt: Rng {
+    /// Uniform draw from an integer (or `char`) range.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Alias for [`RngExt::random_range`], under the older `rand` name.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        self.random_range(range)
+    }
+
+    /// Returns `true` with probability `p` (values outside `[0, 1]` clamp).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_unit() < p
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from 53 random bits.
+    fn random_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.random_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First output of the public-domain SplitMix64 for seed 0.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut g = StdRng::seed_from_u64(9);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v: u8 = g.random_range(3..=5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut g = StdRng::seed_from_u64(10);
+        for _ in 0..2000 {
+            let v: i32 = g.random_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+        let _: i64 = g.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn char_ranges_skip_surrogates() {
+        let mut g = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let c: char = g.random_range('\u{0}'..=char::MAX);
+            assert!(!(0xD800..0xE000).contains(&(c as u32)));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_usable() {
+        let mut g = StdRng::seed_from_u64(12);
+        let d: &mut dyn Rng = &mut g;
+        let v = d.random_range(0..10usize);
+        assert!(v < 10);
+    }
+}

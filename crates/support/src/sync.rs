@@ -1,0 +1,179 @@
+//! `std::sync` behind the ergonomics the workspace was written against.
+//!
+//! The peer and services crates used `parking_lot` locks (no poison
+//! plumbing at call sites: `lock()`/`read()`/`write()` return guards
+//! directly) and `crossbeam::channel` (one cloneable `Sender` type for
+//! both bounded and unbounded channels). These thin wrappers provide the
+//! same call-site shape over `std::sync` only.
+//!
+//! Poisoning policy: a poisoned lock means a peer thread panicked while
+//! holding shared state; continuing on that state would be silent data
+//! corruption, so the wrappers propagate the panic — the behaviour
+//! `parking_lot` callers implicitly relied on never having to think about.
+
+use std::sync::mpsc;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, panicking if a previous holder panicked.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned: a thread panicked while holding it")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("mutex poisoned: a thread panicked while holding it")
+    }
+}
+
+/// A readers-writer lock whose `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned: a thread panicked while holding it")
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0
+            .write()
+            .expect("rwlock poisoned: a thread panicked while holding it")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("rwlock poisoned: a thread panicked while holding it")
+    }
+}
+
+/// Multi-producer channels with one `Sender` type for bounded and
+/// unbounded flavours, as `crossbeam::channel` offered.
+pub mod channel {
+    use super::mpsc;
+
+    /// Sending half of a channel. Cloneable and shareable across threads.
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Unbounded (asynchronous) sender.
+        Unbounded(mpsc::Sender<T>),
+        /// Bounded (rendezvous/buffered) sender.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side is gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when every sender is gone.
+    pub type RecvError = mpsc::RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking on a full bounded channel; errors when
+        /// the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value),
+                Sender::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors once all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over received values until all senders are dropped.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// A channel holding at most `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_rwlock_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn channels_cross_threads() {
+        let (tx, rx) = channel::unbounded();
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let server = std::thread::spawn(move || {
+            while let Ok((v, reply)) = rx.recv() {
+                let reply: channel::Sender<i32> = reply;
+                reply.send(v + 1).unwrap();
+            }
+        });
+        tx.send((41, reply_tx.clone())).unwrap();
+        assert_eq!(reply_rx.recv().unwrap(), 42);
+        // Senders shared across threads through clones.
+        let tx2 = tx.clone();
+        let t = std::thread::spawn(move || tx2.send((1, reply_tx)).unwrap());
+        t.join().unwrap();
+        assert_eq!(reply_rx.recv().unwrap(), 2);
+        drop(tx);
+        server.join().unwrap();
+    }
+}

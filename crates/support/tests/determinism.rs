@@ -1,0 +1,132 @@
+//! Determinism guarantees of `axml_support::rng` — the whole workspace
+//! (word sampler, instance generators, adversarial services, property
+//! harness) assumes that a seed fully determines the stream, on every
+//! platform, forever.
+
+use axml_support::rng::{Rng, RngExt, SeedableRng, SplitMix64, StdRng};
+
+#[test]
+fn same_seed_identical_u64_stream() {
+    for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for i in 0..10_000 {
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed} diverged at draw {i}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = StdRng::seed_from_u64(1);
+    let mut b = StdRng::seed_from_u64(2);
+    let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+    assert_eq!(same, 0, "streams of different seeds should not collide early");
+}
+
+/// Pins the concrete output values so an accidental algorithm change (or a
+/// platform-dependent code path) cannot slip in silently: these are the
+/// streams every recorded regression seed depends on.
+#[test]
+fn golden_vectors_never_change() {
+    let mut g = StdRng::seed_from_u64(42);
+    assert_eq!(
+        [g.next_u64(), g.next_u64(), g.next_u64(), g.next_u64()],
+        [
+            0x15780b2e0c2ec716,
+            0x6104d9866d113a7e,
+            0xae17533239e499a1,
+            0xecb8ad4703b360a1,
+        ]
+    );
+    // SplitMix64 reference vector (public-domain implementation, seed 0).
+    let mut m = SplitMix64::new(0);
+    assert_eq!(m.next_u64(), 0xe220a8397b1dcdaf);
+}
+
+#[test]
+fn gen_range_respects_bounds_over_1e5_draws() {
+    let mut g = StdRng::seed_from_u64(7);
+    let mut hit_lo = false;
+    let mut hit_hi = false;
+    for _ in 0..100_000 {
+        let v: u32 = g.gen_range(10..20);
+        assert!((10..20).contains(&v));
+        hit_lo |= v == 10;
+        hit_hi |= v == 19;
+
+        let w: i64 = g.gen_range(-1000..=1000);
+        assert!((-1000..=1000).contains(&w));
+
+        let u: usize = g.gen_range(0..3);
+        assert!(u < 3);
+
+        let c: char = g.gen_range('a'..='z');
+        assert!(c.is_ascii_lowercase());
+    }
+    assert!(hit_lo && hit_hi, "both endpoints of 10..20 must be reachable");
+}
+
+#[test]
+fn degenerate_ranges_work() {
+    let mut g = StdRng::seed_from_u64(8);
+    for _ in 0..100 {
+        assert_eq!(g.gen_range(5u8..=5), 5);
+        assert_eq!(g.gen_range(-3i32..-2), -3);
+    }
+    // Full-width range must not overflow the span arithmetic.
+    let _: u64 = g.gen_range(0..=u64::MAX);
+    let _: i64 = g.gen_range(i64::MIN..=i64::MAX);
+}
+
+#[test]
+fn shuffle_is_a_permutation() {
+    let mut g = StdRng::seed_from_u64(3);
+    for round in 0..200 {
+        let original: Vec<u32> = (0..50).map(|i| i * 7 % 13).collect();
+        let mut shuffled = original.clone();
+        g.shuffle(&mut shuffled);
+        let mut a = original.clone();
+        let mut b = shuffled.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "round {round}: shuffle changed the multiset");
+    }
+}
+
+#[test]
+fn shuffle_is_deterministic_and_actually_shuffles() {
+    let base: Vec<u32> = (0..100).collect();
+    let mut one = base.clone();
+    let mut two = base.clone();
+    StdRng::seed_from_u64(9).shuffle(&mut one);
+    StdRng::seed_from_u64(9).shuffle(&mut two);
+    assert_eq!(one, two, "same seed must shuffle identically");
+    assert_ne!(one, base, "a 100-element shuffle staying sorted is ~impossible");
+}
+
+#[test]
+fn choose_picks_members_and_handles_empty() {
+    let mut g = StdRng::seed_from_u64(4);
+    let items = [2u8, 3, 5, 7, 11];
+    let mut seen = [false; 5];
+    for _ in 0..1000 {
+        let picked = *g.choose(&items).unwrap();
+        let idx = items.iter().position(|&x| x == picked).expect("member");
+        seen[idx] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every element should be chosen eventually");
+    assert_eq!(g.choose::<u8>(&[]), None);
+}
+
+#[test]
+fn random_bool_tracks_probability() {
+    let mut g = StdRng::seed_from_u64(5);
+    let hits = (0..100_000).filter(|_| g.random_bool(0.25)).count();
+    assert!(
+        (23_000..27_000).contains(&hits),
+        "p=0.25 over 1e5 draws gave {hits} hits"
+    );
+    assert!(!g.random_bool(0.0));
+    assert!(g.random_bool(1.0));
+}

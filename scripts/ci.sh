@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the workspace must build, test, and smoke-bench fully
+# offline (no registry crates exist in any Cargo.toml; see DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build (offline, warnings are errors) =="
+RUSTFLAGS="${RUSTFLAGS:--D warnings}" cargo build --release --offline --workspace --all-targets
+
+echo "== tier-1: test suite (offline) =="
+cargo test -q --offline --workspace
+
+echo "== tier-1: bench smoke run (B1, JSON report) =="
+json_dir="$(mktemp -d)"
+trap 'rm -rf "$json_dir"' EXIT
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    cargo bench --offline -p axml-bench --bench b1_safe_vs_schema_size
+python3 - "$json_dir" <<'EOF'
+import json, pathlib, sys
+files = sorted(pathlib.Path(sys.argv[1]).glob("BENCH_*.json"))
+assert files, "bench smoke run emitted no BENCH_*.json"
+for f in files:
+    report = json.loads(f.read_text())
+    assert report["benchmarks"], f"{f.name}: empty benchmark list"
+    print(f"{f.name}: {len(report['benchmarks'])} benchmarks, valid JSON")
+EOF
+
+echo "== tier-1: green =="

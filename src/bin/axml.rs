@@ -19,7 +19,7 @@ use axml::schema::{
     dsl, generate_output_instance, validate, validate_xml_stream, xsd, Compiled, GenConfig, ITree,
     NoOracle, Schema,
 };
-use rand::SeedableRng;
+use axml_support::rng::SeedableRng;
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -68,7 +68,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 struct CliAdversary {
     compiled: std::sync::Arc<Compiled>,
-    rng: rand::rngs::StdRng,
+    rng: axml_support::rng::StdRng,
 }
 
 impl Invoker for CliAdversary {
@@ -182,7 +182,7 @@ fn cmd_rewrite(args: &[String], execute_allowed: bool) -> ExitCode {
         if let Some(seed) = flag_value(args, "--execute").and_then(|v| v.parse::<u64>().ok()) {
             let mut adversary = CliAdversary {
                 compiled: std::sync::Arc::clone(&compiled),
-                rng: rand::rngs::StdRng::seed_from_u64(seed),
+                rng: axml_support::rng::StdRng::seed_from_u64(seed),
             };
             let run = if possible {
                 rewriter.rewrite_possible(&doc, &mut adversary)

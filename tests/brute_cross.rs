@@ -11,12 +11,12 @@ use axml::core::brute::{brute_possible, brute_safe};
 use axml::core::possible::PossibleGame;
 use axml::core::safe::{complement_of, BuildMode, SafeGame};
 use axml::schema::{Compiled, NoOracle, Schema};
-use proptest::prelude::*;
+use axml_support::prelude::*;
 
 /// Star-free regex over names drawn from `syms`.
 fn starfree_regex(syms: &'static [&'static str]) -> impl Strategy<Value = String> {
     let leaf = prop_oneof![
-        proptest::sample::select(syms).prop_map(str::to_owned),
+        select(syms).prop_map(str::to_owned),
         Just("ε".to_owned()),
     ];
     leaf.prop_recursive(3, 12, 3, |inner| {
@@ -54,7 +54,7 @@ proptest! {
     fn algorithms_match_brute_force(
         out_f in starfree_regex(ALL_SYMS),
         out_g in starfree_regex(DATA_SYMS),
-        word_names in prop::collection::vec(proptest::sample::select(ALL_SYMS), 0..4),
+        word_names in prop::collection::vec(select(ALL_SYMS), 0..4),
         target_text in starfree_regex(ALL_SYMS),
         k in 0u32..3,
     ) {

@@ -370,8 +370,8 @@ fn complement_agrees_with_nfa() {
         let dfa = Dfa::determinize(&nfa);
         let comp = complement_of(&re, n);
         use axml::automata::{sample_word, SampleConfig};
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use axml_support::rng::SeedableRng;
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(99);
         for _ in 0..100 {
             let w = sample_word(&re, &mut rng, &SampleConfig::default()).unwrap();
             assert!(nfa.accepts(&w) && dfa.accepts(&w) && !comp.accepts(&w));

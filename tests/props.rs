@@ -14,8 +14,8 @@ use axml::core::invoke::Invoker;
 use axml::core::rewrite::{RewriteError, Rewriter};
 use axml::schema::{generate_instance, validate, Compiled, GenConfig, ITree, NoOracle, Schema};
 use axml::xml::parse_document;
-use proptest::prelude::*;
-use rand::SeedableRng;
+use axml_support::prelude::*;
+use axml_support::rng::SeedableRng;
 
 /// A strategy producing random regexes over `n` symbols.
 fn regex_strategy(n: u32) -> impl Strategy<Value = Regex> {
@@ -50,7 +50,7 @@ proptest! {
     fn sampled_words_accepted_everywhere(re in regex_strategy(4), seed in 0u64..1000) {
         prop_assume!(!re.is_empty_language());
         let n = 4usize;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
         let w = sample_word(&re, &mut rng, &SampleConfig::default()).unwrap();
         let nfa = Nfa::thompson(&re, n);
         prop_assert!(nfa.accepts(&w));
@@ -166,6 +166,34 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Legacy regression corpus, ported from `tests/props.proptest-regressions`
+// (the upstream-proptest seed file) into explicit named cases: one `#[test]`
+// per recorded seed, pinned to the shrunken counterexample the old harness
+// reported. New failures go to `regressions/<property>.seeds` instead.
+// ---------------------------------------------------------------------------
+
+/// Seed `cc 0eba0d62…` shrank to `Elem { label: "a", children: [Text("a"),
+/// Text("a")] }`: adjacent text children merge in serialized XML, so the
+/// round-trip must compare against the normalized tree, not the original.
+#[test]
+fn regression_roundtrip_merges_adjacent_text_children() {
+    let t = ITree::elem(
+        "a",
+        vec![ITree::Text("a".to_owned()), ITree::Text("a".to_owned())],
+    );
+    let doc = ITree::elem("root", vec![t]);
+    let xml = doc.to_xml().to_xml();
+    let parsed = parse_document(&xml).unwrap();
+    let back = ITree::from_xml(&parsed.root).unwrap();
+    assert_eq!(back, merge_adjacent_text(&doc));
+    assert_eq!(
+        back,
+        ITree::elem("root", vec![ITree::elem("a", vec![ITree::Text("aa".to_owned())])]),
+        "the two adjacent text nodes must come back as one"
+    );
+}
+
 fn paper_compiled() -> Compiled {
     Compiled::new(
         Schema::builder()
@@ -193,7 +221,7 @@ proptest! {
     #[test]
     fn generated_instances_validate(seed in 0u64..10_000) {
         let c = paper_compiled();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
         let doc = generate_instance(&c, "newspaper", &mut rng, &GenConfig::default()).unwrap();
         validate(&doc, &c).unwrap();
     }
@@ -203,7 +231,7 @@ proptest! {
 /// function's declared type — the Def. 4 adversary.
 struct AdversaryInvoker<'c> {
     compiled: &'c Compiled,
-    rng: rand::rngs::StdRng,
+    rng: axml_support::rng::StdRng,
 }
 
 impl Invoker for AdversaryInvoker<'_> {
@@ -237,7 +265,7 @@ proptest! {
     fn safe_rewriting_sound_under_adversary(seed in 0u64..10_000, k in 1u32..3) {
         // Source documents: random instances of the intensional schema (*).
         let source = paper_compiled();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
         let doc = generate_instance(&source, "newspaper", &mut rng, &GenConfig::default()).unwrap();
 
         // Target: schema (**) — known safe for every instance of (*)
@@ -264,7 +292,7 @@ proptest! {
             Ok(_) => {
                 let mut adversary = AdversaryInvoker {
                     compiled: &target,
-                    rng: rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(31)),
+                    rng: axml_support::rng::StdRng::seed_from_u64(seed.wrapping_mul(31)),
                 };
                 let (out, _report) = rewriter
                     .rewrite_safe(&doc, &mut adversary)

@@ -4,7 +4,7 @@ use axml::schema::{validate_xml_stream, Compiled, NoOracle, Schema};
 use axml::services::builtin::{Adversarial, GetTemp};
 use axml::services::{Registry, ServiceDef};
 use axml::xml::parse_document;
-use proptest::prelude::*;
+use axml_support::prelude::*;
 use std::sync::Arc;
 
 proptest! {

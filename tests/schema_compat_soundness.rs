@@ -10,11 +10,11 @@ use axml::schema::{
     generate_instance, generate_output_instance, validate, Compiled, GenConfig, ITree, NoOracle,
     Schema,
 };
-use rand::SeedableRng;
+use axml_support::rng::SeedableRng;
 
 struct Adversary<'c> {
     compiled: &'c Compiled,
-    rng: rand::rngs::StdRng,
+    rng: axml_support::rng::StdRng,
 }
 
 impl Invoker for Adversary<'_> {
@@ -75,7 +75,7 @@ fn compatible_schemas_imply_per_instance_safety_and_execution() {
 
     let mut checked = 0;
     for seed in 0..200u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
         let doc = generate_instance(&source, "newspaper", &mut rng, &GenConfig::default())
             .expect("generable");
         // Def. 6 promises safety for EVERY instance.
@@ -85,7 +85,7 @@ fn compatible_schemas_imply_per_instance_safety_and_execution() {
         // And execution against an adversary must always succeed.
         let mut adversary = Adversary {
             compiled: &target,
-            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED),
+            rng: axml_support::rng::StdRng::seed_from_u64(seed ^ 0xFEED),
         };
         let (out, _) = rewriter
             .rewrite_safe(&doc, &mut adversary)
@@ -122,7 +122,7 @@ fn incompatible_schemas_have_witness_instances() {
     let mut rewriter = Rewriter::new(&target).with_k(1);
     let mut found_witness = false;
     for seed in 0..100u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
         let doc = generate_instance(&source, "newspaper", &mut rng, &GenConfig::default())
             .expect("generable");
         if rewriter.analyze_safe(&doc).is_err() {

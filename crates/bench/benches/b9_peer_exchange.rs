@@ -1,12 +1,16 @@
 //! B9: end-to-end peer exchange — the Schema Enforcement module's
-//! throughput when sending Fig. 2 documents under exchange schema (**).
+//! throughput when sending Fig. 2 documents under exchange schema (**),
+//! plus the transport comparison: the same service exchange over the
+//! in-process channel server vs a loopback TCP daemon.
 
 use axml_bench::newspaper;
 use axml_core::rewrite::enforce;
-use axml_schema::{Compiled, NoOracle, Schema};
+use axml_net::{ClientConfig, ServerConfig};
+use axml_peer::{NetPeer, Peer, Query, RemotePeer};
+use axml_schema::{Compiled, ITree, NoOracle, Schema};
 use axml_services::builtin::{GetDate, GetTemp, TimeOutGuide};
 use axml_services::{Registry, ServiceDef};
-use axml_support::bench::{criterion_group, criterion_main, Criterion};
+use axml_support::bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -68,7 +72,74 @@ fn bench(c: &mut Criterion) {
             black_box(axml_schema::ITree::from_xml(&parsed.root).unwrap().size())
         })
     });
+    // Transport comparison: one provider peer serving the exhibits guide,
+    // invoked over the in-process channel transport and over a loopback
+    // TCP daemon — the protocol cost of going through sockets.
+    let provider = Arc::new(Peer::new(
+        "guide.example.org",
+        Arc::new(exchange_schema()),
+        Arc::new(Registry::new()),
+    ));
+    provider.repository.store(
+        "guide",
+        ITree::elem(
+            "guide",
+            vec![
+                ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Monet"), ITree::data("date", "Mon")],
+                ),
+                ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Rodin"), ITree::data("date", "Tue")],
+                ),
+            ],
+        ),
+    );
+    provider.declare(
+        ServiceDef::new("TimeOut", "data", "(exhibit|performance)*"),
+        Query::Children("guide".to_owned()),
+    );
+    let caller = Peer::new(
+        "caller.example.org",
+        Arc::new(exchange_schema()),
+        Arc::new(Registry::new()),
+    );
+    let params = [ITree::text("exhibits")];
+
+    let channel_server = provider.serve();
+    let daemon = NetPeer::serve(
+        Arc::clone(&provider),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let remote = RemotePeer::connect(daemon.local_addr(), ClientConfig::default()).unwrap();
+
+    let result = caller
+        .call_remote(&channel_server, "TimeOut", &params)
+        .unwrap();
+    let elements: u64 = result.iter().map(|t| t.size() as u64).sum();
+    group.throughput(Throughput::Elements(elements));
+    group.bench_function("exchange_channel", |b| {
+        b.iter(|| {
+            let out = caller
+                .call_remote(&channel_server, "TimeOut", black_box(&params))
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+    group.bench_function("exchange_tcp_loopback", |b| {
+        b.iter(|| {
+            let out = remote
+                .invoke_service(&caller, "TimeOut", black_box(&params))
+                .unwrap();
+            black_box(out.len())
+        })
+    });
     group.finish();
+    channel_server.shutdown().unwrap();
+    daemon.shutdown().unwrap();
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,411 @@
+//! The client half of the wire protocol: pooled connections with
+//! handshakes, timeouts, and bounded retry-with-backoff.
+//!
+//! A [`NetClient`] targets one remote daemon. Connections are dialed
+//! lazily, handshaken once, and returned to an idle pool after each
+//! successful call — so a burst of calls reuses sockets instead of
+//! re-dialing. Failures are classified:
+//!
+//! * **retryable faults** (`Busy`, `Timeout`, `Shutdown`, or any fault the
+//!   server flagged retryable) and transport errors trigger a bounded
+//!   retry with exponential backoff plus *deterministic* jitter drawn from
+//!   [`axml_support::rng`] — every client seeded identically backs off
+//!   identically, which keeps the loopback tests and benches reproducible;
+//! * non-retryable faults surface immediately as
+//!   [`ClientError::Fault`].
+
+use crate::wire::{self, FrameType, WireError, WireFault};
+use axml_support::rng::{RngExt, SeedableRng, StdRng};
+use axml_support::sync::Mutex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Tuning knobs for a [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Name announced in the `Hello` handshake frame.
+    pub name: String,
+    /// Dial timeout for new connections.
+    pub connect_timeout: Duration,
+    /// Socket read timeout while waiting for a reply.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame: usize,
+    /// Total attempts per call (1 = no retries).
+    pub attempts: u32,
+    /// Base backoff; attempt `n` sleeps `base * 2^n` plus jitter.
+    pub backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Idle connections kept for reuse.
+    pub pool: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            name: "axml-client".to_owned(),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_frame: wire::DEFAULT_MAX_FRAME,
+            attempts: 3,
+            backoff: Duration::from_millis(10),
+            seed: 0xA_0E11,
+            pool: 4,
+        }
+    }
+}
+
+/// Errors surfaced by [`NetClient::call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The remote answered with a typed fault (after exhausting retries if
+    /// it was retryable).
+    Fault(WireFault),
+    /// The transport failed (after exhausting retries).
+    Wire(WireError),
+    /// The handshake failed (bad magic/version/unexpected frame).
+    Handshake(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Fault(fault) => write!(f, "{fault}"),
+            ClientError::Wire(e) => write!(f, "transport: {e}"),
+            ClientError::Handshake(m) => write!(f, "handshake failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Name the remote daemon announced in its `Welcome`.
+    server_name: String,
+}
+
+/// A pooled client for one remote daemon.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    idle: Mutex<Vec<Conn>>,
+    next_id: AtomicU64,
+    jitter: Mutex<StdRng>,
+}
+
+impl NetClient {
+    /// Creates a client for `addr` (connections are dialed lazily).
+    pub fn new(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<NetClient, ClientError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Wire(e.into()))?
+            .next()
+            .ok_or_else(|| {
+                ClientError::Wire(WireError::Malformed("address resolved to nothing".to_owned()))
+            })?;
+        let seed = config.seed;
+        Ok(NetClient {
+            addr,
+            config,
+            idle: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            jitter: Mutex::new(StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    /// The remote address this client targets.
+    pub fn remote_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of idle pooled connections (for tests).
+    pub fn pooled(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    fn dial(&self) -> Result<Conn, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(|e| ClientError::Wire(e.into()))?;
+        wire::set_stream_timeouts(
+            &stream,
+            Some(self.config.read_timeout),
+            Some(self.config.write_timeout),
+        )
+        .map_err(|e| ClientError::Wire(e.into()))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| ClientError::Wire(e.into()))?;
+        let mut reader = BufReader::new(stream);
+        wire::write_frame(&mut writer, &wire::hello(&self.config.name))
+            .map_err(ClientError::Wire)?;
+        let frame = wire::read_frame(&mut reader, self.config.max_frame).map_err(|e| {
+            ClientError::Handshake(format!("no Welcome from {}: {e}", self.addr))
+        })?;
+        match frame.kind {
+            FrameType::Welcome => {
+                let (version, server_name) =
+                    wire::decode_welcome(&frame.payload).map_err(|e| {
+                        ClientError::Handshake(format!("bad Welcome payload: {e}"))
+                    })?;
+                if version != wire::VERSION {
+                    return Err(ClientError::Handshake(format!(
+                        "server speaks version {version}, client {}",
+                        wire::VERSION
+                    )));
+                }
+                Ok(Conn {
+                    reader,
+                    writer,
+                    server_name,
+                })
+            }
+            FrameType::Fault => {
+                let fault = wire::decode_fault(&frame.payload)
+                    .unwrap_or_else(|e| WireFault::new(wire::FaultCode::BadFrame, e.to_string()));
+                Err(ClientError::Handshake(fault.to_string()))
+            }
+            other => Err(ClientError::Handshake(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    fn checkout(&self) -> Result<Conn, ClientError> {
+        if let Some(conn) = self.idle.lock().pop() {
+            return Ok(conn);
+        }
+        self.dial()
+    }
+
+    fn checkin(&self, conn: Conn) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.config.pool {
+            idle.push(conn);
+        }
+    }
+
+    /// The name of the remote daemon, learned from the handshake (dials a
+    /// connection if none is pooled).
+    pub fn server_name(&self) -> Result<String, ClientError> {
+        let conn = self.checkout()?;
+        let name = conn.server_name.clone();
+        self.checkin(conn);
+        Ok(name)
+    }
+
+    /// Backoff before retry `attempt` (1-based): `base * 2^(attempt-1)`
+    /// plus a deterministic jitter of up to one base interval.
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let base = self.config.backoff;
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(10));
+        let jitter_us = if base.as_micros() == 0 {
+            0
+        } else {
+            self.jitter
+                .lock()
+                .random_range(0..base.as_micros() as u64)
+        };
+        exp + Duration::from_micros(jitter_us)
+    }
+
+    /// Sends one request envelope and waits for the matching reply.
+    ///
+    /// Retries transport failures and retryable faults up to the
+    /// configured attempt budget, re-dialing as needed.
+    pub fn call(&self, envelope: &str) -> Result<String, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 1..=self.config.attempts.max(1) {
+            if attempt > 1 {
+                std::thread::sleep(self.backoff_for(attempt - 1));
+            }
+            match self.call_once(envelope) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    let retryable = match &e {
+                        ClientError::Fault(f) => f.retryable,
+                        ClientError::Wire(_) => true,
+                        ClientError::Handshake(_) => false,
+                    };
+                    if !retryable {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Wire(WireError::Malformed("no attempts configured".to_owned()))
+        }))
+    }
+
+    fn call_once(&self, envelope: &str) -> Result<String, ClientError> {
+        let mut conn = self.checkout()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = wire::write_frame(&mut conn.writer, &wire::request(id, envelope)) {
+            // A pooled connection may have been closed by the server;
+            // the retry loop will re-dial.
+            return Err(ClientError::Wire(e));
+        }
+        loop {
+            let frame = match wire::read_frame(&mut conn.reader, self.config.max_frame) {
+                Ok(f) => f,
+                Err(WireError::Idle | WireError::Stalled) => {
+                    return Err(ClientError::Wire(WireError::Stalled));
+                }
+                Err(e) => return Err(ClientError::Wire(e)),
+            };
+            match frame.kind {
+                FrameType::Response if frame.id == id => {
+                    let reply =
+                        wire::decode_envelope(&frame.payload).map_err(ClientError::Wire)?;
+                    self.checkin(conn);
+                    return Ok(reply);
+                }
+                FrameType::Fault => {
+                    let fault = wire::decode_fault(&frame.payload).map_err(ClientError::Wire)?;
+                    // Faults with id 0 are connection-level (the stream is
+                    // no longer framed); per-request faults leave the
+                    // connection reusable.
+                    if frame.id == id {
+                        self.checkin(conn);
+                    }
+                    return Err(ClientError::Fault(fault));
+                }
+                // A reply to a request this call does not own (pipelined
+                // by another thread's aborted call): skip it.
+                FrameType::Response => continue,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected {other:?} frame while awaiting a reply"
+                    ))));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Handler, NetServer, ServerConfig};
+    use crate::wire::FaultCode;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    fn echo() -> Arc<dyn Handler> {
+        Arc::new(|envelope: &str| Ok(format!("echo:{envelope}")))
+    }
+
+    #[test]
+    fn call_reuses_pooled_connections() {
+        let server = NetServer::bind("127.0.0.1:0", echo(), ServerConfig::default()).unwrap();
+        let client = NetClient::new(server.local_addr(), ClientConfig::default()).unwrap();
+        for i in 0..10 {
+            assert_eq!(client.call(&format!("m{i}")).unwrap(), format!("echo:m{i}"));
+        }
+        assert_eq!(client.pooled(), 1, "all calls shared one socket");
+        assert_eq!(
+            server.stats().accepted.load(Ordering::Relaxed),
+            1,
+            "no re-dialing"
+        );
+        assert_eq!(client.server_name().unwrap(), "axml-peer");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn retryable_faults_are_retried_with_backoff() {
+        // Fails twice with a retryable fault, then succeeds.
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = Arc::clone(&calls);
+        let handler: Arc<dyn Handler> = Arc::new(move |envelope: &str| {
+            if calls2.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(WireFault::new(FaultCode::Busy, "try later").retryable())
+            } else {
+                Ok(envelope.to_owned())
+            }
+        });
+        let server = NetServer::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let client = NetClient::new(
+            server.local_addr(),
+            ClientConfig {
+                attempts: 3,
+                backoff: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(client.call("ok").unwrap(), "ok");
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn non_retryable_faults_surface_immediately() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = Arc::clone(&calls);
+        let handler: Arc<dyn Handler> = Arc::new(move |_: &str| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            Err(WireFault::new(FaultCode::Client, "bad request"))
+        });
+        let server = NetServer::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let client = NetClient::new(server.local_addr(), ClientConfig::default()).unwrap();
+        let err = client.call("x").unwrap_err();
+        assert!(matches!(err, ClientError::Fault(ref f) if f.code == FaultCode::Client));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "no retry");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn retries_are_exhausted_against_a_dead_address() {
+        // Bind a listener, learn its port, drop it: connections now fail.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = NetClient::new(
+            addr,
+            ClientConfig {
+                attempts: 2,
+                backoff: Duration::from_millis(1),
+                connect_timeout: Duration::from_millis(200),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            client.call("x").unwrap_err(),
+            ClientError::Wire(_)
+        ));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let server = NetServer::bind("127.0.0.1:0", echo(), ServerConfig::default()).unwrap();
+        let mk = |seed| {
+            NetClient::new(
+                server.local_addr(),
+                ClientConfig {
+                    seed,
+                    ..ClientConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let (a, b) = (mk(42), mk(42));
+        let seq_a: Vec<Duration> = (1..=4).map(|i| a.backoff_for(i)).collect();
+        let seq_b: Vec<Duration> = (1..=4).map(|i| b.backoff_for(i)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same jitter");
+        // Exponential growth dominates the one-base-interval jitter.
+        assert!(seq_a[3] > seq_a[0]);
+        server.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # axml-net — TCP transport for Active XML peers
+//!
+//! The paper's system (Sec. 7) is a *peer*: a daemon whose Schema
+//! Enforcement module intercepts every outbound and inbound message. This
+//! crate provides the network substrate that turns the in-process peer of
+//! `axml-peer` into such a daemon, using nothing but `std`:
+//!
+//! * [`wire`] — length-prefixed frames carrying SOAP envelopes, a
+//!   versioned handshake, request ids, and typed retryable/non-retryable
+//!   [`wire::WireFault`]s (see DESIGN.md §2.1 for the frame layout);
+//! * [`server`] — an accept loop feeding a fixed-size worker pool over a
+//!   bounded in-flight queue (backpressure by retryable `Busy` faults),
+//!   per-connection read/write timeouts, graceful panic-reporting
+//!   shutdown;
+//! * [`client`] — a pooled connection client with connect/read timeouts
+//!   and bounded retry-with-backoff driven by deterministic jitter from
+//!   `axml_support::rng`.
+//!
+//! The crate is transport only: it moves opaque envelopes and knows
+//! nothing about schemas or rewriting. `axml-peer::NetPeer` plugs the
+//! enforcement module in as the server's [`server::Handler`].
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientError, NetClient};
+pub use server::{Handler, NetServer, ServerConfig, ServerError, ServerStats};
+pub use wire::{FaultCode, WireError, WireFault, VERSION};

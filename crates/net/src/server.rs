@@ -1,0 +1,601 @@
+//! The peer daemon: a concurrent TCP server for the wire protocol.
+//!
+//! Architecture (all plain `std` threads):
+//!
+//! * one **accept thread** polls the (non-blocking) listener and spawns a
+//!   lightweight **reader thread** per connection;
+//! * each reader performs the versioned handshake, then decodes `Request`
+//!   frames and pushes jobs into a **bounded in-flight queue** — when the
+//!   queue is full the reader immediately answers a retryable
+//!   [`FaultCode::Busy`] fault instead of blocking (backpressure);
+//! * a **fixed-size worker pool** drains the queue, runs the
+//!   application-level [`Handler`] (for an Active XML peer: decode the
+//!   SOAP envelope, run the Schema Enforcement module, encode the reply),
+//!   and writes the `Response`/`Fault` frame back through the
+//!   connection's shared writer — so one connection can have several
+//!   requests in flight and replies may be pipelined out of order;
+//! * [`NetServer::shutdown`] is **graceful and deterministic**: it stops
+//!   accepting, unblocks and joins every reader, drains-and-joins every
+//!   worker (bounded wait), and reports any worker panic as an error
+//!   instead of leaking threads.
+//!
+//! Per-connection read/write timeouts bound every blocking socket
+//! operation: an idle connection is kept (pooled clients stay connected),
+//! but a peer that stalls *mid-frame* is answered with a `Timeout` fault
+//! and dropped.
+
+use crate::wire::{self, FaultCode, Frame, FrameType, WireError, WireFault};
+use axml_support::sync::channel::{bounded, Receiver, Sender, TrySendError};
+use axml_support::sync::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Application logic plugged into the daemon: maps one request envelope to
+/// one response envelope, or a typed fault.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one request envelope (UTF-8 XML).
+    fn handle(&self, envelope: &str) -> Result<String, WireFault>;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&str) -> Result<String, WireFault> + Send + Sync + 'static,
+{
+    fn handle(&self, envelope: &str) -> Result<String, WireFault> {
+        self(envelope)
+    }
+}
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Name announced in the `Welcome` handshake frame.
+    pub name: String,
+    /// Fixed number of worker threads processing requests.
+    pub workers: usize,
+    /// Capacity of the in-flight request queue (backpressure bound).
+    pub queue: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            name: "axml-peer".to_owned(),
+            workers: 4,
+            queue: 64,
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(5),
+            max_frame: wire::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Monotonic counters exposed for tests and operational visibility.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Requests answered with a `Response` frame.
+    pub served: AtomicU64,
+    /// Requests rejected with a retryable `Busy` fault (queue full).
+    pub rejected_busy: AtomicU64,
+    /// Requests answered with any other fault.
+    pub faulted: AtomicU64,
+}
+
+struct Job {
+    writer: Arc<Mutex<TcpStream>>,
+    id: u64,
+    envelope: String,
+}
+
+struct Shared {
+    handler: Arc<dyn Handler>,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    stop: AtomicBool,
+    /// Live connection streams, keyed by a connection id, so shutdown can
+    /// unblock readers stuck in a socket read.
+    conns: Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>,
+    next_conn: AtomicU64,
+}
+
+/// A running daemon; dropping it without [`NetServer::shutdown`] still
+/// stops and joins everything (panics in workers are then swallowed).
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Option<Sender<Job>>,
+}
+
+/// Errors from server lifecycle operations.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+    /// A server thread panicked; the payload is rendered into the string.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServerError::WorkerPanic(m) => write!(f, "server thread panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` and starts the accept loop, readers and worker pool.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> Result<NetServer, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+        listener.set_nonblocking(true).map_err(ServerError::Io)?;
+        let local_addr = listener.local_addr().map_err(ServerError::Io)?;
+        let workers = config.workers.max(1);
+        let queue = config.queue.max(1);
+        let shared = Arc::new(Shared {
+            handler,
+            config,
+            stats: Arc::new(ServerStats::default()),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let (job_tx, job_rx) = bounded::<Job>(queue);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            let job_rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&job_rx);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("axml-net-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &job_rx))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name("axml-net-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &job_tx))
+                .expect("spawn accept thread")
+        };
+
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers: worker_handles,
+            job_tx: Some(job_tx),
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Graceful shutdown: stop accepting, unblock + join readers, drain +
+    /// join workers. Returns an error if any server thread panicked.
+    pub fn shutdown(mut self) -> Result<(), ServerError> {
+        self.stop_all()
+    }
+
+    fn stop_all(&mut self) -> Result<(), ServerError> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock readers parked in socket reads.
+        for conn in self.shared.conns.lock().values() {
+            let _ = conn.lock().shutdown(Shutdown::Both);
+        }
+        let mut first_panic: Option<String> = None;
+        let mut note = |r: std::thread::Result<()>| {
+            if let Err(p) = r {
+                first_panic.get_or_insert(panic_message(p));
+            }
+        };
+        if let Some(accept) = self.accept.take() {
+            match accept.join() {
+                Ok(readers) => {
+                    for r in readers {
+                        note(r.join());
+                    }
+                }
+                Err(p) => note(Err(p)),
+            }
+        }
+        // Closing the queue ends the worker loops once drained.
+        drop(self.job_tx.take());
+        for w in self.workers.drain(..) {
+            note(w.join());
+        }
+        match first_panic {
+            Some(m) => Err(ServerError::WorkerPanic(m)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        let _ = self.stop_all();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    job_tx: &Sender<Job>,
+) -> Vec<JoinHandle<()>> {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let job_tx = job_tx.clone();
+                readers.push(
+                    std::thread::Builder::new()
+                        .name("axml-net-reader".to_owned())
+                        .spawn(move || reader_loop(stream, &shared, &job_tx))
+                        .expect("spawn reader thread"),
+                );
+                // Opportunistically reap finished readers so a long-lived
+                // daemon does not accumulate handles.
+                readers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    readers
+}
+
+/// Serves one connection: handshake, then requests until close/shutdown.
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+    let config = &shared.config;
+    if wire::set_stream_timeouts(
+        &stream,
+        Some(config.read_timeout),
+        Some(config.write_timeout),
+    )
+    .is_err()
+    {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    shared
+        .conns
+        .lock()
+        .insert(conn_id, Arc::clone(&writer));
+    let mut reader = BufReader::new(stream);
+    if handshake(&mut reader, &writer, shared).is_ok() {
+        serve_frames(&mut reader, &writer, shared, job_tx);
+    }
+    shared.conns.lock().remove(&conn_id);
+}
+
+fn send_reply(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), WireError> {
+    wire::write_frame(&mut *writer.lock(), frame)
+}
+
+fn handshake(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Arc<Shared>,
+) -> Result<(), ()> {
+    // The handshake must arrive promptly: idle timeouts here are fatal.
+    let frame = loop {
+        match wire::read_frame(reader, shared.config.max_frame) {
+            Ok(f) => break f,
+            Err(WireError::Idle) if !shared.stop.load(Ordering::SeqCst) => {
+                return Err(()); // never sent a handshake: drop silently
+            }
+            Err(_) => return Err(()),
+        }
+    };
+    if frame.kind != FrameType::Hello {
+        let f = WireFault::new(FaultCode::BadFrame, "expected Hello to open the connection");
+        let _ = send_reply(writer, &wire::fault(frame.id, &f));
+        return Err(());
+    }
+    match wire::decode_hello(&frame.payload) {
+        Ok((version, _peer)) if version == wire::VERSION => {
+            send_reply(writer, &wire::welcome(&shared.config.name)).map_err(|_| ())
+        }
+        Ok((version, _)) => {
+            let f = WireFault::new(
+                FaultCode::Version,
+                format!("server speaks version {}, client {version}", wire::VERSION),
+            );
+            let _ = send_reply(writer, &wire::fault(0, &f));
+            Err(())
+        }
+        Err(e) => {
+            let f = WireFault::new(FaultCode::BadFrame, format!("bad Hello: {e}"));
+            let _ = send_reply(writer, &wire::fault(0, &f));
+            Err(())
+        }
+    }
+}
+
+fn serve_frames(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Arc<Shared>,
+    job_tx: &Sender<Job>,
+) {
+    let stats = &shared.stats;
+    loop {
+        let frame = match wire::read_frame(reader, shared.config.max_frame) {
+            Ok(f) => f,
+            Err(WireError::Idle) => {
+                // Idle pooled connections are kept until shutdown.
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::Stalled) => {
+                stats.faulted.fetch_add(1, Ordering::Relaxed);
+                let f = WireFault::new(FaultCode::Timeout, "read timed out mid-frame");
+                let _ = send_reply(writer, &wire::fault(0, &f));
+                return;
+            }
+            Err(WireError::TooLarge { len, max }) => {
+                // The oversized payload was never read; the stream is no
+                // longer framed, so fault and close.
+                stats.faulted.fetch_add(1, Ordering::Relaxed);
+                let f = WireFault::new(
+                    FaultCode::TooLarge,
+                    format!("{len}-byte payload exceeds the {max}-byte cap"),
+                );
+                let _ = send_reply(writer, &wire::fault(0, &f));
+                return;
+            }
+            Err(WireError::Closed) => return,
+            Err(e) => {
+                if !shared.stop.load(Ordering::SeqCst) {
+                    stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    let f = WireFault::new(FaultCode::BadFrame, e.to_string());
+                    let _ = send_reply(writer, &wire::fault(0, &f));
+                }
+                return;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            let f = WireFault::new(FaultCode::Shutdown, "server is shutting down").retryable();
+            let _ = send_reply(writer, &wire::fault(frame.id, &f));
+            return;
+        }
+        if frame.kind != FrameType::Request {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            let f = WireFault::new(FaultCode::BadFrame, "expected a Request frame");
+            let _ = send_reply(writer, &wire::fault(frame.id, &f));
+            continue;
+        }
+        let envelope = match wire::decode_envelope(&frame.payload) {
+            Ok(e) => e,
+            Err(e) => {
+                stats.faulted.fetch_add(1, Ordering::Relaxed);
+                let f = WireFault::new(FaultCode::Client, e.to_string());
+                let _ = send_reply(writer, &wire::fault(frame.id, &f));
+                continue;
+            }
+        };
+        let job = Job {
+            writer: Arc::clone(writer),
+            id: frame.id,
+            envelope,
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                // Backpressure: reject retryably instead of queueing.
+                stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                let f = WireFault::new(FaultCode::Busy, "in-flight request queue is full")
+                    .retryable();
+                let _ = send_reply(writer, &wire::fault(job.id, &f));
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                let f = WireFault::new(FaultCode::Shutdown, "server is shutting down").retryable();
+                let _ = send_reply(writer, &wire::fault(job.id, &f));
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the lock only while dequeueing, never while handling.
+        let job = match job_rx.lock().recv() {
+            Ok(j) => j,
+            Err(_) => return, // queue closed: graceful shutdown
+        };
+        let reply = match shared.handler.handle(&job.envelope) {
+            Ok(envelope) => {
+                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                wire::response(job.id, &envelope)
+            }
+            Err(fault) => {
+                shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                wire::fault(job.id, &fault)
+            }
+        };
+        // A gone client is not the server's problem.
+        let _ = send_reply(&job.writer, &reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn echo_server(config: ServerConfig) -> NetServer {
+        let handler: Arc<dyn Handler> = Arc::new(|envelope: &str| {
+            if envelope == "boom" {
+                Err(WireFault::new(FaultCode::Server, "boom requested"))
+            } else {
+                Ok(format!("echo:{envelope}"))
+            }
+        });
+        NetServer::bind("127.0.0.1:0", handler, config).unwrap()
+    }
+
+    fn dial(server: &NetServer) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        wire::set_stream_timeouts(
+            &stream,
+            Some(Duration::from_secs(5)),
+            Some(Duration::from_secs(5)),
+        )
+        .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (reader, stream)
+    }
+
+    fn shake(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream) {
+        wire::write_frame(stream, &wire::hello("test-client")).unwrap();
+        let back = wire::read_frame(reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Welcome);
+        let (v, name) = wire::decode_welcome(&back.payload).unwrap();
+        assert_eq!(v, wire::VERSION);
+        assert_eq!(name, "axml-peer");
+    }
+
+    #[test]
+    fn serves_requests_and_faults() {
+        let server = echo_server(ServerConfig::default());
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        wire::write_frame(&mut stream, &wire::request(1, "hi")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 1);
+        assert_eq!(wire::decode_envelope(&back.payload).unwrap(), "echo:hi");
+        wire::write_frame(&mut stream, &wire::request(2, "boom")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Server);
+        assert!(!f.retryable);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn handshake_is_mandatory_and_versioned() {
+        let server = echo_server(ServerConfig::default());
+        // Requests before Hello are rejected.
+        let (mut reader, mut stream) = dial(&server);
+        wire::write_frame(&mut stream, &wire::request(1, "hi")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::BadFrame);
+
+        // Wrong version is rejected with a Version fault.
+        let (mut reader, mut stream) = dial(&server);
+        let mut bad_hello = wire::hello("old-client");
+        bad_hello.payload[4..6].copy_from_slice(&99u16.to_be_bytes());
+        wire::write_frame(&mut stream, &bad_hello).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Version);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_gets_too_large_fault() {
+        let server = echo_server(ServerConfig {
+            max_frame: 64,
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        wire::write_frame(&mut stream, &wire::request(1, &"x".repeat(1000))).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::TooLarge);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stalled_writer_gets_timeout_fault() {
+        let server = echo_server(ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        // Send only half a header, then stall.
+        stream.write_all(&[0x03, 0, 0, 0]).unwrap();
+        stream.flush().unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Timeout);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_reports_counts() {
+        let server = echo_server(ServerConfig::default());
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        for i in 0..5 {
+            wire::write_frame(&mut stream, &wire::request(i, "ping")).unwrap();
+            let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(back.id, i);
+        }
+        assert_eq!(server.stats().served.load(Ordering::Relaxed), 5);
+        server.shutdown().unwrap();
+    }
+}

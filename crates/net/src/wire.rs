@@ -1,0 +1,574 @@
+//! The AXML framing and wire protocol.
+//!
+//! Peers exchange length-prefixed **frames** over TCP. Every frame is a
+//! fixed 13-byte header followed by a payload:
+//!
+//! ```text
+//! +------+----------------------+----------------+-- ... --+
+//! | type |      request id      | payload length | payload |
+//! | (u8) |      (u64, BE)       |    (u32, BE)   |  bytes  |
+//! +------+----------------------+----------------+-- ... --+
+//! ```
+//!
+//! Frame types:
+//!
+//! | type | name       | payload                                          |
+//! |------|------------|--------------------------------------------------|
+//! | 0x01 | `Hello`    | magic `AXML` + version (u16 BE) + peer name      |
+//! | 0x02 | `Welcome`  | version (u16 BE) + peer name                     |
+//! | 0x03 | `Request`  | a SOAP envelope (UTF-8 XML)                      |
+//! | 0x04 | `Response` | a SOAP envelope (UTF-8 XML)                      |
+//! | 0x05 | `Fault`    | code (u8) + retryable (u8) + message (UTF-8)     |
+//!
+//! A connection opens with a versioned handshake: the client sends
+//! `Hello` (request id 0); the server answers `Welcome`, or a `Fault`
+//! with [`FaultCode::Version`] and closes. After the handshake the client
+//! sends `Request` frames with monotonically increasing request ids; each
+//! is answered by exactly one `Response` or `Fault` frame carrying the
+//! *same* request id (answers may arrive out of order when the server
+//! pipelines requests across its worker pool).
+//!
+//! Faults are **typed**: a [`FaultCode`] plus a `retryable` flag that
+//! tells the client whether backing off and retrying can help (queue
+//! full, timeouts) or cannot (malformed envelope, unknown service).
+//!
+//! Payloads larger than the receiver's configured maximum are rejected
+//! *before* any allocation ([`WireError::TooLarge`]) — a 4-byte length
+//! from a hostile peer never reserves memory.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// The handshake magic: the first four payload bytes of every `Hello`.
+pub const MAGIC: [u8; 4] = *b"AXML";
+
+/// The wire protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+
+/// Size of the fixed frame header (type + request id + payload length).
+pub const HEADER_LEN: usize = 1 + 8 + 4;
+
+/// Default cap on payload size: 4 MiB.
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+/// The kind of a frame, i.e. its `type` byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client-side half of the handshake.
+    Hello,
+    /// Server-side half of the handshake.
+    Welcome,
+    /// A request carrying a SOAP envelope.
+    Request,
+    /// A successful reply carrying a SOAP envelope.
+    Response,
+    /// A typed failure reply.
+    Fault,
+}
+
+impl FrameType {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Hello => 0x01,
+            FrameType::Welcome => 0x02,
+            FrameType::Request => 0x03,
+            FrameType::Response => 0x04,
+            FrameType::Fault => 0x05,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0x01 => Ok(FrameType::Hello),
+            0x02 => Ok(FrameType::Welcome),
+            0x03 => Ok(FrameType::Request),
+            0x04 => Ok(FrameType::Response),
+            0x05 => Ok(FrameType::Fault),
+            other => Err(WireError::UnknownFrameType(other)),
+        }
+    }
+}
+
+/// One frame: type, request id, raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's type byte, decoded.
+    pub kind: FrameType,
+    /// Correlates requests with their replies; 0 during the handshake.
+    pub id: u64,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Typed fault codes carried by `Fault` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// The request itself is at fault (malformed envelope, bad method).
+    Client,
+    /// The server failed to process a well-formed request.
+    Server,
+    /// The server's in-flight request queue is full; try again later.
+    Busy,
+    /// The peer timed out mid-frame.
+    Timeout,
+    /// A frame exceeded the receiver's size cap.
+    TooLarge,
+    /// A frame violated the protocol (bad type, handshake out of order).
+    BadFrame,
+    /// Version negotiation failed during the handshake.
+    Version,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl FaultCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            FaultCode::Client => 0,
+            FaultCode::Server => 1,
+            FaultCode::Busy => 2,
+            FaultCode::Timeout => 3,
+            FaultCode::TooLarge => 4,
+            FaultCode::BadFrame => 5,
+            FaultCode::Version => 6,
+            FaultCode::Shutdown => 7,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(FaultCode::Client),
+            1 => Ok(FaultCode::Server),
+            2 => Ok(FaultCode::Busy),
+            3 => Ok(FaultCode::Timeout),
+            4 => Ok(FaultCode::TooLarge),
+            5 => Ok(FaultCode::BadFrame),
+            6 => Ok(FaultCode::Version),
+            7 => Ok(FaultCode::Shutdown),
+            other => Err(WireError::Malformed(format!("unknown fault code {other}"))),
+        }
+    }
+
+    /// The SOAP `faultcode` string this wire code maps to.
+    pub fn as_soap_code(self) -> &'static str {
+        match self {
+            FaultCode::Client => "Client",
+            FaultCode::Server => "Server",
+            FaultCode::Busy => "Server.Busy",
+            FaultCode::Timeout => "Server.Timeout",
+            FaultCode::TooLarge => "Client.TooLarge",
+            FaultCode::BadFrame => "Client.BadFrame",
+            FaultCode::Version => "Client.Version",
+            FaultCode::Shutdown => "Server.Shutdown",
+        }
+    }
+
+    /// The inverse of [`FaultCode::as_soap_code`]; unknown strings map to
+    /// the two base SOAP codes by prefix, defaulting to `Server`.
+    pub fn from_soap_code(code: &str) -> Self {
+        match code {
+            "Client" => FaultCode::Client,
+            "Server" => FaultCode::Server,
+            "Server.Busy" => FaultCode::Busy,
+            "Server.Timeout" => FaultCode::Timeout,
+            "Client.TooLarge" => FaultCode::TooLarge,
+            "Client.BadFrame" => FaultCode::BadFrame,
+            "Client.Version" => FaultCode::Version,
+            "Server.Shutdown" => FaultCode::Shutdown,
+            other if other.starts_with("Client") => FaultCode::Client,
+            _ => FaultCode::Server,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_soap_code())
+    }
+}
+
+/// The decoded payload of a `Fault` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// Typed fault code.
+    pub code: FaultCode,
+    /// Whether retrying (after backoff) can succeed.
+    pub retryable: bool,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireFault {
+    /// A non-retryable fault.
+    pub fn new(code: FaultCode, message: impl Into<String>) -> Self {
+        WireFault {
+            code,
+            retryable: false,
+            message: message.into(),
+        }
+    }
+
+    /// Marks the fault retryable.
+    pub fn retryable(mut self) -> Self {
+        self.retryable = true;
+        self
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault [{}{}]: {}",
+            self.code,
+            if self.retryable { ", retryable" } else { "" },
+            self.message
+        )
+    }
+}
+
+/// Errors raised while reading or writing frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// An I/O failure (kind + description).
+    Io(std::io::ErrorKind, String),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The read timed out while the connection was idle (no frame begun).
+    Idle,
+    /// The read timed out mid-frame — the peer stalled.
+    Stalled,
+    /// A payload length exceeded the configured cap.
+    TooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// An unknown frame type byte.
+    UnknownFrameType(u8),
+    /// The handshake magic did not match.
+    BadMagic,
+    /// The peer speaks an incompatible protocol version.
+    Version(u16),
+    /// A structurally invalid payload.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind, msg) => write!(f, "i/o error ({kind:?}): {msg}"),
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Idle => write!(f, "idle timeout waiting for a frame"),
+            WireError::Stalled => write!(f, "peer stalled mid-frame"),
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::UnknownFrameType(b) => write!(f, "unknown frame type byte {b:#04x}"),
+            WireError::BadMagic => write!(f, "handshake magic mismatch"),
+            WireError::Version(v) => write!(f, "incompatible protocol version {v}"),
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind(), e.to_string())
+    }
+}
+
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads exactly `buf.len()` bytes. `started` says whether earlier bytes
+/// of the same frame were already consumed: a timeout then is a stall
+/// ([`WireError::Stalled`]), while a timeout before any byte of the frame
+/// is a benign [`WireError::Idle`]. A clean EOF before any byte is
+/// [`WireError::Closed`].
+fn read_full(r: &mut impl Read, buf: &mut [u8], mut started: bool) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started {
+                    WireError::Io(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame".to_owned(),
+                    )
+                } else {
+                    WireError::Closed
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => {
+                return Err(if started {
+                    WireError::Stalled
+                } else {
+                    WireError::Idle
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, enforcing `max_payload` before allocating.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_full(r, &mut header, false)?;
+    let kind = FrameType::from_byte(header[0])?;
+    let id = u64::from_be_bytes(header[1..9].try_into().expect("8 header bytes"));
+    let len = u32::from_be_bytes(header[9..13].try_into().expect("4 header bytes")) as usize;
+    if len > max_payload {
+        return Err(WireError::TooLarge {
+            len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, true)?;
+    Ok(Frame { kind, id, payload })
+}
+
+/// Writes one frame (header + payload) and flushes. Header and payload
+/// go out as a single write: two small writes on an unbuffered socket
+/// interact with Nagle + delayed ACK and stall every frame ~40 ms.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let len = u32::try_from(frame.payload.len())
+        .map_err(|_| WireError::Malformed("payload exceeds u32 length".to_owned()))?;
+    let mut buf = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    buf.push(frame.kind.to_byte());
+    buf.extend_from_slice(&frame.id.to_be_bytes());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&frame.payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Builds the `Hello` frame a client opens the connection with.
+pub fn hello(peer_name: &str) -> Frame {
+    let mut payload = Vec::with_capacity(4 + 2 + peer_name.len());
+    payload.extend_from_slice(&MAGIC);
+    payload.extend_from_slice(&VERSION.to_be_bytes());
+    payload.extend_from_slice(peer_name.as_bytes());
+    Frame {
+        kind: FrameType::Hello,
+        id: 0,
+        payload,
+    }
+}
+
+/// Decodes a `Hello` payload, returning `(version, peer name)`.
+pub fn decode_hello(payload: &[u8]) -> Result<(u16, String), WireError> {
+    if payload.len() < 6 {
+        return Err(WireError::Malformed("hello payload too short".to_owned()));
+    }
+    if payload[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_be_bytes([payload[4], payload[5]]);
+    let name = String::from_utf8(payload[6..].to_vec())
+        .map_err(|_| WireError::Malformed("hello peer name is not UTF-8".to_owned()))?;
+    Ok((version, name))
+}
+
+/// Builds the `Welcome` frame a server answers the handshake with.
+pub fn welcome(peer_name: &str) -> Frame {
+    let mut payload = Vec::with_capacity(2 + peer_name.len());
+    payload.extend_from_slice(&VERSION.to_be_bytes());
+    payload.extend_from_slice(peer_name.as_bytes());
+    Frame {
+        kind: FrameType::Welcome,
+        id: 0,
+        payload,
+    }
+}
+
+/// Decodes a `Welcome` payload, returning `(version, peer name)`.
+pub fn decode_welcome(payload: &[u8]) -> Result<(u16, String), WireError> {
+    if payload.len() < 2 {
+        return Err(WireError::Malformed("welcome payload too short".to_owned()));
+    }
+    let version = u16::from_be_bytes([payload[0], payload[1]]);
+    let name = String::from_utf8(payload[2..].to_vec())
+        .map_err(|_| WireError::Malformed("welcome peer name is not UTF-8".to_owned()))?;
+    Ok((version, name))
+}
+
+/// Builds a `Request` frame around a SOAP envelope.
+pub fn request(id: u64, envelope: &str) -> Frame {
+    Frame {
+        kind: FrameType::Request,
+        id,
+        payload: envelope.as_bytes().to_vec(),
+    }
+}
+
+/// Builds a `Response` frame around a SOAP envelope.
+pub fn response(id: u64, envelope: &str) -> Frame {
+    Frame {
+        kind: FrameType::Response,
+        id,
+        payload: envelope.as_bytes().to_vec(),
+    }
+}
+
+/// Builds a `Fault` frame from a typed fault.
+pub fn fault(id: u64, f: &WireFault) -> Frame {
+    let mut payload = Vec::with_capacity(2 + f.message.len());
+    payload.push(f.code.to_byte());
+    payload.push(u8::from(f.retryable));
+    payload.extend_from_slice(f.message.as_bytes());
+    Frame {
+        kind: FrameType::Fault,
+        id,
+        payload,
+    }
+}
+
+/// Decodes a `Fault` payload.
+pub fn decode_fault(payload: &[u8]) -> Result<WireFault, WireError> {
+    if payload.len() < 2 {
+        return Err(WireError::Malformed("fault payload too short".to_owned()));
+    }
+    Ok(WireFault {
+        code: FaultCode::from_byte(payload[0])?,
+        retryable: payload[1] != 0,
+        message: String::from_utf8(payload[2..].to_vec())
+            .map_err(|_| WireError::Malformed("fault message is not UTF-8".to_owned()))?,
+    })
+}
+
+/// Decodes a `Request`/`Response` payload as the UTF-8 envelope it carries.
+pub fn decode_envelope(payload: &[u8]) -> Result<String, WireError> {
+    String::from_utf8(payload.to_vec())
+        .map_err(|_| WireError::Malformed("envelope is not UTF-8".to_owned()))
+}
+
+/// Applies read/write timeouts to a TCP stream (`None` disables them)
+/// and turns Nagle off — frames are written whole and a request/reply
+/// protocol has nothing to gain from coalescing, only latency to lose.
+pub fn set_stream_timeouts(
+    stream: &std::net::TcpStream,
+    read: Option<Duration>,
+    write: Option<Duration>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(read)?;
+    stream.set_write_timeout(write)?;
+    stream.set_nodelay(true)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frames = [
+            hello("client-a"),
+            welcome("server-b"),
+            request(7, "<env/>"),
+            response(7, "<env/>"),
+            fault(9, &WireFault::new(FaultCode::Busy, "queue full").retryable()),
+        ];
+        for f in &frames {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, f).unwrap();
+            let back = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(&back, f);
+        }
+    }
+
+    #[test]
+    fn handshake_payloads_decode() {
+        let (v, name) = decode_hello(&hello("np.example.org").payload).unwrap();
+        assert_eq!(v, VERSION);
+        assert_eq!(name, "np.example.org");
+        let (v, name) = decode_welcome(&welcome("archive").payload).unwrap();
+        assert_eq!(v, VERSION);
+        assert_eq!(name, "archive");
+        assert_eq!(decode_hello(b"NOPE\x00\x01x"), Err(WireError::BadMagic));
+        assert!(decode_hello(b"AX").is_err());
+    }
+
+    #[test]
+    fn fault_payload_roundtrip() {
+        let f = WireFault::new(FaultCode::Timeout, "peer stalled").retryable();
+        let frame = fault(3, &f);
+        assert_eq!(decode_fault(&frame.payload).unwrap(), f);
+        assert!(decode_fault(&[0]).is_err());
+        assert!(decode_fault(&[42, 0]).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request(1, &"x".repeat(100))).unwrap();
+        let err = read_frame(&mut buf.as_slice(), 10).unwrap_err();
+        assert_eq!(err, WireError::TooLarge { len: 100, max: 10 });
+    }
+
+    #[test]
+    fn truncated_streams_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request(1, "hello")).unwrap();
+        // Cut mid-payload: unexpected EOF, not a clean close.
+        let cut = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_frame(&mut &cut[..], DEFAULT_MAX_FRAME),
+            Err(WireError::Io(std::io::ErrorKind::UnexpectedEof, _))
+        ));
+        // Empty stream: clean close.
+        assert_eq!(
+            read_frame(&mut &[][..], DEFAULT_MAX_FRAME),
+            Err(WireError::Closed)
+        );
+    }
+
+    #[test]
+    fn soap_code_mapping_roundtrips() {
+        for code in [
+            FaultCode::Client,
+            FaultCode::Server,
+            FaultCode::Busy,
+            FaultCode::Timeout,
+            FaultCode::TooLarge,
+            FaultCode::BadFrame,
+            FaultCode::Version,
+            FaultCode::Shutdown,
+        ] {
+            assert_eq!(FaultCode::from_soap_code(code.as_soap_code()), code);
+        }
+        assert_eq!(
+            FaultCode::from_soap_code("Client.Whatever"),
+            FaultCode::Client
+        );
+        assert_eq!(FaultCode::from_soap_code("exotic"), FaultCode::Server);
+    }
+
+    #[test]
+    fn unknown_frame_type_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &request(1, "x")).unwrap();
+        buf[0] = 0x7f;
+        assert_eq!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownFrameType(0x7f))
+        );
+    }
+}

@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 mod negotiate;
+pub mod net;
 mod peer;
 mod repository;
 
 pub use negotiate::{negotiate, Negotiation, Proposal};
+pub use net::{NetInvoker, NetPeer, RemotePeer, RECEIVE_METHOD};
 pub use peer::{InboundPolicy, Peer, PeerError, PeerServer, Query, RemoteInvoker};
 pub use repository::{RepoError, Repository, UpdateOp};

@@ -1,0 +1,404 @@
+//! Peers as network daemons: the in-process [`Peer`] served over TCP.
+//!
+//! The paper's system (Sec. 7) is a daemon whose Schema Enforcement module
+//! intercepts every exchange. [`NetPeer`] realizes that daemon on top of
+//! `axml-net`: it plugs the peer's envelope handling in as the TCP
+//! server's request handler, and [`RemotePeer`] is the client side —
+//! invoking declared services and shipping documents (the Fig. 1
+//! scenario) against a daemon across the wire, with enforcement on both
+//! ends:
+//!
+//! * the **sender** rewrites parameters / documents into the agreed type
+//!   before they leave ([`Peer::enforce_input`], safe rewriting against
+//!   the exchange schema);
+//! * the **receiver** re-verifies everything that arrives (the service
+//!   handler's input/output enforcement; [`RECEIVE_METHOD`] validation
+//!   against the receiving peer's own schema plus its
+//!   [`InboundPolicy`](crate::InboundPolicy)).
+//!
+//! Enforcement failures travel as typed wire faults; [`wire_fault`] /
+//! [`soap_fault`] give the 1:1 mapping between [`soap::Fault`] envelopes
+//! and `axml-net` fault frames.
+
+use crate::peer::{Peer, PeerError};
+use axml_core::invoke::{InvokeError, Invoker};
+use axml_core::rewrite::RewriteReport;
+use axml_net::wire::{FaultCode, WireFault};
+use axml_net::{ClientConfig, ClientError, NetClient, NetServer, ServerConfig, ServerStats};
+use axml_schema::{validate, validate_output_instance, Compiled, ITree};
+use axml_services::soap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Reserved method for peer-to-peer document shipping (the Fig. 1
+/// exchange): parameter 1 is the document name, parameter 2 the document.
+/// The receiving daemon verifies the document against its own schema and
+/// inbound policy, then stores it in its repository under that name.
+pub const RECEIVE_METHOD: &str = "axml.receive";
+
+/// Maps a SOAP fault onto the typed fault frame `axml-net` puts on the
+/// wire. Dotted sub-codes collapse onto the nearest wire code (e.g.
+/// `Client.NoSuchService` → `Client`); the message keeps the detail.
+pub fn wire_fault(f: &soap::Fault) -> WireFault {
+    let wf = WireFault::new(FaultCode::from_soap_code(&f.code), f.message.clone());
+    if f.retryable {
+        wf.retryable()
+    } else {
+        wf
+    }
+}
+
+/// Maps a wire fault frame back onto a SOAP fault (inverse of
+/// [`wire_fault`] up to sub-code granularity).
+pub fn soap_fault(f: &WireFault) -> soap::Fault {
+    let sf = soap::Fault::new(f.code.as_soap_code(), f.message.clone());
+    if f.retryable {
+        sf.retryable()
+    } else {
+        sf
+    }
+}
+
+fn transport(e: impl std::fmt::Display) -> PeerError {
+    PeerError::Transport(e.to_string())
+}
+
+fn client_error(e: ClientError) -> PeerError {
+    match e {
+        ClientError::Fault(wf) => PeerError::Fault(soap_fault(&wf)),
+        other => PeerError::Transport(other.to_string()),
+    }
+}
+
+/// An Active XML peer served as a TCP daemon.
+pub struct NetPeer {
+    peer: Arc<Peer>,
+    server: NetServer,
+}
+
+impl NetPeer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves the
+    /// peer's declared services plus [`RECEIVE_METHOD`] over it.
+    pub fn serve(
+        peer: Arc<Peer>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<NetPeer, PeerError> {
+        let handler_peer = Arc::clone(&peer);
+        let handler = move |envelope: &str| handle_net_envelope(&handler_peer, envelope);
+        let server = NetServer::bind(addr, Arc::new(handler), config).map_err(transport)?;
+        Ok(NetPeer { peer, server })
+    }
+
+    /// The daemon's bound socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The peer being served.
+    pub fn peer(&self) -> &Arc<Peer> {
+        &self.peer
+    }
+
+    /// The underlying server's counters.
+    pub fn stats(&self) -> &ServerStats {
+        self.server.stats()
+    }
+
+    /// Invokes a declared service on a remote daemon on behalf of the
+    /// served peer (see [`RemotePeer::invoke_service`]).
+    pub fn invoke_service(
+        &self,
+        remote: &RemotePeer,
+        method: &str,
+        params: &[ITree],
+    ) -> Result<Vec<ITree>, PeerError> {
+        remote.invoke_service(&self.peer, method, params)
+    }
+
+    /// Ships a document to a remote daemon under an agreed exchange
+    /// schema (see [`RemotePeer::send_document`]).
+    pub fn send_document(
+        &self,
+        remote: &RemotePeer,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+    ) -> Result<(ITree, RewriteReport), PeerError> {
+        remote.send_document(&self.peer, name, doc, exchange)
+    }
+
+    /// Graceful shutdown: stops the listener, joins every server thread,
+    /// and reports any worker panic as a [`PeerError::Transport`].
+    pub fn shutdown(self) -> Result<(), PeerError> {
+        self.server.shutdown().map_err(transport)
+    }
+}
+
+/// The server side of one envelope: decode, dispatch, and turn peer
+/// errors into typed wire faults.
+fn handle_net_envelope(peer: &Peer, envelope: &str) -> Result<String, WireFault> {
+    let message = soap::decode(envelope)
+        .map_err(|e| WireFault::new(FaultCode::Client, format!("bad envelope: {e}")))?;
+    match message {
+        soap::Message::Request { method, params } if method == RECEIVE_METHOD => {
+            receive_document(peer, &params)
+                .map(|name| soap::response(&[ITree::text(&name)]).to_xml())
+                .map_err(|e| wire_fault(&e.to_fault()))
+        }
+        soap::Message::Request { method, params } => peer
+            .handle(&method, &params)
+            .map(|result| soap::response(&result).to_xml())
+            .map_err(|e| wire_fault(&e.to_fault())),
+        _ => Err(WireFault::new(
+            FaultCode::Client,
+            "expected a call request",
+        )),
+    }
+}
+
+/// Receiver side of the Fig. 1 exchange: verify the shipped document
+/// against this peer's schema and inbound policy, then store it.
+fn receive_document(peer: &Peer, params: &[ITree]) -> Result<String, PeerError> {
+    let [name, doc] = params else {
+        return Err(PeerError::Enforcement(format!(
+            "{RECEIVE_METHOD} expects (name, document), got {} parameters",
+            params.len()
+        )));
+    };
+    let ITree::Text(name) = name else {
+        return Err(PeerError::Enforcement(format!(
+            "{RECEIVE_METHOD}: document name must be text"
+        )));
+    };
+    if name.trim().is_empty() {
+        return Err(PeerError::Enforcement(format!(
+            "{RECEIVE_METHOD}: document name must be non-empty"
+        )));
+    }
+    // Receiver-side Schema Enforcement (verify step): the document must
+    // already be an instance of the receiver's schema — rewriting is the
+    // *sender's* burden under the agreed exchange schema.
+    validate(doc, &peer.compiled).map_err(|e| PeerError::Enforcement(e.to_string()))?;
+    peer.inbound.check(std::slice::from_ref(doc))?;
+    peer.repository.store(name, doc.clone());
+    Ok(name.clone())
+}
+
+/// A client handle to a remote peer daemon.
+pub struct RemotePeer {
+    client: NetClient,
+}
+
+impl RemotePeer {
+    /// Creates a handle for the daemon at `addr` (connections are dialed
+    /// lazily and pooled).
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<RemotePeer, PeerError> {
+        Ok(RemotePeer {
+            client: NetClient::new(addr, config).map_err(client_error)?,
+        })
+    }
+
+    /// The remote daemon's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.client.remote_addr()
+    }
+
+    /// The underlying transport client.
+    pub fn client(&self) -> &NetClient {
+        &self.client
+    }
+
+    /// Invokes a declared service on the remote daemon on behalf of
+    /// `caller`, with enforcement on both sides of the wire: `caller`
+    /// rewrites the parameters into the service's input type before
+    /// sending, and screens/validates the result against the declared
+    /// output type and its inbound policy.
+    pub fn invoke_service(
+        &self,
+        caller: &Peer,
+        method: &str,
+        params: &[ITree],
+    ) -> Result<Vec<ITree>, PeerError> {
+        let params = caller.enforce_input(method, params)?;
+        let envelope = soap::request(method, &params).to_xml();
+        let reply = self.client.call(&envelope).map_err(client_error)?;
+        match soap::decode(&reply).map_err(PeerError::Transport)? {
+            soap::Message::Response { result } => {
+                let sig = caller.compiled.sig_of(method);
+                validate_output_instance(&result, &sig.output_dfa, &caller.compiled)
+                    .map_err(|e| PeerError::Enforcement(e.to_string()))?;
+                caller.inbound.check(&result)?;
+                Ok(result)
+            }
+            soap::Message::Fault(fault) => Err(PeerError::Fault(fault)),
+            soap::Message::Request { .. } => {
+                Err(PeerError::Transport("unexpected request".to_owned()))
+            }
+        }
+    }
+
+    /// Ships a document to the remote daemon under an agreed exchange
+    /// schema — Fig. 1 over TCP. `caller` first materializes exactly what
+    /// the exchange schema requires (safe rewriting through its own
+    /// registry), then sends the conforming document via
+    /// [`RECEIVE_METHOD`]; the receiver re-verifies and stores it.
+    /// Returns the document as sent plus the rewrite report.
+    pub fn send_document(
+        &self,
+        caller: &Peer,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+    ) -> Result<(ITree, RewriteReport), PeerError> {
+        let mut invoker = caller.registry.invoker(None);
+        self.send_document_with(caller, name, doc, exchange, &mut invoker)
+    }
+
+    /// Like [`RemotePeer::send_document`], but materializing embedded
+    /// calls through an explicit [`Invoker`] — e.g. a [`NetInvoker`]
+    /// pointed at a *third* daemon that provides the services, the full
+    /// three-party Fig. 1 scenario.
+    pub fn send_document_with(
+        &self,
+        caller: &Peer,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+        invoker: &mut dyn Invoker,
+    ) -> Result<(ITree, RewriteReport), PeerError> {
+        let (sent, report) = axml_core::rewrite::enforce(exchange, doc, caller.k, invoker)?;
+        let params = [ITree::text(name), sent.clone()];
+        let envelope = soap::request(RECEIVE_METHOD, &params).to_xml();
+        let reply = self.client.call(&envelope).map_err(client_error)?;
+        match soap::decode(&reply).map_err(PeerError::Transport)? {
+            soap::Message::Response { .. } => Ok((sent, report)),
+            soap::Message::Fault(fault) => Err(PeerError::Fault(fault)),
+            soap::Message::Request { .. } => {
+                Err(PeerError::Transport("unexpected request".to_owned()))
+            }
+        }
+    }
+}
+
+/// An [`Invoker`] that materializes embedded calls by invoking a remote
+/// daemon's declared services over TCP — the network analogue of
+/// [`RemoteInvoker`](crate::RemoteInvoker).
+pub struct NetInvoker<'a> {
+    /// The calling peer (enforcement + policy side).
+    pub caller: &'a Peer,
+    /// The daemon providing the services.
+    pub remote: &'a RemotePeer,
+}
+
+impl Invoker for NetInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        self.remote
+            .invoke_service(self.caller, function, params)
+            .map_err(|e| InvokeError {
+                function: function.to_owned(),
+                message: e.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::Query;
+    use axml_schema::{NoOracle, Schema};
+    use axml_services::{Registry, ServiceDef};
+
+    fn vocab() -> Schema {
+        Schema::builder()
+            .element("listings", "exhibit*")
+            .element("exhibit", "title.date")
+            .data_element("title")
+            .data_element("date")
+            .function("Get_Exhibits", "data", "exhibit*")
+            .build()
+            .unwrap()
+    }
+
+    fn provider() -> Arc<Peer> {
+        let compiled = Arc::new(Compiled::new(vocab(), &NoOracle).unwrap());
+        let peer = Arc::new(Peer::new(
+            "listings.example.org",
+            compiled,
+            Arc::new(Registry::new()),
+        ));
+        peer.repository.store(
+            "program",
+            ITree::elem(
+                "listings",
+                vec![ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Monet"), ITree::data("date", "Mon")],
+                )],
+            ),
+        );
+        peer.declare(
+            ServiceDef::new("Get_Exhibits", "data", "exhibit*"),
+            Query::Children("program".to_owned()),
+        );
+        peer
+    }
+
+    #[test]
+    fn fault_mapping_roundtrips_code_and_retryable() {
+        let busy = soap::Fault::new("Server.Busy", "queue full").retryable();
+        let wf = wire_fault(&busy);
+        assert_eq!(wf.code, FaultCode::Busy);
+        assert!(wf.retryable);
+        assert_eq!(soap_fault(&wf), busy);
+        // Dotted sub-codes collapse to the base wire code.
+        let no_such = soap::Fault::new("Client.NoSuchService", "no service 'X'");
+        assert_eq!(wire_fault(&no_such).code, FaultCode::Client);
+        assert!(!wire_fault(&no_such).retryable);
+    }
+
+    #[test]
+    fn serve_and_invoke_over_loopback() {
+        let peer = provider();
+        let daemon = NetPeer::serve(Arc::clone(&peer), "127.0.0.1:0", ServerConfig::default())
+            .unwrap();
+        let remote = RemotePeer::connect(daemon.local_addr(), ClientConfig::default()).unwrap();
+        let result = remote
+            .invoke_service(&peer, "Get_Exhibits", &[ITree::text("all")])
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result[0].name(), Some("exhibit"));
+        // An undeclared service comes back as a typed SOAP fault.
+        let err = remote
+            .invoke_service(&peer, "Get_Nothing", &[])
+            .unwrap_err();
+        assert!(
+            matches!(err, PeerError::Fault(ref f) if f.code == "Client" && !f.retryable),
+            "{err}"
+        );
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn receive_document_verifies_then_stores() {
+        let peer = provider();
+        let doc = ITree::elem(
+            "exhibit",
+            vec![ITree::data("title", "Rodin"), ITree::data("date", "Tue")],
+        );
+        let name = receive_document(
+            &peer,
+            &[ITree::text("inbox-exhibit"), doc.clone()],
+        )
+        .unwrap();
+        assert_eq!(name, "inbox-exhibit");
+        assert_eq!(peer.repository.load("inbox-exhibit").unwrap(), doc);
+        // A document outside the receiver's schema is refused.
+        let bad = ITree::elem("exhibit", vec![ITree::data("title", "No date")]);
+        let err = receive_document(&peer, &[ITree::text("bad"), bad]).unwrap_err();
+        assert!(matches!(err, PeerError::Enforcement(_)), "{err}");
+        // Malformed parameter lists are refused, not panicked on.
+        assert!(receive_document(&peer, &[]).is_err());
+        assert!(receive_document(&peer, &[ITree::text(" "), ITree::text("x")]).is_err());
+    }
+}

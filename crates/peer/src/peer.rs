@@ -20,7 +20,7 @@ use axml_core::rewrite::{RewriteError, RewriteReport, Rewriter};
 use axml_schema::{validate_output_instance, Compiled, ITree};
 use axml_services::{soap, Registry, ServiceDef};
 use axml_support::sync::channel::{bounded, unbounded, Receiver, Sender};
-use axml_support::sync::RwLock;
+use axml_support::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -97,12 +97,7 @@ pub enum PeerError {
         function: String,
     },
     /// The remote peer answered with a SOAP fault.
-    Fault {
-        /// Fault code.
-        code: String,
-        /// Fault message.
-        message: String,
-    },
+    Fault(soap::Fault),
     /// Transport failure (peer gone).
     Transport(String),
 }
@@ -116,7 +111,7 @@ impl std::fmt::Display for PeerError {
             PeerError::PolicyViolation { function } => {
                 write!(f, "inbound policy refuses embedded call '{function}'")
             }
-            PeerError::Fault { code, message } => write!(f, "SOAP fault [{code}]: {message}"),
+            PeerError::Fault(fault) => write!(f, "{fault}"),
             PeerError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
@@ -127,6 +122,24 @@ impl std::error::Error for PeerError {}
 impl From<RewriteError> for PeerError {
     fn from(e: RewriteError) -> Self {
         PeerError::Enforcement(e.to_string())
+    }
+}
+
+impl PeerError {
+    /// The typed SOAP fault this error is reported as to remote callers.
+    /// Only transport-level conditions are flagged retryable — a request
+    /// the enforcement module rejected will be rejected again.
+    pub fn to_fault(&self) -> soap::Fault {
+        match self {
+            PeerError::NoSuchService(_) => soap::Fault::new("Client.NoSuchService", self.to_string()),
+            PeerError::Enforcement(_) => soap::Fault::new("Client.Enforcement", self.to_string()),
+            PeerError::PolicyViolation { .. } => soap::Fault::new("Client.Policy", self.to_string()),
+            PeerError::Invoke(_) => soap::Fault::new("Server.Invoke", self.to_string()),
+            PeerError::Fault(f) => f.clone(),
+            PeerError::Transport(_) => {
+                soap::Fault::new("Server.Transport", self.to_string()).retryable()
+            }
+        }
     }
 }
 
@@ -263,6 +276,7 @@ impl Peer {
     /// Spawns a server thread speaking SOAP envelopes over channels.
     pub fn serve(self: &Arc<Self>) -> PeerServer {
         let (tx, rx): (Sender<(String, Sender<String>)>, Receiver<_>) = unbounded();
+        let (done_tx, done_rx) = bounded(1);
         let peer = Arc::clone(self);
         let handle = std::thread::spawn(move || {
             while let Ok((request, reply)) = rx.recv() {
@@ -270,15 +284,21 @@ impl Peer {
                 // A gone client is not the server's problem.
                 let _ = reply.send(response);
             }
+            // Signals a clean exit; a panic drops the sender instead, which
+            // shutdown() observes as a disconnect.
+            let _ = done_tx.send(());
         });
         PeerServer {
             requests: tx,
             interface: self.interface(),
             handle: Some(handle),
+            done: Mutex::new(done_rx),
         }
     }
 
-    fn handle_envelope(&self, request: &str) -> String {
+    /// Handles one XML request envelope, returning the XML reply envelope
+    /// (response or typed fault) — the server side of every transport.
+    pub fn handle_envelope(&self, request: &str) -> String {
         let message = match soap::decode(request) {
             Ok(m) => m,
             Err(e) => return soap::fault("Client", &format!("bad envelope: {e}")).to_xml(),
@@ -286,7 +306,7 @@ impl Peer {
         match message {
             soap::Message::Request { method, params } => match self.handle(&method, &params) {
                 Ok(result) => soap::response(&result).to_xml(),
-                Err(e) => soap::fault("Server", &e.to_string()).to_xml(),
+                Err(e) => soap::fault_envelope(&e.to_fault()).to_xml(),
             },
             _ => soap::fault("Client", "expected a call request").to_xml(),
         }
@@ -325,7 +345,7 @@ impl Peer {
                 self.inbound.check(&result)?;
                 Ok(result)
             }
-            soap::Message::Fault { code, message } => Err(PeerError::Fault { code, message }),
+            soap::Message::Fault(fault) => Err(PeerError::Fault(fault)),
             soap::Message::Request { .. } => {
                 Err(PeerError::Transport("unexpected request".to_owned()))
             }
@@ -354,28 +374,59 @@ pub struct PeerServer {
     /// WSDL_int interface advertised by the serving peer.
     pub interface: Vec<ServiceDef>,
     handle: Option<JoinHandle<()>>,
+    // Behind a Mutex only so `PeerServer` stays shareable (`Sync`).
+    done: Mutex<Receiver<()>>,
 }
 
+/// How long [`PeerServer::shutdown`] waits for the server thread before
+/// declaring it wedged instead of blocking forever.
+const SHUTDOWN_WAIT: std::time::Duration = std::time::Duration::from_secs(10);
+
 impl PeerServer {
-    /// Stops the server thread (it also stops when the handle is dropped).
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// Stops the server thread *deterministically*: closes the request
+    /// channel, waits (bounded) for the serve loop to drain, and joins the
+    /// thread. A panic inside the server surfaces as
+    /// [`PeerError::Transport`] instead of being swallowed; a thread that
+    /// does not stop within the bound is reported (and detached) rather
+    /// than hanging the caller.
+    pub fn shutdown(mut self) -> Result<(), PeerError> {
+        self.stop()
     }
 
-    fn stop(&mut self) {
+    fn stop(&mut self) -> Result<(), PeerError> {
+        let Some(handle) = self.handle.take() else {
+            return Ok(());
+        };
         // Closing the channel ends the serve loop.
         let (tx, _rx) = unbounded();
-        let old = std::mem::replace(&mut self.requests, tx);
-        drop(old);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        drop(std::mem::replace(&mut self.requests, tx));
+        // Bounded wait: the loop signals `done` on clean exit and drops
+        // the sender on panic — either way recv_timeout returns promptly.
+        use axml_support::sync::channel::RecvTimeoutError;
+        match self.done.lock().recv_timeout(SHUTDOWN_WAIT) {
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => match handle.join() {
+                Ok(()) => Ok(()),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(PeerError::Transport(format!(
+                        "peer server thread panicked: {msg}"
+                    )))
+                }
+            },
+            Err(RecvTimeoutError::Timeout) => Err(PeerError::Transport(format!(
+                "peer server thread did not stop within {SHUTDOWN_WAIT:?}"
+            ))),
         }
     }
 }
 
 impl Drop for PeerServer {
     fn drop(&mut self) {
-        self.stop();
+        let _ = self.stop();
     }
 }
 
@@ -471,7 +522,65 @@ mod tests {
         assert_eq!(result[0].name(), Some("newspaper"));
         // The intensional parts travelled intact.
         assert_eq!(result[0].num_funcs(), 2);
-        server.shutdown();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_reports_server_panics() {
+        // A server thread that dies mid-request drops the `done` sender
+        // without signalling; shutdown must join it and surface the panic
+        // payload instead of swallowing it or hanging.
+        let (tx, rx): (Sender<(String, Sender<String>)>, _) = unbounded();
+        let (done_tx, done_rx) = bounded(1);
+        let handle = std::thread::spawn(move || {
+            let _signals_by_drop = done_tx;
+            let (request, _reply) = rx.recv().unwrap();
+            panic!("enforcement invariant violated on {}", request.len());
+        });
+        let server = PeerServer {
+            requests: tx,
+            interface: Vec::new(),
+            handle: Some(handle),
+            done: Mutex::new(done_rx),
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        server
+            .requests
+            .send(("<boom/>".to_owned(), reply_tx))
+            .unwrap();
+        // The reply channel closes without an answer.
+        assert!(reply_rx.recv().is_err());
+        let err = server.shutdown().unwrap_err();
+        assert!(
+            matches!(err, PeerError::Transport(ref m) if m.contains("panicked")
+                && m.contains("enforcement invariant violated")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shutdown_leaks_no_threads() {
+        let count_threads = || -> usize {
+            #[cfg(target_os = "linux")]
+            {
+                if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+                    return entries.count();
+                }
+            }
+            0
+        };
+        let baseline = count_threads();
+        for _ in 0..32 {
+            let server = newspaper_peer().serve();
+            server.shutdown().unwrap();
+        }
+        let after = count_threads();
+        // Other tests run concurrently, so allow slack — but 32 leaked
+        // server threads would be unmistakable.
+        assert!(
+            after < baseline + 8,
+            "thread count grew from {baseline} to {after}"
+        );
     }
 
     #[test]

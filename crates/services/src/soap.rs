@@ -12,6 +12,49 @@ use axml_xml::{parse_document, Element, Node};
 /// The SOAP 1.1 envelope namespace.
 pub const SOAP_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
 
+/// A first-class SOAP fault: a dotted code, a human-readable message, and
+/// a `retryable` flag telling the caller whether backing off and retrying
+/// can help (server busy, timeout) or cannot (type mismatch, unknown
+/// service). Wire transports map this 1:1 onto their typed fault frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Fault code (e.g. `Client`, `Server`, `Server.Busy`).
+    pub code: String,
+    /// Human-readable fault string.
+    pub message: String,
+    /// Whether retrying (after backoff) can succeed.
+    pub retryable: bool,
+}
+
+impl Fault {
+    /// A non-retryable fault.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Fault {
+            code: code.into(),
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    /// Marks the fault retryable.
+    pub fn retryable(mut self) -> Self {
+        self.retryable = true;
+        self
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SOAP fault [{}{}]: {}",
+            self.code,
+            if self.retryable { ", retryable" } else { "" },
+            self.message
+        )
+    }
+}
+
 /// A decoded SOAP message body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -28,12 +71,7 @@ pub enum Message {
         result: Vec<ITree>,
     },
     /// A fault.
-    Fault {
-        /// Fault code (e.g. `Client`, `Server`).
-        code: String,
-        /// Human-readable fault string.
-        message: String,
-    },
+    Fault(Fault),
 }
 
 fn envelope(body_content: Element) -> Element {
@@ -62,13 +100,22 @@ pub fn response(result: &[ITree]) -> Element {
     envelope(res)
 }
 
-/// Builds a fault envelope.
+/// Builds a non-retryable fault envelope (shorthand for
+/// [`fault_envelope`] over [`Fault::new`]).
 pub fn fault(code: &str, message: &str) -> Element {
-    envelope(
-        Element::with_ns("soap", "Fault", SOAP_NS)
-            .child(Element::new("faultcode").text(code))
-            .child(Element::new("faultstring").text(message)),
-    )
+    fault_envelope(&Fault::new(code, message))
+}
+
+/// Builds a fault envelope. The `retryable` flag travels in the standard
+/// SOAP `detail` element so foreign decoders see a plain 1.1 fault.
+pub fn fault_envelope(f: &Fault) -> Element {
+    let mut el = Element::with_ns("soap", "Fault", SOAP_NS)
+        .child(Element::new("faultcode").text(&f.code))
+        .child(Element::new("faultstring").text(&f.message));
+    if f.retryable {
+        el = el.child(Element::new("detail").child(Element::new("retryable").text("true")));
+    }
+    envelope(el)
 }
 
 fn push_tree(parent: &mut Element, tree: &ITree) {
@@ -103,7 +150,15 @@ pub fn decode_element(root: &Element) -> Result<Message, String> {
             .first_child("faultstring")
             .map(Element::text_content)
             .unwrap_or_default();
-        return Ok(Message::Fault { code, message });
+        let retryable = content
+            .first_child("detail")
+            .and_then(|d| d.first_child("retryable"))
+            .is_some_and(|r| r.text_content().trim() == "true");
+        return Ok(Message::Fault(Fault {
+            code,
+            message,
+            retryable,
+        }));
     }
     match content.name.local.as_str() {
         "call" => {
@@ -189,12 +244,29 @@ mod tests {
     fn fault_roundtrip() {
         let env = fault("Client", "type mismatch in parameters");
         match decode(&env.to_xml()).unwrap() {
-            Message::Fault { code, message } => {
-                assert_eq!(code, "Client");
-                assert!(message.contains("type mismatch"));
+            Message::Fault(f) => {
+                assert_eq!(f.code, "Client");
+                assert!(f.message.contains("type mismatch"));
+                assert!(!f.retryable, "plain faults are final");
             }
             other => panic!("expected fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retryable_flag_travels_in_detail() {
+        let f = Fault::new("Server.Busy", "queue full").retryable();
+        let env = fault_envelope(&f);
+        let text = env.to_xml();
+        assert!(text.contains("<detail>"));
+        match decode(&text).unwrap() {
+            Message::Fault(back) => assert_eq!(back, f),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        assert_eq!(
+            f.to_string(),
+            "SOAP fault [Server.Busy, retryable]: queue full"
+        );
     }
 
     #[test]

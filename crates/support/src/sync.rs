@@ -97,6 +97,10 @@ pub mod channel {
     pub type SendError<T> = mpsc::SendError<T>;
     /// Error returned when every sender is gone.
     pub type RecvError = mpsc::RecvError;
+    /// Error returned by [`Sender::try_send`] on a full or closed channel.
+    pub type TrySendError<T> = mpsc::TrySendError<T>;
+    /// Error returned by [`Receiver::recv_timeout`].
+    pub type RecvTimeoutError = mpsc::RecvTimeoutError;
 
     impl<T> Sender<T> {
         /// Sends a value, blocking on a full bounded channel; errors when
@@ -107,12 +111,28 @@ pub mod channel {
                 Sender::Bounded(s) => s.send(value),
             }
         }
+
+        /// Sends without blocking: a full bounded channel yields
+        /// `TrySendError::Full` immediately (unbounded channels are never
+        /// full) — the backpressure primitive daemons reject work with.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+                Sender::Bounded(s) => s.try_send(value),
+            }
+        }
     }
 
     impl<T> Receiver<T> {
         /// Blocks for the next value; errors once all senders are dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv()
+        }
+
+        /// Blocks for the next value at most `timeout` — the bounded-wait
+        /// primitive deterministic shutdown is built on.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Non-blocking receive.
@@ -175,5 +195,51 @@ mod tests {
         assert_eq!(reply_rx.recv().unwrap(), 2);
         drop(tx);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_reports_backpressure() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
+        // Unbounded senders are never full.
+        let (utx, urx) = channel::unbounded();
+        for i in 0..64 {
+            utx.try_send(i).unwrap();
+        }
+        drop(urx);
+        assert!(matches!(
+            utx.try_send(0),
+            Err(channel::TrySendError::Disconnected(0))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_bounds_the_wait() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap(),
+            5
+        );
+        assert!(matches!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        ));
     }
 }

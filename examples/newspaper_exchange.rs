@@ -130,5 +130,5 @@ fn main() {
     println!("  {flat}");
     println!("\nRegistry accounting: {:?}", registry.stats());
 
-    server.shutdown();
+    server.shutdown().unwrap();
 }

@@ -10,19 +10,34 @@ RUSTFLAGS="${RUSTFLAGS:--D warnings}" cargo build --release --offline --workspac
 echo "== tier-1: test suite (offline) =="
 cargo test -q --offline --workspace
 
-echo "== tier-1: bench smoke run (B1, JSON report) =="
+echo "== tier-1: loopback network tests (hard timeout) =="
+# The TCP layer must never wedge the gate: every network-touching suite
+# runs under a hard wall-clock cap.
+timeout --kill-after=10 120 cargo test -q --offline -p axml-net
+timeout --kill-after=10 120 cargo test -q --offline --test net_exchange
+timeout --kill-after=10 120 cargo test -q --offline --test cli serve_and_send
+
+echo "== tier-1: bench smoke run (B1 + B9 socket variant, JSON reports) =="
 json_dir="$(mktemp -d)"
 trap 'rm -rf "$json_dir"' EXIT
 AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
     cargo bench --offline -p axml-bench --bench b1_safe_vs_schema_size
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    timeout --kill-after=10 300 \
+    cargo bench --offline -p axml-bench --bench b9_peer_exchange
 python3 - "$json_dir" <<'EOF'
 import json, pathlib, sys
 files = sorted(pathlib.Path(sys.argv[1]).glob("BENCH_*.json"))
 assert files, "bench smoke run emitted no BENCH_*.json"
+names = {f.name for f in files}
+assert "BENCH_b9_peer_exchange.json" in names, f"missing B9 report, got {names}"
 for f in files:
     report = json.loads(f.read_text())
     assert report["benchmarks"], f"{f.name}: empty benchmark list"
     print(f"{f.name}: {len(report['benchmarks'])} benchmarks, valid JSON")
+b9 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b9_peer_exchange.json").read_text())
+ids = {b["id"] for b in b9["benchmarks"]}
+assert {"exchange_channel", "exchange_tcp_loopback"} <= ids, f"B9 transport variants missing: {ids}"
 EOF
 
 echo "== tier-1: green =="

@@ -5,6 +5,9 @@
 //! axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]
 //! axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]
 //! axml plan     <schema> <doc.xml> [--k N]
+//! axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]...
+//!               [--export FUNC=DOC]... [--workers N] [--requests N]
+//! axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]
 //! ```
 //!
 //! Schemas are loaded from XML Schema_int when the file starts with `<`,
@@ -29,7 +32,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]"
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]"
     );
     ExitCode::from(2)
 }
@@ -97,7 +100,171 @@ fn main() -> ExitCode {
         "rewrite" => cmd_rewrite(&args[1..], true),
         "plan" => cmd_rewrite(&args[1..], false),
         "compat" => cmd_compat(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "send" => cmd_send(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Every `--flag VALUE` pair for a repeatable flag, in order.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
+}
+
+fn split_pair(spec: &str, flag: &str) -> Result<(String, String), String> {
+    spec.split_once('=')
+        .map(|(a, b)| (a.to_owned(), b.to_owned()))
+        .filter(|(a, b)| !a.is_empty() && !b.is_empty())
+        .ok_or_else(|| format!("{flag} expects KEY=VALUE, got '{spec}'"))
+}
+
+/// Runs a peer daemon: repository + declared services + Schema
+/// Enforcement, served over TCP. Prints `listening on ADDR` once bound.
+/// With `--requests N` the daemon shuts down gracefully after answering
+/// `N` requests; otherwise it runs until killed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use axml::peer::{NetPeer, Peer, Query};
+    use axml::services::{Registry, ServiceDef};
+
+    let (Some(schema_path), Some(addr)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let schema = match load_schema(schema_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let name = flag_value(args, "--name").unwrap_or_else(|| "axml-peer".to_owned());
+    let mut config = axml::net::ServerConfig {
+        name: name.clone(),
+        ..Default::default()
+    };
+    if let Some(w) = flag_value(args, "--workers") {
+        match w.parse::<usize>() {
+            Ok(n) if n > 0 => config.workers = n,
+            _ => return fail(&format!("--workers expects a positive integer, got '{w}'")),
+        }
+    }
+    // Service declarations are advertised with the schema's own WSDL_int
+    // signatures, so both ends agree on the types (Sec. 7).
+    let mut exports = Vec::new();
+    for spec in flag_values(args, "--export") {
+        let (func, doc) = match split_pair(&spec, "--export") {
+            Ok(p) => p,
+            Err(e) => return fail(&e),
+        };
+        let Some(fd) = schema.functions.get(&func) else {
+            return fail(&format!("--export: function '{func}' not in the schema"));
+        };
+        let def = ServiceDef::new(
+            &func,
+            &fd.input.display(&schema.alphabet).to_string(),
+            &fd.output.display(&schema.alphabet).to_string(),
+        );
+        exports.push((def, Query::Document(doc)));
+    }
+    let compiled = match Compiled::new(schema, &NoOracle) {
+        Ok(c) => std::sync::Arc::new(c),
+        Err(e) => return fail(&e.to_string()),
+    };
+    let peer = std::sync::Arc::new(Peer::new(&name, compiled, std::sync::Arc::new(Registry::new())));
+    for spec in flag_values(args, "--doc") {
+        let (doc_name, file) = match split_pair(&spec, "--doc") {
+            Ok(p) => p,
+            Err(e) => return fail(&e),
+        };
+        match load_doc(&file) {
+            Ok(doc) => peer.repository.store(&doc_name, doc),
+            Err(e) => return fail(&e),
+        }
+    }
+    for (def, query) in exports {
+        peer.declare(def, query);
+    }
+    let daemon = match NetPeer::serve(peer, addr.as_str(), config) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!("listening on {}", daemon.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let quota = flag_value(args, "--requests").and_then(|v| v.parse::<u64>().ok());
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if let Some(n) = quota {
+            let stats = daemon.stats();
+            let answered = stats.served.load(std::sync::atomic::Ordering::Relaxed)
+                + stats.faulted.load(std::sync::atomic::Ordering::Relaxed);
+            if answered >= n {
+                let served = stats.served.load(std::sync::atomic::Ordering::Relaxed);
+                return match daemon.shutdown() {
+                    Ok(()) => {
+                        println!("served {answered} requests ({served} ok)");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&e.to_string()),
+                };
+            }
+        }
+    }
+}
+
+/// Ships a document to a remote daemon under the given exchange schema
+/// (the Fig. 1 exchange): materialize what the schema requires, send,
+/// and report what the receiver stored it as.
+fn cmd_send(args: &[String]) -> ExitCode {
+    use axml::peer::{Peer, RemotePeer};
+    use axml::services::Registry;
+
+    let (Some(schema_path), Some(addr), Some(doc_path)) =
+        (args.first(), args.get(1), args.get(2))
+    else {
+        return usage();
+    };
+    let k = match parse_k(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
+    let schema = match load_schema(schema_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let compiled = match Compiled::new(schema, &NoOracle) {
+        Ok(c) => std::sync::Arc::new(c),
+        Err(e) => return fail(&e.to_string()),
+    };
+    let doc = match load_doc(doc_path) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let name = flag_value(args, "--name").unwrap_or_else(|| {
+        std::path::Path::new(doc_path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "document".to_owned())
+    });
+    let mut sender = Peer::new("axml-send", std::sync::Arc::clone(&compiled), std::sync::Arc::new(Registry::new()));
+    sender.k = k;
+    let remote = match RemotePeer::connect(addr.as_str(), axml::net::ClientConfig::default()) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    match remote.send_document(&sender, &name, &doc, &compiled) {
+        Ok((sent, report)) => {
+            println!(
+                "sent '{name}' to {} ({} calls materialized, {} function nodes remain)",
+                remote.addr(),
+                report.invoked.len(),
+                sent.num_funcs()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("send failed: {e}");
+            ExitCode::from(1)
+        }
     }
 }
 

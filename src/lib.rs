@@ -18,6 +18,7 @@
 
 pub use axml_automata as automata;
 pub use axml_core as core;
+pub use axml_net as net;
 pub use axml_peer as peer;
 pub use axml_schema as schema;
 pub use axml_services as services;

@@ -192,6 +192,85 @@ fn compat_matches_the_paper() {
 }
 
 #[test]
+fn serve_and_send_roundtrip() {
+    use std::io::BufRead;
+
+    let (star, star2, _star3, doc) = write_fixtures();
+    // An extensional front page, valid against both (*) and (**).
+    let dir = fixture_dir();
+    let plain = dir.join("plain.xml");
+    std::fs::write(
+        &plain,
+        "<newspaper><title>The Sun</title><date>04/10/2002</date><temp>15</temp></newspaper>",
+    )
+    .unwrap();
+
+    // Daemon answering exactly two requests, then exiting gracefully.
+    let mut daemon = bin()
+        .args(["serve"])
+        .arg(&star)
+        .args(["127.0.0.1:0", "--requests", "2", "--name", "cli-peer"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = std::io::BufReader::new(daemon.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_owned();
+
+    // 1: a conforming document is accepted and stored.
+    let sent = bin()
+        .args(["send"])
+        .arg(&star)
+        .arg(&addr)
+        .arg(&plain)
+        .args(["--name", "front"])
+        .output()
+        .unwrap();
+    assert!(
+        sent.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&sent.stdout),
+        String::from_utf8_lossy(&sent.stderr)
+    );
+    assert!(String::from_utf8_lossy(&sent.stdout).contains("sent 'front'"));
+
+    // 2: the intensional doc conforms to (*) client-side, but the
+    // receiver enforces (*) too, so shipping it under the stricter (**)
+    // exchange schema fails on the sender (no services to materialize
+    // Get_Temp with).
+    let refused = bin()
+        .args(["send"])
+        .arg(&star2)
+        .arg(&addr)
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert_eq!(refused.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&refused.stdout).contains("send failed"));
+
+    // The daemon needs one more answered request to reach its quota.
+    let sent = bin()
+        .args(["send"])
+        .arg(&star)
+        .arg(&addr)
+        .arg(&plain)
+        .output()
+        .unwrap();
+    assert!(sent.status.success());
+
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+    let summary: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        summary.iter().any(|l| l.contains("served 2 requests")),
+        "{summary:?}"
+    );
+}
+
+#[test]
 fn bad_usage_and_missing_files() {
     let out = bin().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

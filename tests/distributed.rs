@@ -100,7 +100,7 @@ fn cross_peer_materialization() {
         .check(std::slice::from_ref(&sent))
         .unwrap();
 
-    provider_server.shutdown();
+    provider_server.shutdown().unwrap();
 }
 
 #[test]

@@ -352,7 +352,7 @@ fn two_peer_soap_exchange_with_enforcement() {
         .unwrap();
     assert_eq!(page.len(), 1);
     validate(&page[0], &own).unwrap();
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]

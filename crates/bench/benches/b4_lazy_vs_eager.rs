@@ -45,6 +45,9 @@ fn bench(c: &mut Criterion) {
             });
         }
     }
+    // Solver counters accumulated over the run ride along with the
+    // timings so a bench report also shows node/prune work done.
+    group.attach_json("obs_snapshot", axml_obs::global().snapshot().to_json());
     group.finish();
 }
 

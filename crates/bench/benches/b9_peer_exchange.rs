@@ -137,6 +137,9 @@ fn bench(c: &mut Criterion) {
             black_box(out.len())
         })
     });
+    // Peer/client/server counters accumulated over the run ride along
+    // with the timings (exchange counts, retries, queue pressure).
+    group.attach_json("obs_snapshot", axml_obs::global().snapshot().to_json());
     group.finish();
     channel_server.shutdown().unwrap();
     daemon.shutdown().unwrap();

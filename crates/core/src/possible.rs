@@ -45,7 +45,15 @@ impl PossibleGame {
     /// deterministic content models XML Schema mandates, this is the
     /// Glushkov automaton itself and stays polynomial — Sec. 5).
     pub fn solve(awk: Awk, target: Dfa) -> PossibleGame {
+        Self::solve_in(awk, target, &axml_obs::global())
+    }
+
+    /// Like [`PossibleGame::solve`], but publishes node/edge counts and
+    /// solve latency to `metrics` (the `solver.possible.*` catalogue
+    /// entries) instead of the process-wide registry.
+    pub fn solve_in(awk: Awk, target: Dfa, metrics: &axml_obs::Registry) -> PossibleGame {
         assert_eq!(target.num_symbols, awk.num_symbols, "alphabet mismatch");
+        let started = std::time::Instant::now();
         let mut game = PossibleGame {
             awk,
             target,
@@ -58,6 +66,16 @@ impl PossibleGame {
         };
         game.build();
         game.mark_viable();
+        metrics.counter("solver.possible.solves_total").inc();
+        metrics
+            .counter("solver.possible.nodes_total")
+            .add(game.stats.nodes as u64);
+        metrics
+            .counter("solver.possible.edges_total")
+            .add(game.stats.edges as u64);
+        metrics
+            .histogram("solver.possible.solve_ns", axml_obs::LATENCY_NS_BOUNDS)
+            .observe(started.elapsed().as_nanos() as u64);
         game
     }
 

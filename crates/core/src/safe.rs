@@ -79,9 +79,21 @@ impl SafeGame {
     /// Builds and solves the game. `comp` must be a complete DFA over the
     /// same effective alphabet as `awk` (use
     /// `Dfa::determinize(..).completed(n).complemented()` on the target).
+    ///
+    /// Construction metrics are published to the [`axml_obs::global`]
+    /// registry; use [`SafeGame::solve_in`] to direct them elsewhere.
     pub fn solve(awk: Awk, comp: Dfa, mode: BuildMode) -> SafeGame {
+        Self::solve_in(awk, comp, mode, &axml_obs::global())
+    }
+
+    /// Like [`SafeGame::solve`], but publishes node/edge/prune counts and
+    /// solve latency to `metrics` (the `solver.safe.*` catalogue entries)
+    /// instead of the process-wide registry. `self.stats` carries the
+    /// same numbers either way.
+    pub fn solve_in(awk: Awk, comp: Dfa, mode: BuildMode, metrics: &axml_obs::Registry) -> SafeGame {
         assert!(comp.is_complete(), "complement automaton must be complete");
         assert_eq!(comp.num_symbols, awk.num_symbols, "alphabet mismatch");
+        let started = std::time::Instant::now();
         let mut game = SafeGame {
             awk,
             comp,
@@ -95,6 +107,22 @@ impl SafeGame {
         };
         game.build(mode);
         game.fixpoint();
+        metrics.counter("solver.safe.solves_total").inc();
+        metrics
+            .counter("solver.safe.nodes_total")
+            .add(game.stats.nodes as u64);
+        metrics
+            .counter("solver.safe.edges_total")
+            .add(game.stats.edges as u64);
+        metrics
+            .counter("solver.safe.sink_pruned_total")
+            .add(game.stats.sink_pruned as u64);
+        metrics
+            .counter("solver.safe.mark_pruned_total")
+            .add(game.stats.mark_pruned as u64);
+        metrics
+            .histogram("solver.safe.solve_ns", axml_obs::LATENCY_NS_BOUNDS)
+            .observe(started.elapsed().as_nanos() as u64);
         game
     }
 

@@ -43,6 +43,10 @@ pub struct ClientConfig {
     pub seed: u64,
     /// Idle connections kept for reuse.
     pub pool: usize,
+    /// Metric registry the client publishes into (`client.*` catalogue
+    /// entries). Defaults to the process-wide registry; tests inject a
+    /// fresh one for isolation.
+    pub metrics: axml_obs::Registry,
 }
 
 impl Default for ClientConfig {
@@ -57,6 +61,7 @@ impl Default for ClientConfig {
             backoff: Duration::from_millis(10),
             seed: 0xA_0E11,
             pool: 4,
+            metrics: axml_obs::global(),
         }
     }
 }
@@ -92,6 +97,27 @@ struct Conn {
     server_name: String,
 }
 
+/// Pre-resolved handles onto the `client.*` catalogue entries.
+struct Metrics {
+    calls: axml_obs::Counter,
+    attempts: axml_obs::Counter,
+    retries: axml_obs::Counter,
+    faults: axml_obs::Counter,
+    call_ns: axml_obs::Histogram,
+}
+
+impl Metrics {
+    fn new(r: &axml_obs::Registry) -> Self {
+        Metrics {
+            calls: r.counter("client.calls_total"),
+            attempts: r.counter("client.attempts_total"),
+            retries: r.counter("client.retries_total"),
+            faults: r.counter("client.faults_total"),
+            call_ns: r.histogram("client.call_ns", axml_obs::LATENCY_NS_BOUNDS),
+        }
+    }
+}
+
 /// A pooled client for one remote daemon.
 pub struct NetClient {
     addr: SocketAddr,
@@ -99,6 +125,7 @@ pub struct NetClient {
     idle: Mutex<Vec<Conn>>,
     next_id: AtomicU64,
     jitter: Mutex<StdRng>,
+    metrics: Metrics,
 }
 
 impl NetClient {
@@ -112,12 +139,14 @@ impl NetClient {
                 ClientError::Wire(WireError::Malformed("address resolved to nothing".to_owned()))
             })?;
         let seed = config.seed;
+        let metrics = Metrics::new(&config.metrics);
         Ok(NetClient {
             addr,
             config,
             idle: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             jitter: Mutex::new(StdRng::seed_from_u64(seed)),
+            metrics,
         })
     }
 
@@ -221,34 +250,60 @@ impl NetClient {
     /// Retries transport failures and retryable faults up to the
     /// configured attempt budget, re-dialing as needed.
     pub fn call(&self, envelope: &str) -> Result<String, ClientError> {
-        let mut last: Option<ClientError> = None;
-        for attempt in 1..=self.config.attempts.max(1) {
-            if attempt > 1 {
-                std::thread::sleep(self.backoff_for(attempt - 1));
-            }
-            match self.call_once(envelope) {
-                Ok(reply) => return Ok(reply),
-                Err(e) => {
-                    let retryable = match &e {
-                        ClientError::Fault(f) => f.retryable,
-                        ClientError::Wire(_) => true,
-                        ClientError::Handshake(_) => false,
-                    };
-                    if !retryable {
-                        return Err(e);
-                    }
-                    last = Some(e);
-                }
-            }
-        }
-        Err(last.unwrap_or_else(|| {
-            ClientError::Wire(WireError::Malformed("no attempts configured".to_owned()))
-        }))
+        self.call_impl(None, envelope)
     }
 
-    fn call_once(&self, envelope: &str) -> Result<String, ClientError> {
+    /// Like [`NetClient::call`], but stamps `id` on the request frame
+    /// instead of drawing from the client's own sequence — used by the
+    /// peer layer to correlate sender and receiver span trees. Retries
+    /// reuse `id`: a failed attempt never leaves its connection in the
+    /// pool, so a late reply can never be mistaken for a fresh one.
+    pub fn call_with_id(&self, id: u64, envelope: &str) -> Result<String, ClientError> {
+        self.call_impl(Some(id), envelope)
+    }
+
+    fn call_impl(&self, id: Option<u64>, envelope: &str) -> Result<String, ClientError> {
+        let started = std::time::Instant::now();
+        self.metrics.calls.inc();
+        let result = (|| {
+            let mut last: Option<ClientError> = None;
+            for attempt in 1..=self.config.attempts.max(1) {
+                if attempt > 1 {
+                    self.metrics.retries.inc();
+                    std::thread::sleep(self.backoff_for(attempt - 1));
+                }
+                self.metrics.attempts.inc();
+                match self.call_once(id, envelope) {
+                    Ok(reply) => return Ok(reply),
+                    Err(e) => {
+                        let retryable = match &e {
+                            ClientError::Fault(f) => f.retryable,
+                            ClientError::Wire(_) => true,
+                            ClientError::Handshake(_) => false,
+                        };
+                        if !retryable {
+                            return Err(e);
+                        }
+                        last = Some(e);
+                    }
+                }
+            }
+            Err(last.unwrap_or_else(|| {
+                ClientError::Wire(WireError::Malformed("no attempts configured".to_owned()))
+            }))
+        })();
+        if result.is_err() {
+            self.metrics.faults.inc();
+        }
+        self.metrics
+            .call_ns
+            .observe(started.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn call_once(&self, id: Option<u64>, envelope: &str) -> Result<String, ClientError> {
         let mut conn = self.checkout()?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = id.unwrap_or_else(|| self.next_id.fetch_add(1, Ordering::Relaxed));
         if let Err(e) = wire::write_frame(&mut conn.writer, &wire::request(id, envelope)) {
             // A pooled connection may have been closed by the server;
             // the retry loop will re-dial.
@@ -290,6 +345,53 @@ impl NetClient {
             }
         }
     }
+
+    /// Scrapes the remote daemon's metric registry over a `StatsRequest`
+    /// frame and parses the JSON snapshot it answers with.
+    pub fn stats(&self) -> Result<axml_obs::Snapshot, ClientError> {
+        let text = self.stats_json()?;
+        axml_obs::Snapshot::parse_json(&text)
+            .map_err(|e| ClientError::Wire(WireError::Malformed(e.to_string())))
+    }
+
+    /// Like [`NetClient::stats`], but returns the raw JSON snapshot.
+    pub fn stats_json(&self) -> Result<String, ClientError> {
+        let mut conn = self.checkout()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        wire::write_frame(&mut conn.writer, &wire::stats_request(id))
+            .map_err(ClientError::Wire)?;
+        loop {
+            let frame = match wire::read_frame(&mut conn.reader, self.config.max_frame) {
+                Ok(f) => f,
+                Err(WireError::Idle | WireError::Stalled) => {
+                    return Err(ClientError::Wire(WireError::Stalled));
+                }
+                Err(e) => return Err(ClientError::Wire(e)),
+            };
+            match frame.kind {
+                FrameType::StatsResponse if frame.id == id => {
+                    let text =
+                        wire::decode_envelope(&frame.payload).map_err(ClientError::Wire)?;
+                    self.checkin(conn);
+                    return Ok(text);
+                }
+                FrameType::Fault => {
+                    let fault = wire::decode_fault(&frame.payload).map_err(ClientError::Wire)?;
+                    if frame.id == id {
+                        self.checkin(conn);
+                    }
+                    return Err(ClientError::Fault(fault));
+                }
+                // Stray replies to aborted pipelined calls: skip.
+                FrameType::Response | FrameType::StatsResponse => continue,
+                other => {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "unexpected {other:?} frame while awaiting a stats reply"
+                    ))));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +403,7 @@ mod tests {
     use std::sync::Arc;
 
     fn echo() -> Arc<dyn Handler> {
-        Arc::new(|envelope: &str| Ok(format!("echo:{envelope}")))
+        Arc::new(|_: u64, envelope: &str| Ok(format!("echo:{envelope}")))
     }
 
     #[test]
@@ -326,7 +428,7 @@ mod tests {
         // Fails twice with a retryable fault, then succeeds.
         let calls = Arc::new(AtomicU32::new(0));
         let calls2 = Arc::clone(&calls);
-        let handler: Arc<dyn Handler> = Arc::new(move |envelope: &str| {
+        let handler: Arc<dyn Handler> = Arc::new(move |_: u64, envelope: &str| {
             if calls2.fetch_add(1, Ordering::SeqCst) < 2 {
                 Err(WireFault::new(FaultCode::Busy, "try later").retryable())
             } else {
@@ -334,17 +436,24 @@ mod tests {
             }
         });
         let server = NetServer::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let registry = axml_obs::Registry::new();
         let client = NetClient::new(
             server.local_addr(),
             ClientConfig {
                 attempts: 3,
                 backoff: Duration::from_millis(1),
+                metrics: registry.clone(),
                 ..ClientConfig::default()
             },
         )
         .unwrap();
         assert_eq!(client.call("ok").unwrap(), "ok");
         assert_eq!(calls.load(Ordering::SeqCst), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("client.calls_total"), 1);
+        assert_eq!(snap.counter("client.attempts_total"), 3);
+        assert_eq!(snap.counter("client.retries_total"), 2);
+        assert_eq!(snap.counter("client.faults_total"), 0);
         server.shutdown().unwrap();
     }
 
@@ -352,7 +461,7 @@ mod tests {
     fn non_retryable_faults_surface_immediately() {
         let calls = Arc::new(AtomicU32::new(0));
         let calls2 = Arc::clone(&calls);
-        let handler: Arc<dyn Handler> = Arc::new(move |_: &str| {
+        let handler: Arc<dyn Handler> = Arc::new(move |_: u64, _: &str| {
             calls2.fetch_add(1, Ordering::SeqCst);
             Err(WireFault::new(FaultCode::Client, "bad request"))
         });

@@ -38,16 +38,18 @@ use std::time::Duration;
 /// Application logic plugged into the daemon: maps one request envelope to
 /// one response envelope, or a typed fault.
 pub trait Handler: Send + Sync + 'static {
-    /// Handles one request envelope (UTF-8 XML).
-    fn handle(&self, envelope: &str) -> Result<String, WireFault>;
+    /// Handles one request envelope (UTF-8 XML). `id` is the wire request
+    /// id — handlers stamp it on their spans so a receiver-side trace can
+    /// be correlated with the sender's.
+    fn handle(&self, id: u64, envelope: &str) -> Result<String, WireFault>;
 }
 
 impl<F> Handler for F
 where
-    F: Fn(&str) -> Result<String, WireFault> + Send + Sync + 'static,
+    F: Fn(u64, &str) -> Result<String, WireFault> + Send + Sync + 'static,
 {
-    fn handle(&self, envelope: &str) -> Result<String, WireFault> {
-        self(envelope)
+    fn handle(&self, id: u64, envelope: &str) -> Result<String, WireFault> {
+        self(id, envelope)
     }
 }
 
@@ -66,6 +68,10 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum accepted frame payload, in bytes.
     pub max_frame: usize,
+    /// Metric registry the server publishes into (`server.*` catalogue
+    /// entries) and serves back over `StatsRequest` frames. Defaults to
+    /// the process-wide registry; tests inject a fresh one for isolation.
+    pub metrics: axml_obs::Registry,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +83,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
             max_frame: wire::DEFAULT_MAX_FRAME,
+            metrics: axml_obs::global(),
         }
     }
 }
@@ -100,10 +107,57 @@ struct Job {
     envelope: String,
 }
 
+/// Pre-resolved handles onto the `server.*` catalogue entries, so hot
+/// paths never touch the registry's name map.
+struct Metrics {
+    connections: axml_obs::Counter,
+    requests: axml_obs::Counter,
+    responses_ok: axml_obs::Counter,
+    faults: axml_obs::Counter,
+    busy: axml_obs::Counter,
+    timeouts: axml_obs::Counter,
+    too_large: axml_obs::Counter,
+    panics: axml_obs::Counter,
+    queue_depth: axml_obs::Gauge,
+    frame_bytes: axml_obs::Histogram,
+}
+
+impl Metrics {
+    fn new(r: &axml_obs::Registry) -> Self {
+        Metrics {
+            connections: r.counter("server.connections_total"),
+            requests: r.counter("server.requests_total"),
+            responses_ok: r.counter("server.responses_ok_total"),
+            faults: r.counter("server.faults_total"),
+            busy: r.counter("server.busy_total"),
+            timeouts: r.counter("server.timeouts_total"),
+            too_large: r.counter("server.frame_too_large_total"),
+            panics: r.counter("server.panics_total"),
+            queue_depth: r.gauge("server.queue_depth"),
+            frame_bytes: r.histogram("server.frame_bytes", axml_obs::BYTES_BOUNDS),
+        }
+    }
+
+    /// Accounts one faulted request. Every accepted request ends in
+    /// exactly one `ok()` or `fault()` call, so
+    /// `requests_total = responses_ok_total + faults_total` holds.
+    fn fault(&self) {
+        self.requests.inc();
+        self.faults.inc();
+    }
+
+    /// Accounts one successfully answered request.
+    fn ok(&self) {
+        self.requests.inc();
+        self.responses_ok.inc();
+    }
+}
+
 struct Shared {
     handler: Arc<dyn Handler>,
     config: ServerConfig,
     stats: Arc<ServerStats>,
+    metrics: Metrics,
     stop: AtomicBool,
     /// Live connection streams, keyed by a connection id, so shutdown can
     /// unblock readers stuck in a socket read.
@@ -163,10 +217,12 @@ impl NetServer {
         let local_addr = listener.local_addr().map_err(ServerError::Io)?;
         let workers = config.workers.max(1);
         let queue = config.queue.max(1);
+        let metrics = Metrics::new(&config.metrics);
         let shared = Arc::new(Shared {
             handler,
             config,
             stats: Arc::new(ServerStats::default()),
+            metrics,
             stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
@@ -227,9 +283,13 @@ impl NetServer {
             let _ = conn.lock().shutdown(Shutdown::Both);
         }
         let mut first_panic: Option<String> = None;
+        let panics = &self.shared.metrics.panics;
         let mut note = |r: std::thread::Result<()>| {
             if let Err(p) = r {
-                first_panic.get_or_insert(panic_message(p));
+                let msg = panic_message(p);
+                panics.inc();
+                axml_obs::span("server.panic").fail(&msg);
+                first_panic.get_or_insert(msg);
             }
         };
         if let Some(accept) = self.accept.take() {
@@ -270,6 +330,7 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections.inc();
                 let shared = Arc::clone(shared);
                 let job_tx = job_tx.clone();
                 readers.push(
@@ -371,6 +432,7 @@ fn serve_frames(
     job_tx: &Sender<Job>,
 ) {
     let stats = &shared.stats;
+    let metrics = &shared.metrics;
     loop {
         let frame = match wire::read_frame(reader, shared.config.max_frame) {
             Ok(f) => f,
@@ -383,6 +445,8 @@ fn serve_frames(
             }
             Err(WireError::Stalled) => {
                 stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                metrics.timeouts.inc();
                 let f = WireFault::new(FaultCode::Timeout, "read timed out mid-frame");
                 let _ = send_reply(writer, &wire::fault(0, &f));
                 return;
@@ -391,6 +455,9 @@ fn serve_frames(
                 // The oversized payload was never read; the stream is no
                 // longer framed, so fault and close.
                 stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                metrics.too_large.inc();
+                metrics.frame_bytes.observe(len as u64);
                 let f = WireFault::new(
                     FaultCode::TooLarge,
                     format!("{len}-byte payload exceeds the {max}-byte cap"),
@@ -402,12 +469,22 @@ fn serve_frames(
             Err(e) => {
                 if !shared.stop.load(Ordering::SeqCst) {
                     stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    metrics.fault();
                     let f = WireFault::new(FaultCode::BadFrame, e.to_string());
                     let _ = send_reply(writer, &wire::fault(0, &f));
                 }
                 return;
             }
         };
+        metrics.frame_bytes.observe(frame.payload.len() as u64);
+        if frame.kind == FrameType::StatsRequest {
+            // Answered inline from the reader: scrapes must work even
+            // when the worker queue is saturated. Scrapes are not
+            // requests, so they stay out of the request accounting.
+            let snapshot = shared.config.metrics.snapshot().to_json();
+            let _ = send_reply(writer, &wire::stats_response(frame.id, &snapshot));
+            continue;
+        }
         if shared.stop.load(Ordering::SeqCst) {
             let f = WireFault::new(FaultCode::Shutdown, "server is shutting down").retryable();
             let _ = send_reply(writer, &wire::fault(frame.id, &f));
@@ -415,6 +492,7 @@ fn serve_frames(
         }
         if frame.kind != FrameType::Request {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
+            metrics.fault();
             let f = WireFault::new(FaultCode::BadFrame, "expected a Request frame");
             let _ = send_reply(writer, &wire::fault(frame.id, &f));
             continue;
@@ -423,6 +501,7 @@ fn serve_frames(
             Ok(e) => e,
             Err(e) => {
                 stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
                 let f = WireFault::new(FaultCode::Client, e.to_string());
                 let _ = send_reply(writer, &wire::fault(frame.id, &f));
                 continue;
@@ -433,16 +512,26 @@ fn serve_frames(
             id: frame.id,
             envelope,
         };
+        // Count the slot before the job becomes visible to workers: the
+        // worker's decrement must never be able to outrun our increment,
+        // or the gauge could read negative at rest.
+        metrics.queue_depth.add(1);
         match job_tx.try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
                 // Backpressure: reject retryably instead of queueing.
+                metrics.queue_depth.sub(1);
                 stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                metrics.busy.inc();
                 let f = WireFault::new(FaultCode::Busy, "in-flight request queue is full")
                     .retryable();
                 let _ = send_reply(writer, &wire::fault(job.id, &f));
             }
             Err(TrySendError::Disconnected(job)) => {
+                metrics.queue_depth.sub(1);
+                stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
                 let f = WireFault::new(FaultCode::Shutdown, "server is shutting down").retryable();
                 let _ = send_reply(writer, &wire::fault(job.id, &f));
                 return;
@@ -458,13 +547,16 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>>>) {
             Ok(j) => j,
             Err(_) => return, // queue closed: graceful shutdown
         };
-        let reply = match shared.handler.handle(&job.envelope) {
+        shared.metrics.queue_depth.sub(1);
+        let reply = match shared.handler.handle(job.id, &job.envelope) {
             Ok(envelope) => {
                 shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.ok();
                 wire::response(job.id, &envelope)
             }
             Err(fault) => {
                 shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.fault();
                 wire::fault(job.id, &fault)
             }
         };
@@ -479,7 +571,7 @@ mod tests {
     use std::io::Write as _;
 
     fn echo_server(config: ServerConfig) -> NetServer {
-        let handler: Arc<dyn Handler> = Arc::new(|envelope: &str| {
+        let handler: Arc<dyn Handler> = Arc::new(|_id: u64, envelope: &str| {
             if envelope == "boom" {
                 Err(WireFault::new(FaultCode::Server, "boom requested"))
             } else {
@@ -582,6 +674,36 @@ mod tests {
         assert_eq!(back.kind, FrameType::Fault);
         let f = wire::decode_fault(&back.payload).unwrap();
         assert_eq!(f.code, FaultCode::Timeout);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_request_returns_metric_snapshot() {
+        let registry = axml_obs::Registry::new();
+        axml_obs::register_catalogue(&registry);
+        let server = echo_server(ServerConfig {
+            metrics: registry.clone(),
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        wire::write_frame(&mut stream, &wire::request(1, "hi")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        wire::write_frame(&mut stream, &wire::stats_request(2)).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::StatsResponse);
+        assert_eq!(back.id, 2);
+        let text = wire::decode_envelope(&back.payload).unwrap();
+        let snap = axml_obs::Snapshot::parse_json(&text).unwrap();
+        assert_eq!(snap.counter("server.requests_total"), 1);
+        assert_eq!(snap.counter("server.responses_ok_total"), 1);
+        assert_eq!(snap.counter("server.connections_total"), 1);
+        // Scrapes stay out of the request accounting.
+        assert_eq!(
+            snap.counter("server.requests_total"),
+            snap.counter("server.responses_ok_total") + snap.counter("server.faults_total")
+        );
         server.shutdown().unwrap();
     }
 

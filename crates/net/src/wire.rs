@@ -19,6 +19,8 @@
 //! | 0x03 | `Request`  | a SOAP envelope (UTF-8 XML)                      |
 //! | 0x04 | `Response` | a SOAP envelope (UTF-8 XML)                      |
 //! | 0x05 | `Fault`    | code (u8) + retryable (u8) + message (UTF-8)     |
+//! | 0x06 | `StatsRequest`  | empty — asks the server for its metrics     |
+//! | 0x07 | `StatsResponse` | a JSON metric snapshot (`axml-obs` format)  |
 //!
 //! A connection opens with a versioned handshake: the client sends
 //! `Hello` (request id 0); the server answers `Welcome`, or a `Fault`
@@ -64,6 +66,10 @@ pub enum FrameType {
     Response,
     /// A typed failure reply.
     Fault,
+    /// Asks the server for a JSON snapshot of its metric registry.
+    StatsRequest,
+    /// The JSON metric snapshot answering a `StatsRequest`.
+    StatsResponse,
 }
 
 impl FrameType {
@@ -74,6 +80,8 @@ impl FrameType {
             FrameType::Request => 0x03,
             FrameType::Response => 0x04,
             FrameType::Fault => 0x05,
+            FrameType::StatsRequest => 0x06,
+            FrameType::StatsResponse => 0x07,
         }
     }
 
@@ -84,6 +92,8 @@ impl FrameType {
             0x03 => Ok(FrameType::Request),
             0x04 => Ok(FrameType::Response),
             0x05 => Ok(FrameType::Fault),
+            0x06 => Ok(FrameType::StatsRequest),
+            0x07 => Ok(FrameType::StatsResponse),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }
@@ -453,6 +463,24 @@ pub fn decode_fault(payload: &[u8]) -> Result<WireFault, WireError> {
     })
 }
 
+/// Builds a `StatsRequest` frame (empty payload).
+pub fn stats_request(id: u64) -> Frame {
+    Frame {
+        kind: FrameType::StatsRequest,
+        id,
+        payload: Vec::new(),
+    }
+}
+
+/// Builds a `StatsResponse` frame around a JSON metric snapshot.
+pub fn stats_response(id: u64, snapshot_json: &str) -> Frame {
+    Frame {
+        kind: FrameType::StatsResponse,
+        id,
+        payload: snapshot_json.as_bytes().to_vec(),
+    }
+}
+
 /// Decodes a `Request`/`Response` payload as the UTF-8 envelope it carries.
 pub fn decode_envelope(payload: &[u8]) -> Result<String, WireError> {
     String::from_utf8(payload.to_vec())
@@ -485,6 +513,8 @@ mod tests {
             request(7, "<env/>"),
             response(7, "<env/>"),
             fault(9, &WireFault::new(FaultCode::Busy, "queue full").retryable()),
+            stats_request(11),
+            stats_response(11, "{\"counters\":{}}"),
         ];
         for f in &frames {
             let mut buf = Vec::new();

@@ -1,0 +1,359 @@
+//! A minimal JSON reader/writer — just enough to re-parse the
+//! deterministic snapshots this crate emits (objects, arrays, integers,
+//! strings with the standard escapes) without pulling in a registry
+//! dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or shape error, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value (no floats: snapshots only carry integers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (signed to cover gauges; counters fit `u64` via `Big`).
+    Int(i64),
+    /// A `u64` that does not fit `i64`.
+    Big(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// This value as an object, or an error naming `what`.
+    pub fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, JsonError> {
+        match self {
+            Json::Object(m) => Ok(m),
+            other => Err(JsonError(format!("{what}: expected object, got {other:?}"))),
+        }
+    }
+
+    /// This value as a `u64`, or an error naming `what`.
+    pub fn as_u64(&self, what: &str) -> Result<u64, JsonError> {
+        match self {
+            Json::Int(i) if *i >= 0 => Ok(*i as u64),
+            Json::Big(u) => Ok(*u),
+            other => Err(JsonError(format!("{what}: expected u64, got {other:?}"))),
+        }
+    }
+
+    /// This value as an `i64`, or an error naming `what`.
+    pub fn as_i64(&self, what: &str) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            other => Err(JsonError(format!("{what}: expected i64, got {other:?}"))),
+        }
+    }
+
+    /// This value as a `Vec<u64>`, or an error naming `what`.
+    pub fn as_u64_array(&self, what: &str) -> Result<Vec<u64>, JsonError> {
+        match self {
+            Json::Array(items) => items.iter().map(|v| v.as_u64(what)).collect(),
+            other => Err(JsonError(format!("{what}: expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Parses `text` as a single JSON value; trailing non-whitespace is an
+/// error.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError("nesting too deep".into()));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(JsonError(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError(format!(
+                "expected '{word}' at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(JsonError(format!(
+                "non-integer number at byte {start} (snapshots carry integers only)"
+            )));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii");
+        if let Ok(i) = text.parse::<i64>() {
+            Ok(Json::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Json::Big(u))
+        } else {
+            Err(JsonError(format!("number out of range at byte {start}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError("invalid utf-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| JsonError("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError("bad \\u codepoint".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError("bad escape in string".into())),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(JsonError("unterminated string".into())),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(JsonError(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(JsonError(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `items` to `out` as a JSON array of integers.
+pub fn write_u64_array(out: &mut String, items: &[u64]) {
+    out.push('[');
+    for (i, v) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values() {
+        let v = parse(r#" {"a": [1, -2, "x\n\"yA"], "b": {"c": true, "d": null}} "#)
+            .unwrap();
+        let obj = v.as_object("root").unwrap();
+        assert_eq!(
+            obj["a"],
+            Json::Array(vec![
+                Json::Int(1),
+                Json::Int(-2),
+                Json::Str("x\n\"yA".into())
+            ])
+        );
+        assert_eq!(obj["b"].as_object("b").unwrap()["c"], Json::Bool(true));
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64("big").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn rejects_floats_truncation_and_trailing() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let original = "quote \" slash \\ newline \n ctrl \u{1} done";
+        let mut rendered = String::new();
+        write_string(&mut rendered, original);
+        assert_eq!(parse(&rendered).unwrap(), Json::Str(original.into()));
+    }
+}

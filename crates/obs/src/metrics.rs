@@ -1,0 +1,427 @@
+//! Metric registry: named counters, gauges and fixed-bucket histograms
+//! behind cheap atomic handles.
+//!
+//! A [`Registry`] is a cheaply clonable handle onto a shared map of
+//! instruments. Instruments are interned by name: asking twice for the
+//! same name yields handles onto the same atomic cell, so hot paths hold
+//! a [`Counter`]/[`Gauge`]/[`Histogram`] and never touch the map again.
+//! [`Registry::snapshot`] reads every instrument into a [`Snapshot`]
+//! whose JSON rendering is deterministic (keys sorted, no whitespace),
+//! so two snapshots of identical state serialize byte-identically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::json::{self, Json};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, pool sizes).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtracts `d`.
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistoCell {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+inf` bucket follows the last bound.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` occupancy counts.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (durations in
+/// nanoseconds, frame sizes in bytes).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistoCell>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let cell = &*self.0;
+        let idx = cell.bounds.partition_point(|&b| b < v);
+        cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Exponential-ish nanosecond latency bounds: 1µs … 1s.
+pub const LATENCY_NS_BOUNDS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Frame-size bounds in bytes: 64 B … 1 MiB.
+pub const BYTES_BOUNDS: &[u64] = &[64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<HistoCell>>>,
+}
+
+/// A shared map of named instruments. Cloning is cheap (one `Arc`).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field(
+                "counters",
+                &self.inner.counters.read().unwrap().len(),
+            )
+            .field("gauges", &self.inner.gauges.read().unwrap().len())
+            .field(
+                "histograms",
+                &self.inner.histograms.read().unwrap().len(),
+            )
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry (use [`crate::global`] for the process-wide
+    /// one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().unwrap().get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let mut map = self.inner.counters.write().unwrap();
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().unwrap().get(name) {
+            return Gauge(Arc::clone(g));
+        }
+        let mut map = self.inner.gauges.write().unwrap();
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// The histogram named `name`, created on first use with the given
+    /// bucket bounds (later callers inherit the first caller's bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().unwrap().get(name) {
+            return Histogram(Arc::clone(h));
+        }
+        let mut map = self.inner.histograms.write().unwrap();
+        let cell = map.entry(name.to_owned()).or_insert_with(|| {
+            let mut bounds = bounds.to_vec();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Arc::new(HistoCell {
+                bounds,
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })
+        });
+        Histogram(Arc::clone(cell))
+    }
+
+    /// Reads every instrument once. Individual reads are atomic; the
+    /// snapshot as a whole is not a cross-instrument transaction, but
+    /// every value in it was current at some instant during the call and
+    /// counters are monotone across successive snapshots.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                // Read occupancy before count/sum so `count >= sum of
+                // buckets` can never be observed to under-report.
+                let buckets: Vec<u64> =
+                    h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        buckets,
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time values of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` occupancy counts (last = overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+/// Point-in-time values of every instrument in a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value, `0` if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, `0` if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Deterministic JSON rendering: keys sorted, no whitespace.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, k);
+            out.push_str(":{\"bounds\":");
+            json::write_u64_array(&mut out, &h.bounds);
+            out.push_str(",\"buckets\":");
+            json::write_u64_array(&mut out, &h.buckets);
+            out.push_str(",\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.sum.to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a snapshot back from its [`Snapshot::to_json`] rendering
+    /// (accepts any JSON with the same shape, whitespace included).
+    pub fn parse_json(text: &str) -> Result<Self, json::JsonError> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("snapshot")?;
+        let mut snap = Snapshot::default();
+        if let Some(c) = obj.get("counters") {
+            for (k, v) in c.as_object("counters")? {
+                snap.counters.insert(k.clone(), v.as_u64(k)?);
+            }
+        }
+        if let Some(g) = obj.get("gauges") {
+            for (k, v) in g.as_object("gauges")? {
+                snap.gauges.insert(k.clone(), v.as_i64(k)?);
+            }
+        }
+        if let Some(h) = obj.get("histograms") {
+            for (k, v) in h.as_object("histograms")? {
+                let fields = v.as_object(k)?;
+                let get = |name: &str| -> Result<&Json, json::JsonError> {
+                    fields
+                        .get(name)
+                        .ok_or_else(|| json::JsonError(format!("{k}: missing '{name}'")))
+                };
+                snap.histograms.insert(
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: get("bounds")?.as_u64_array("bounds")?,
+                        buckets: get("buckets")?.as_u64_array("buckets")?,
+                        count: get("count")?.as_u64("count")?,
+                        sum: get("sum")?.as_u64("sum")?,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(r.snapshot().counter("x"), 4);
+        assert_eq!(r.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(r.snapshot().gauge("depth"), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5_000] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms["lat"];
+        // <=10: {1, 10}; <=100: {11, 100}; +inf: {101, 5000}.
+        assert_eq!(hs.buckets, vec![2, 2, 2]);
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, 1 + 10 + 11 + 100 + 101 + 5_000);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let r = Registry::new();
+        r.counter("b.total").add(2);
+        r.counter("a.total").inc();
+        r.gauge("q\"uote").set(-1);
+        r.histogram("h", &[1, 2]).observe(3);
+        let snap = r.snapshot();
+        let text = snap.to_json();
+        assert_eq!(Snapshot::parse_json(&text).unwrap(), snap);
+        // Deterministic: same state, same bytes; keys sorted.
+        assert_eq!(r.snapshot().to_json(), text);
+        assert!(text.find("a.total").unwrap() < text.find("b.total").unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Snapshot::parse_json("").is_err());
+        assert!(Snapshot::parse_json("{\"counters\":[]}").is_err());
+        assert!(Snapshot::parse_json("{\"counters\":{\"x\":-1}}").is_err());
+        assert!(Snapshot::parse_json("{} trailing").is_err());
+    }
+}

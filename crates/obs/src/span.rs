@@ -1,0 +1,307 @@
+//! Lightweight hierarchical spans.
+//!
+//! [`span`] opens a span and returns a guard; dropping the guard closes
+//! it, computes its monotonic-clock duration and hands the finished
+//! [`SpanRecord`] to every installed [`SpanSink`]. Spans opened while a
+//! guard is live on the same thread become its children (a thread-local
+//! stack tracks the current parent), which is exactly the shape of one
+//! peer-side exchange: `exchange` → `enforce` → `ship`.
+//!
+//! Cross-thread (and cross-process) correlation does not rely on the
+//! parent link: spans carry key=value fields, and the peer layer stamps
+//! every span of one exchange with the same `rid` (the wire request id).
+//!
+//! Two sinks ship with the crate: [`RingSink`], a bounded in-memory
+//! buffer for tests, and a line-oriented stderr sink installed
+//! automatically when `AXML_TRACE` is set in the environment.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A closed span, as delivered to sinks.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (see the taxonomy in DESIGN.md §8).
+    pub name: String,
+    /// Start offset from the process monotonic epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall duration, in nanoseconds.
+    pub duration_ns: u64,
+    /// Key=value annotations, in insertion order.
+    pub fields: Vec<(String, String)>,
+    /// True if the span was closed via [`SpanGuard::fail`].
+    pub error: bool,
+}
+
+impl SpanRecord {
+    /// The first value recorded for `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A destination for closed spans.
+pub trait SpanSink: Send + Sync {
+    /// Receives one closed span.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// A bounded in-memory sink: keeps the most recent `cap` spans.
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` spans, ready to [`install_sink`].
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(Self {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// A copy of the buffered spans, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered spans, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+}
+
+impl SpanSink for RingSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(span.clone());
+    }
+}
+
+/// One `key=value`-per-span line on stderr, for `AXML_TRACE=1` runs.
+struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut line = format!(
+            "[axml-trace] {} id={} parent={} start_ns={} dur_ns={}",
+            span.name,
+            span.id,
+            span.parent.map_or_else(|| "-".into(), |p| p.to_string()),
+            span.start_ns,
+            span.duration_ns,
+        );
+        if span.error {
+            line.push_str(" error=true");
+        }
+        for (k, v) in &span.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(v);
+        }
+        line.push('\n');
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+fn sinks() -> &'static RwLock<Vec<Arc<dyn SpanSink>>> {
+    static SINKS: OnceLock<RwLock<Vec<Arc<dyn SpanSink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| {
+        let mut initial: Vec<Arc<dyn SpanSink>> = Vec::new();
+        if std::env::var_os("AXML_TRACE").is_some_and(|v| !v.is_empty() && v != "0") {
+            initial.push(Arc::new(StderrSink));
+        }
+        RwLock::new(initial)
+    })
+}
+
+/// Adds a sink; every span closed from now on is delivered to it.
+pub fn install_sink(sink: Arc<dyn SpanSink>) {
+    sinks().write().unwrap().push(sink);
+}
+
+/// Removes a previously installed sink (matched by pointer identity).
+pub fn uninstall_sink(sink: &Arc<dyn SpanSink>) {
+    sinks()
+        .write()
+        .unwrap()
+        .retain(|s| !Arc::ptr_eq(s, sink));
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process monotonic epoch.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static SPAN_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span named `name`; it closes (and reaches the sinks) when the
+/// returned guard drops. Guards must drop in reverse open order on a
+/// thread — the natural shape of lexical scoping.
+pub fn span(name: &str) -> SpanGuard {
+    let id = SPAN_IDS.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    SpanGuard {
+        record: SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            start_ns: now_ns(),
+            duration_ns: 0,
+            fields: Vec::new(),
+            error: false,
+        },
+        opened: Instant::now(),
+    }
+}
+
+/// Live-span handle; see [`span`].
+pub struct SpanGuard {
+    record: SpanRecord,
+    opened: Instant,
+}
+
+impl SpanGuard {
+    /// This span's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.record.id
+    }
+
+    /// Annotates the span with `key=value`.
+    pub fn set(&mut self, key: &str, value: impl Display) {
+        self.record
+            .fields
+            .push((key.to_owned(), value.to_string()));
+    }
+
+    /// Marks the span failed and records the reason under `error.msg`.
+    pub fn fail(&mut self, msg: impl Display) {
+        self.record.error = true;
+        self.record
+            .fields
+            .push(("error.msg".to_owned(), msg.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record.duration_ns = self.opened.elapsed().as_nanos() as u64;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&self.record.id) {
+                s.pop();
+            } else {
+                // Out-of-order drop: remove this id wherever it is so the
+                // stack cannot grow without bound.
+                s.retain(|&id| id != self.record.id);
+            }
+        });
+        let sinks = sinks().read().unwrap();
+        for sink in sinks.iter() {
+            sink.record(&self.record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_links_parents_and_orders_starts() {
+        let ring = RingSink::new(16);
+        install_sink(ring.clone() as Arc<dyn SpanSink>);
+        let outer_id;
+        {
+            let mut outer = span("outer-span-test");
+            outer.set("rid", 42);
+            outer_id = outer.id();
+            let inner = span("inner-span-test");
+            assert_ne!(inner.id(), outer_id);
+        }
+        uninstall_sink(&(ring.clone() as Arc<dyn SpanSink>));
+        let spans: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|s| s.name.ends_with("-span-test"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "inner-span-test");
+        assert_eq!(spans[0].parent, Some(outer_id));
+        assert_eq!(spans[1].name, "outer-span-test");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].field("rid"), Some("42"));
+        assert!(spans[0].start_ns >= spans[1].start_ns);
+    }
+
+    #[test]
+    fn fail_tags_error_and_message() {
+        let ring = RingSink::new(4);
+        install_sink(ring.clone() as Arc<dyn SpanSink>);
+        {
+            let mut sp = span("failing-span-test");
+            sp.fail("boom");
+        }
+        uninstall_sink(&(ring.clone() as Arc<dyn SpanSink>));
+        let spans: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|s| s.name == "failing-span-test")
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].error);
+        assert_eq!(spans[0].field("error.msg"), Some("boom"));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            let mut r = SpanRecord {
+                id: i,
+                parent: None,
+                name: "x".into(),
+                start_ns: 0,
+                duration_ns: 0,
+                fields: Vec::new(),
+                error: false,
+            };
+            r.start_ns = i;
+            ring.record(&r);
+        }
+        let ids: Vec<u64> = ring.records().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+}

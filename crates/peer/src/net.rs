@@ -85,7 +85,8 @@ impl NetPeer {
         config: ServerConfig,
     ) -> Result<NetPeer, PeerError> {
         let handler_peer = Arc::clone(&peer);
-        let handler = move |envelope: &str| handle_net_envelope(&handler_peer, envelope);
+        let handler =
+            move |id: u64, envelope: &str| handle_net_envelope(&handler_peer, id, envelope);
         let server = NetServer::bind(addr, Arc::new(handler), config).map_err(transport)?;
         Ok(NetPeer { peer, server })
     }
@@ -136,20 +137,40 @@ impl NetPeer {
 }
 
 /// The server side of one envelope: decode, dispatch, and turn peer
-/// errors into typed wire faults.
-fn handle_net_envelope(peer: &Peer, envelope: &str) -> Result<String, WireFault> {
+/// errors into typed wire faults. `rid` is the wire request id the
+/// sender stamped on the frame; the receiver's `validate` span carries it
+/// so one exchange can be followed across both processes.
+fn handle_net_envelope(peer: &Peer, rid: u64, envelope: &str) -> Result<String, WireFault> {
+    let mut sp = axml_obs::span("validate");
+    sp.set("rid", rid);
+    sp.set("peer", &peer.name);
+    let result = handle_net_envelope_inner(peer, &mut sp, envelope);
+    if let Err(fault) = &result {
+        sp.fail(&fault.message);
+    }
+    result
+}
+
+fn handle_net_envelope_inner(
+    peer: &Peer,
+    sp: &mut axml_obs::SpanGuard,
+    envelope: &str,
+) -> Result<String, WireFault> {
     let message = soap::decode(envelope)
         .map_err(|e| WireFault::new(FaultCode::Client, format!("bad envelope: {e}")))?;
     match message {
         soap::Message::Request { method, params } if method == RECEIVE_METHOD => {
+            sp.set("method", RECEIVE_METHOD);
             receive_document(peer, &params)
                 .map(|name| soap::response(&[ITree::text(&name)]).to_xml())
                 .map_err(|e| wire_fault(&e.to_fault()))
         }
-        soap::Message::Request { method, params } => peer
-            .handle(&method, &params)
-            .map(|result| soap::response(&result).to_xml())
-            .map_err(|e| wire_fault(&e.to_fault())),
+        soap::Message::Request { method, params } => {
+            sp.set("method", &method);
+            peer.handle(&method, &params)
+                .map(|result| soap::response(&result).to_xml())
+                .map_err(|e| wire_fault(&e.to_fault()))
+        }
         _ => Err(WireFault::new(
             FaultCode::Client,
             "expected a call request",
@@ -182,6 +203,7 @@ fn receive_document(peer: &Peer, params: &[ITree]) -> Result<String, PeerError> 
     validate(doc, &peer.compiled).map_err(|e| PeerError::Enforcement(e.to_string()))?;
     peer.inbound.check(std::slice::from_ref(doc))?;
     peer.repository.store(name, doc.clone());
+    axml_obs::global().counter("peer.received_total").inc();
     Ok(name.clone())
 }
 
@@ -220,9 +242,27 @@ impl RemotePeer {
         method: &str,
         params: &[ITree],
     ) -> Result<Vec<ITree>, PeerError> {
+        let rid = axml_obs::next_request_id();
+        let mut sp = axml_obs::span("invoke");
+        sp.set("rid", rid);
+        sp.set("method", method);
+        let result = self.invoke_service_inner(caller, rid, method, params);
+        if let Err(e) = &result {
+            sp.fail(e);
+        }
+        result
+    }
+
+    fn invoke_service_inner(
+        &self,
+        caller: &Peer,
+        rid: u64,
+        method: &str,
+        params: &[ITree],
+    ) -> Result<Vec<ITree>, PeerError> {
         let params = caller.enforce_input(method, params)?;
         let envelope = soap::request(method, &params).to_xml();
-        let reply = self.client.call(&envelope).map_err(client_error)?;
+        let reply = self.client.call_with_id(rid, &envelope).map_err(client_error)?;
         match soap::decode(&reply).map_err(PeerError::Transport)? {
             soap::Message::Response { result } => {
                 let sig = caller.compiled.sig_of(method);
@@ -267,10 +307,56 @@ impl RemotePeer {
         exchange: &Arc<Compiled>,
         invoker: &mut dyn Invoker,
     ) -> Result<(ITree, RewriteReport), PeerError> {
-        let (sent, report) = axml_core::rewrite::enforce(exchange, doc, caller.k, invoker)?;
+        // One span tree per exchange, correlated with the receiver's
+        // `validate` span through the wire request id.
+        let rid = axml_obs::next_request_id();
+        let metrics = axml_obs::global();
+        metrics.counter("peer.exchanges_total").inc();
+        let mut ex = axml_obs::span("exchange");
+        ex.set("rid", rid);
+        ex.set("doc", name);
+        let result = self.ship_document(caller, rid, name, doc, exchange, invoker);
+        if let Err(e) = &result {
+            metrics.counter("peer.exchange_faults_total").inc();
+            ex.fail(e);
+        }
+        result
+    }
+
+    fn ship_document(
+        &self,
+        caller: &Peer,
+        rid: u64,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+        invoker: &mut dyn Invoker,
+    ) -> Result<(ITree, RewriteReport), PeerError> {
+        let (sent, report) = {
+            let mut sp = axml_obs::span("enforce");
+            sp.set("rid", rid);
+            match axml_core::rewrite::enforce(exchange, doc, caller.k, invoker) {
+                Ok(v) => v,
+                Err(e) => {
+                    sp.fail(&e);
+                    return Err(e.into());
+                }
+            }
+        };
         let params = [ITree::text(name), sent.clone()];
         let envelope = soap::request(RECEIVE_METHOD, &params).to_xml();
-        let reply = self.client.call(&envelope).map_err(client_error)?;
+        let reply = {
+            let mut sp = axml_obs::span("ship");
+            sp.set("rid", rid);
+            sp.set("bytes", envelope.len());
+            match self.client.call_with_id(rid, &envelope) {
+                Ok(r) => r,
+                Err(e) => {
+                    sp.fail(&e);
+                    return Err(client_error(e));
+                }
+            }
+        };
         match soap::decode(&reply).map_err(PeerError::Transport)? {
             soap::Message::Response { .. } => Ok((sent, report)),
             soap::Message::Fault(fault) => Err(PeerError::Fault(fault)),

@@ -412,6 +412,10 @@ impl PeerServer {
                         .map(|s| (*s).to_owned())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    // A worker panic is an observable event, not just a
+                    // join-error string: count it and emit an error span.
+                    axml_obs::global().counter("peer.panics_total").inc();
+                    axml_obs::span("peer.panic").fail(&msg);
                     Err(PeerError::Transport(format!(
                         "peer server thread panicked: {msg}"
                     )))

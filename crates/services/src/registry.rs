@@ -189,10 +189,17 @@ impl Registry {
                 });
             }
         }
-        let result = imp.call(params).map_err(|e| InvokeError {
-            function: name.to_owned(),
-            message: e.0,
+        let result = imp.call(params).map_err(|e| {
+            axml_obs::global().counter("services.call_faults_total").inc();
+            InvokeError {
+                function: name.to_owned(),
+                message: e.0,
+            }
         })?;
+        let obs = axml_obs::global();
+        obs.counter("services.calls_total").inc();
+        obs.counter("services.fees_cents_total")
+            .add(u64::from(def.fee_cents));
         let mut inner = self.inner.write();
         *inner.stats.calls.entry(name.to_owned()).or_insert(0) += 1;
         inner.stats.fees_cents += u64::from(def.fee_cents);

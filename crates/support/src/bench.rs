@@ -15,7 +15,8 @@
 //!   one `BENCH_<group>.json` per benchmark group. Schema (documented in
 //!   DESIGN.md): `{"group", "smoke", "benchmarks": [{"id", "samples",
 //!   "iters_per_sample", "median_ns", "p95_ns", "min_ns", "max_ns",
-//!   "mean_ns", "throughput_elements"}]}`.
+//!   "mean_ns", "throughput_elements"}]}`, plus any values a workload
+//!   attached via [`BenchmarkGroup::attach_json`] as extra top-level keys.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -148,6 +149,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up: Duration,
     throughput: Option<Throughput>,
     results: Vec<BenchResult>,
+    attachments: Vec<(String, String)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -177,6 +179,24 @@ impl BenchmarkGroup<'_> {
     /// Annotates subsequent benchmarks with a throughput figure.
     pub fn throughput(&mut self, t: Throughput) -> &mut Self {
         self.throughput = Some(t);
+        self
+    }
+
+    /// Attaches a pre-rendered JSON value under `key` at the top level of
+    /// the group's `BENCH_<group>.json` report. `raw_json` must be a valid
+    /// JSON value — it is embedded verbatim, not escaped. Workloads use
+    /// this to snapshot side-channel data (e.g. an `axml-obs` metrics
+    /// registry) alongside the timing figures without this harness taking
+    /// a dependency on the producer.
+    pub fn attach_json(&mut self, key: impl Into<String>, raw_json: impl Into<String>) -> &mut Self {
+        let key = key.into();
+        let raw = raw_json.into();
+        assert!(!key.is_empty(), "attachment key must be non-empty");
+        assert!(
+            !raw.trim().is_empty(),
+            "attachment '{key}' must carry a JSON value"
+        );
+        self.attachments.push((key, raw));
         self
     }
 
@@ -248,7 +268,7 @@ impl BenchmarkGroup<'_> {
     /// Emits the group's report (stdout summary always; JSON when
     /// `AXML_BENCH_JSON` is set) and ends the group.
     pub fn finish(self) {
-        let json = render_json(&self.name, &self.results);
+        let json = render_json(&self.name, &self.results, &self.attachments);
         self.criterion.emit(&self.name, &json);
     }
 }
@@ -268,7 +288,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn render_json(group: &str, results: &[BenchResult]) -> String {
+fn render_json(group: &str, results: &[BenchResult], attachments: &[(String, String)]) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
@@ -297,7 +317,11 @@ fn render_json(group: &str, results: &[BenchResult]) -> String {
                 .map_or("null".to_string(), |n| n.to_string()),
         );
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    for (key, raw) in attachments {
+        let _ = write!(out, ",\n  \"{}\": {}", json_escape(key), raw.trim());
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -323,6 +347,7 @@ impl Criterion {
             },
             throughput: None,
             results: Vec::new(),
+            attachments: Vec::new(),
         }
     }
 
@@ -404,10 +429,23 @@ mod tests {
         assert_eq!(r.id, "sum/10");
         assert!(r.median_ns >= 0.0 && r.min_ns <= r.max_ns);
         assert_eq!(r.throughput_elements, Some(7));
-        let json = render_json(&group.name, &group.results);
+        let json = render_json(&group.name, &group.results, &group.attachments);
         assert!(json.contains("\"group\": \"selftest\""));
         assert!(json.contains("\"id\": \"sum/10\""));
         assert!(json.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn attachments_land_as_top_level_keys() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("attached");
+        group.sample_size = 1;
+        group.warm_up = Duration::ZERO;
+        group.bench_function("noop", |b| b.iter(|| 1u32));
+        group.attach_json("obs_snapshot", "{\"counters\":{\"x\":1}}");
+        let json = render_json(&group.name, &group.results, &group.attachments);
+        assert!(json.contains("\"obs_snapshot\": {\"counters\":{\"x\":1}}"));
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]

@@ -19,7 +19,13 @@ timeout --kill-after=10 120 cargo test -q --offline --test cli serve_and_send
 
 echo "== tier-1: bench smoke run (B1 + B9 socket variant, JSON reports) =="
 json_dir="$(mktemp -d)"
-trap 'rm -rf "$json_dir"' EXIT
+obs_dir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi
+    rm -rf "$json_dir" "$obs_dir"
+}
+trap cleanup EXIT
 AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
     cargo bench --offline -p axml-bench --bench b1_safe_vs_schema_size
 AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
@@ -38,6 +44,71 @@ for f in files:
 b9 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b9_peer_exchange.json").read_text())
 ids = {b["id"] for b in b9["benchmarks"]}
 assert {"exchange_channel", "exchange_tcp_loopback"} <= ids, f"B9 transport variants missing: {ids}"
+EOF
+
+echo "== tier-1: observability gate (invariants + live-daemon scrape) =="
+timeout --kill-after=10 120 cargo test -q --offline --test obs_invariants
+
+cat > "$obs_dir/star.schema" <<'SCHEMA'
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title     = data
+element date      = data
+element temp      = data
+element city      = data
+element exhibit   = title.(Get_Date | date)
+element performance = data
+function Get_Temp : city -> temp
+function TimeOut  : data -> (exhibit | performance)*
+function Get_Date : title -> date
+root newspaper
+SCHEMA
+printf '%s\n' \
+    "<newspaper><title>The Sun</title><date>04/10/2002</date><temp>15</temp></newspaper>" \
+    > "$obs_dir/plain.xml"
+
+axml_bin="target/release/axml"
+"$axml_bin" serve "$obs_dir/star.schema" 127.0.0.1:0 --name obs-gate \
+    > "$obs_dir/serve.out" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$obs_dir/serve.out")"
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never printed its banner"; exit 1; }
+
+# Drive one real exchange through the daemon, then scrape it live.
+timeout --kill-after=10 60 \
+    "$axml_bin" send "$obs_dir/star.schema" "$addr" "$obs_dir/plain.xml" --name front
+timeout --kill-after=10 60 "$axml_bin" stats "$addr" > "$obs_dir/stats.json"
+kill "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+python3 - "$obs_dir/stats.json" <<'EOF'
+import json, sys
+snap = json.loads(open(sys.argv[1]).read())
+counters, gauges = snap["counters"], snap["gauges"]
+# The documented catalogue (DESIGN.md §8) is present in every scrape.
+for name in [
+    "solver.safe.nodes_total", "solver.safe.sink_pruned_total",
+    "solver.safe.mark_pruned_total", "solver.possible.nodes_total",
+    "server.requests_total", "server.responses_ok_total",
+    "server.faults_total", "server.busy_total", "server.timeouts_total",
+    "server.frame_too_large_total", "server.panics_total",
+    "client.retries_total", "peer.received_total",
+]:
+    assert name in counters, f"scrape missing counter {name}"
+assert "server.queue_depth" in gauges, "scrape missing server.queue_depth"
+assert "server.frame_bytes" in snap["histograms"], "scrape missing frame histogram"
+# The exchange we just drove is accounted, and exactly once.
+assert counters["server.requests_total"] >= 1, "exchange not accounted"
+assert counters["peer.received_total"] >= 1, "document receipt not accounted"
+assert counters["server.requests_total"] == (
+    counters["server.responses_ok_total"] + counters["server.faults_total"]
+), "request accounting identity violated"
+print(f"stats scrape ok: {len(counters)} counters, "
+      f"requests={counters['server.requests_total']}")
 EOF
 
 echo "== tier-1: green =="

@@ -8,6 +8,7 @@
 //! axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]...
 //!               [--export FUNC=DOC]... [--workers N] [--requests N]
 //! axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]
+//! axml stats    <addr>
 //! ```
 //!
 //! Schemas are loaded from XML Schema_int when the file starts with `<`,
@@ -32,7 +33,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]"
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]\n  axml stats    <addr>"
     );
     ExitCode::from(2)
 }
@@ -102,6 +103,7 @@ fn main() -> ExitCode {
         "compat" => cmd_compat(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "send" => cmd_send(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         _ => usage(),
     }
 }
@@ -265,6 +267,26 @@ fn cmd_send(args: &[String]) -> ExitCode {
             println!("send failed: {e}");
             ExitCode::from(1)
         }
+    }
+}
+
+/// Scrapes a running daemon's metric registry over a `StatsRequest`
+/// frame and prints the JSON snapshot to stdout.
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let client =
+        match axml::net::NetClient::new(addr.as_str(), axml::net::ClientConfig::default()) {
+            Ok(c) => c,
+            Err(e) => return fail(&e.to_string()),
+        };
+    match client.stats_json() {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
     }
 }
 

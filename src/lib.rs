@@ -12,6 +12,8 @@
 //! * [`core`] — safe / possible / mixed rewriting and schema compatibility.
 //! * [`services`] — simulated Web services, registry, SOAP-style envelopes.
 //! * [`peer`] — Active XML peers and the Schema Enforcement module.
+//! * [`net`] — the TCP wire protocol and daemon substrate.
+//! * [`obs`] — metrics registry, spans and deterministic JSON snapshots.
 //!
 //! See the repository README for a guided tour and `examples/` for runnable
 //! scenarios (start with `examples/quickstart.rs`).
@@ -19,6 +21,7 @@
 pub use axml_automata as automata;
 pub use axml_core as core;
 pub use axml_net as net;
+pub use axml_obs as obs;
 pub use axml_peer as peer;
 pub use axml_schema as schema;
 pub use axml_services as services;

@@ -3,7 +3,8 @@
 //! exchange carried end-to-end over sockets with Schema Enforcement on
 //! both sides.
 
-use axml::net::{wire, ClientConfig, NetClient, ServerConfig};
+use axml::net::{wire, ClientConfig, NetClient, NetServer, ServerConfig};
+use axml::obs::{install_sink, uninstall_sink, RingSink, SpanRecord, SpanSink};
 use axml::peer::{InboundPolicy, NetInvoker, NetPeer, Peer, Query, RemotePeer};
 use axml::schema::{validate, Compiled, ITree, NoOracle, Schema};
 use axml::services::{Registry, ServiceDef};
@@ -269,4 +270,252 @@ fn newspaper_exchange_between_daemons() {
 
     provider.shutdown().unwrap();
     receiver.shutdown().unwrap();
+}
+
+/// All spans carrying `rid` as their request-id field.
+fn spans_with_rid<'a>(records: &'a [SpanRecord], rid: &str) -> Vec<&'a SpanRecord> {
+    records
+        .iter()
+        .filter(|r| r.field("rid") == Some(rid))
+        .collect()
+}
+
+fn named<'a>(spans: &[&'a SpanRecord], name: &str) -> Vec<&'a SpanRecord> {
+    spans.iter().copied().filter(|r| r.name == name).collect()
+}
+
+/// The Fig. 1 three-party exchange again, this time watched through a
+/// ring-buffer span sink: the sender's enforce and ship spans hang off
+/// one exchange root, the embedded service call gets its own correlated
+/// invoke/validate pair, and the receiver's validate span carries the
+/// same request id as the ship that delivered the document.
+#[test]
+fn exchange_emits_one_correlated_span_tree_per_request() {
+    let sink = RingSink::new(4096);
+    let dyn_sink: Arc<dyn SpanSink> = sink.clone();
+    install_sink(dyn_sink.clone());
+
+    let provider = provider_daemon(ServerConfig::default());
+    let receiver_peer = Arc::new(Peer::new(
+        "browser.example.org",
+        compiled(strict_vocab()),
+        Arc::new(Registry::new()),
+    ));
+    let receiver = NetPeer::serve(
+        Arc::clone(&receiver_peer),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let sender = Peer::new(
+        "newspaper.example.org",
+        compiled(vocab()),
+        Arc::new(Registry::new()),
+    );
+    let to_provider = RemotePeer::connect(provider.local_addr(), ClientConfig::default()).unwrap();
+    let to_receiver = RemotePeer::connect(receiver.local_addr(), ClientConfig::default()).unwrap();
+    let mut invoker = NetInvoker {
+        caller: &sender,
+        remote: &to_provider,
+    };
+    let strict = compiled(strict_vocab());
+    to_receiver
+        .send_document_with(&sender, "front-traced", &front_page(), &strict, &mut invoker)
+        .unwrap();
+    uninstall_sink(&dyn_sink);
+    let records = sink.records();
+
+    // Parallel tests share the global sink list, so select our exchange
+    // by its unique document name, then follow its request id.
+    let exchange: Vec<_> = records
+        .iter()
+        .filter(|r| r.name == "exchange" && r.field("doc") == Some("front-traced"))
+        .collect();
+    assert_eq!(exchange.len(), 1, "one exchange root per send");
+    let exchange = exchange[0];
+    assert!(!exchange.error);
+    let rid = exchange.field("rid").unwrap().to_owned();
+
+    let tree = spans_with_rid(&records, &rid);
+    let enforce = named(&tree, "enforce");
+    let ship = named(&tree, "ship");
+    let validate = named(&tree, "validate");
+    assert_eq!(
+        (enforce.len(), ship.len(), validate.len()),
+        (1, 1, 1),
+        "exactly one enforce/ship/validate per request id"
+    );
+    let (enforce, ship, validate) = (enforce[0], ship[0], validate[0]);
+
+    // Sender-side children hang off the exchange root...
+    assert_eq!(enforce.parent, Some(exchange.id));
+    assert_eq!(ship.parent, Some(exchange.id));
+    // ...the receiver's validate is a root, correlated by request id only.
+    assert_eq!(validate.parent, None);
+    assert_eq!(validate.field("peer"), Some("browser.example.org"));
+    assert_eq!(validate.field("method"), Some(axml::peer::RECEIVE_METHOD));
+    assert!(ship.field("bytes").unwrap().parse::<u64>().unwrap() > 0);
+
+    // Loopback shares one monotonic epoch, so wall order is assertable:
+    // enforcement finishes before shipping starts, and the receiver's
+    // validation starts after the ship went out.
+    assert!(enforce.start_ns + enforce.duration_ns <= ship.start_ns);
+    assert!(ship.start_ns <= validate.start_ns);
+    assert!(tree.iter().all(|r| !r.error), "clean exchange, clean spans");
+
+    // The materializing Listings call is its own correlated pair: an
+    // invoke span nested under enforce, plus the provider daemon's
+    // validate span under the same (distinct) request id.
+    let invoke: Vec<_> = records
+        .iter()
+        .filter(|r| r.name == "invoke" && r.parent == Some(enforce.id))
+        .collect();
+    assert_eq!(invoke.len(), 1, "one service call materialized Listings");
+    let invoke = invoke[0];
+    assert_eq!(invoke.field("method"), Some("Listings"));
+    let invoke_rid = invoke.field("rid").unwrap();
+    assert_ne!(invoke_rid, rid, "service call gets its own request id");
+    let provider_validate: Vec<_> = named(&spans_with_rid(&records, invoke_rid), "validate");
+    assert_eq!(provider_validate.len(), 1);
+    assert_eq!(
+        provider_validate[0].field("peer"),
+        Some("listings.example.org")
+    );
+
+    provider.shutdown().unwrap();
+    receiver.shutdown().unwrap();
+}
+
+/// Failed exchanges still produce one correlated tree per request id,
+/// with the failing stage and the exchange root tagged as errors — for
+/// the receiver refusing an oversized frame, a saturated (Busy) daemon,
+/// and a stalled daemon that never answers.
+#[test]
+fn failed_exchanges_emit_error_tagged_spans() {
+    let sink = RingSink::new(4096);
+    let dyn_sink: Arc<dyn SpanSink> = sink.clone();
+    install_sink(dyn_sink.clone());
+
+    let sender = Peer::new(
+        "newspaper.example.org",
+        compiled(vocab()),
+        Arc::new(Registry::new()),
+    );
+    let lazy = compiled(vocab());
+    // Already conforms to the lazy schema: enforcement succeeds, the
+    // failure is injected at or behind the wire.
+    let bulky = ITree::elem(
+        "newspaper",
+        vec![
+            ITree::data("title", &"x".repeat(2048)),
+            ITree::data("date", "04/10/2002"),
+        ],
+    );
+
+    // 1. Receiver caps frames below the envelope size: ship is refused
+    //    with TooLarge before any handler runs.
+    let tiny = provider_daemon(ServerConfig {
+        max_frame: 256,
+        ..Default::default()
+    });
+    let to_tiny = RemotePeer::connect(tiny.local_addr(), ClientConfig::default()).unwrap();
+    to_tiny
+        .send_document(&sender, "front-toolarge", &bulky, &lazy)
+        .unwrap_err();
+    tiny.shutdown().unwrap();
+
+    // 2. A saturated daemon: one worker busy, a one-slot queue full, so
+    //    the non-retrying sender is bounced with Busy.
+    let busy_server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::new(|_id: u64, envelope: &str| {
+            std::thread::sleep(Duration::from_millis(600));
+            Ok(envelope.to_owned())
+        }),
+        ServerConfig {
+            workers: 1,
+            queue: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let busy_addr = busy_server.local_addr();
+    let occupiers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let client = NetClient::new(busy_addr, ClientConfig::default()).unwrap();
+                client.call("<keepalive/>").unwrap();
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(200)); // let both occupy worker+queue
+    let to_busy = RemotePeer::connect(
+        busy_addr,
+        ClientConfig {
+            attempts: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    to_busy
+        .send_document(&sender, "front-busy", &bulky, &lazy)
+        .unwrap_err();
+    for t in occupiers {
+        t.join().unwrap();
+    }
+    busy_server.shutdown().unwrap();
+
+    // 3. A stalled daemon: handshakes, then never answers; the sender's
+    //    read timeout expires mid-exchange.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let stall_addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let hello = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(hello.kind, wire::FrameType::Hello);
+        let mut writer = stream;
+        wire::write_frame(&mut writer, &wire::welcome("tarpit")).unwrap();
+        // Swallow frames without ever answering until the peer gives up.
+        while wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).is_ok() {}
+    });
+    let to_stalled = RemotePeer::connect(
+        stall_addr,
+        ClientConfig {
+            attempts: 1,
+            read_timeout: Duration::from_millis(150),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    to_stalled
+        .send_document(&sender, "front-stalled", &bulky, &lazy)
+        .unwrap_err();
+
+    uninstall_sink(&dyn_sink);
+    let records = sink.records();
+    for doc in ["front-toolarge", "front-busy", "front-stalled"] {
+        let exchange: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "exchange" && r.field("doc") == Some(doc))
+            .collect();
+        assert_eq!(exchange.len(), 1, "{doc}: one exchange root");
+        let exchange = exchange[0];
+        assert!(exchange.error, "{doc}: failed exchange is error-tagged");
+        let rid = exchange.field("rid").unwrap();
+        let tree = spans_with_rid(&records, rid);
+        let enforce = named(&tree, "enforce");
+        let ship = named(&tree, "ship");
+        assert_eq!((enforce.len(), ship.len()), (1, 1), "{doc}");
+        assert!(!enforce[0].error, "{doc}: enforcement itself succeeded");
+        assert!(ship[0].error, "{doc}: the wire stage carries the error");
+        assert!(
+            ship[0].field("error.msg").is_some(),
+            "{doc}: failure reason recorded"
+        );
+        assert!(
+            named(&tree, "validate").is_empty(),
+            "{doc}: nothing validated — the document never landed"
+        );
+    }
 }

@@ -8,6 +8,7 @@
 
 use crate::alphabet::Symbol;
 use crate::nfa::Nfa;
+use axml_support::hash::FxHashMap;
 use std::collections::HashMap;
 
 /// Sentinel for a missing transition in a partial DFA.
@@ -175,15 +176,21 @@ impl Dfa {
             "product requires matching alphabets"
         );
         let num_symbols = self.num_symbols;
-        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
-        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        // Pair keys are packed into one u64 and interned through the
+        // deterministic fast hasher: the product is quadratic in the
+        // worst case, so SipHash on a tuple key dominates the profile.
+        let pack = |a: u32, b: u32| (u64::from(a) << 32) | u64::from(b);
+        let mut ids: FxHashMap<u64, u32> = FxHashMap::default();
+        let expected = self.num_states().max(other.num_states()) * 2;
+        ids.reserve(expected);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(expected);
         let mut table: Vec<u32> = Vec::new();
-        let mut finals: Vec<bool> = Vec::new();
+        let mut finals: Vec<bool> = Vec::with_capacity(expected);
         // Intern the start pair, then process states in discovery order;
         // every newly interned pair is appended to `pairs`, so a simple
         // cursor doubles as the worklist.
         let start_pair = (self.start, other.start);
-        ids.insert(start_pair, 0);
+        ids.insert(pack(self.start, other.start), 0);
         finals.push(accept(
             self.finals[self.start as usize],
             other.finals[other.start as usize],
@@ -200,11 +207,11 @@ impl Dfa {
                 if tp == NO_STATE || tq == NO_STATE {
                     continue;
                 }
-                let t = match ids.get(&(tp, tq)) {
+                let t = match ids.get(&pack(tp, tq)) {
                     Some(&id) => id,
                     None => {
                         let id = pairs.len() as u32;
-                        ids.insert((tp, tq), id);
+                        ids.insert(pack(tp, tq), id);
                         finals.push(accept(self.finals[tp as usize], other.finals[tq as usize]));
                         pairs.push((tp, tq));
                         table.extend(std::iter::repeat_n(NO_STATE, num_symbols));
@@ -224,8 +231,41 @@ impl Dfa {
     }
 
     /// True iff the language is empty (no accepting state reachable).
+    ///
+    /// Unlike [`Dfa::shortest_accepted`] this never builds the BFS parent
+    /// chain or reconstructs a witness: a bitset-driven DFS that returns
+    /// on the first reachable accepting state, allocation-free when the
+    /// start state already decides the answer. `subset_of` and
+    /// `equivalent` sit on this in the schema-compatibility hot path.
     pub fn is_empty_language(&self) -> bool {
-        self.shortest_accepted().is_none()
+        if self.finals[self.start as usize] {
+            return false;
+        }
+        if !self.finals.iter().any(|&f| f) {
+            return true;
+        }
+        let n = self.num_states();
+        let mut seen = vec![0u64; n.div_ceil(64)];
+        let mut stack = Vec::with_capacity(64);
+        seen[self.start as usize / 64] |= 1u64 << (self.start as usize % 64);
+        stack.push(self.start);
+        while let Some(s) = stack.pop() {
+            let row = s as usize * self.num_symbols;
+            for &t in &self.table[row..row + self.num_symbols] {
+                if t == NO_STATE {
+                    continue;
+                }
+                let (word, bit) = (t as usize / 64, 1u64 << (t as usize % 64));
+                if seen[word] & bit == 0 {
+                    if self.finals[t as usize] {
+                        return false;
+                    }
+                    seen[word] |= bit;
+                    stack.push(t);
+                }
+            }
+        }
+        true
     }
 
     /// A shortest accepted word, or `None` if the language is empty
@@ -474,6 +514,26 @@ mod tests {
             .completed(ab.len())
             .product(&d2.completed(ab.len()), |x, y| x && y);
         assert!(inter.is_empty_language());
+    }
+
+    #[test]
+    fn emptiness_agrees_with_witness_search() {
+        let (dfa, ab) = dfa_of("a.b|a.c", &[]);
+        assert_eq!(dfa.is_empty_language(), dfa.shortest_accepted().is_none());
+        let comp = dfa.completed(ab.len()).complemented();
+        assert_eq!(comp.is_empty_language(), comp.shortest_accepted().is_none());
+        // ε in the language: decided before touching the table.
+        let (star, _) = dfa_of("a*", &[]);
+        assert!(!star.is_empty_language());
+        // No accepting state at all: decided without traversal.
+        let none = Dfa {
+            num_symbols: 1,
+            table: vec![0],
+            start: 0,
+            finals: vec![false],
+        };
+        assert!(none.is_empty_language());
+        assert!(none.shortest_accepted().is_none());
     }
 
     #[test]

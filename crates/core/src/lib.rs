@@ -56,3 +56,4 @@ pub mod possible;
 pub mod rewrite;
 pub mod safe;
 pub mod schema_rw;
+pub mod solve_cache;

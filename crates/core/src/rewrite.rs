@@ -23,10 +23,11 @@ use crate::awk::{Awk, AwkLimits, EdgeId, StateKind};
 use crate::invoke::{InvokeError, Invoker};
 use crate::possible::PossibleGame;
 use crate::safe::{complement_of, BuildMode, SafeGame};
+use crate::solve_cache::{SolveCache, SolvedPossible, SolvedSafe, TargetSlot};
 use axml_automata::{Dfa, Nfa, Regex, Symbol};
 use axml_schema::{validate_output_instance, words_of, Compiled, CompiledContent, FuncNode, ITree};
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised by document rewriting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,8 +139,10 @@ pub struct Analysis {
     pub product_nodes: usize,
 }
 
-/// The document rewriter. Holds per-target automata caches, so reuse one
-/// instance when processing many documents against the same schema.
+/// The document rewriter. Compiled DFAs and solved games flow through a
+/// [`SolveCache`] — private by default, shared via [`Rewriter::with_cache`]
+/// — so reuse one instance (or one cache) when processing many documents
+/// against the same schema.
 pub struct Rewriter<'c> {
     compiled: &'c Compiled,
     /// Rewriting depth bound (Def. 7). Default 2.
@@ -152,15 +155,62 @@ pub struct Rewriter<'c> {
     /// (possible-mode backtracking can otherwise spend unbounded calls;
     /// the Sec. 2 cost discussion motivates bounding it).
     pub max_calls: Option<usize>,
-    comp_cache: HashMap<CacheKey, Dfa>,
-    target_cache: HashMap<CacheKey, Dfa>,
+    cache: SolveCache,
+    /// When set, original element children met during the word walk are
+    /// not recursed into; they are queued here and replaced by markers
+    /// for the parallel pass (see [`Rewriter::rewrite_safe_parallel`]).
+    defer: Option<Vec<Deferred>>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum CacheKey {
-    Content(Symbol),
-    Input(Symbol),
-    Output(Symbol),
+/// A subtree whose rewriting was postponed by the parallel path, plus
+/// where in the invocation stream its calls belong.
+struct Deferred {
+    tree: ITree,
+    /// `report.invoked.len()` at the moment the subtree was skipped —
+    /// splicing the subtree's own calls back at this offset reproduces
+    /// the sequential call order exactly.
+    invoked_at: usize,
+}
+
+/// Marker label prefix for deferred subtrees. A NUL byte cannot appear
+/// in a parsed XML name, so markers can never collide with document
+/// content.
+const DEFER_MARK: &str = "\u{0}axml-defer-";
+
+fn defer_marker(idx: usize) -> ITree {
+    ITree::elem(&format!("{DEFER_MARK}{idx}"), Vec::new())
+}
+
+fn defer_marker_index(tree: &ITree) -> Option<usize> {
+    match tree {
+        ITree::Elem { label, children } if children.is_empty() => {
+            label.strip_prefix(DEFER_MARK)?.parse().ok()
+        }
+        _ => None,
+    }
+}
+
+type SubtreeResult = Result<(ITree, RewriteReport), RewriteError>;
+
+/// Replaces every defer marker by the corresponding worker result; each
+/// substitute is consumed exactly once.
+fn substitute_markers(tree: &ITree, subs: &mut [Option<ITree>]) -> Result<ITree, RewriteError> {
+    if let Some(idx) = defer_marker_index(tree) {
+        return subs
+            .get_mut(idx)
+            .and_then(|s| s.take())
+            .ok_or_else(|| RewriteError::Invalid("deferred subtree marker out of sync".into()));
+    }
+    match tree {
+        ITree::Elem { label, children } => {
+            let kids = children
+                .iter()
+                .map(|c| substitute_markers(c, subs))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ITree::elem(label, kids))
+        }
+        other => Ok(other.clone()),
+    }
 }
 
 /// Which rewriting notion drives execution.
@@ -184,10 +234,13 @@ impl From<RewriteError> for Fail {
     }
 }
 
-/// A uniform view over [`SafeGame`] and [`PossibleGame`] for the executor.
+/// A uniform view over [`SafeGame`] and [`crate::possible::PossibleGame`]
+/// for the executor. Games come out of the [`SolveCache`] behind `Arc`s:
+/// solved games are immutable, so concurrent executors walk one shared
+/// instance.
 enum Game {
-    Safe(SafeGame),
-    Possible(PossibleGame),
+    Safe(Arc<SolvedSafe>),
+    Possible(Arc<SolvedPossible>),
 }
 
 impl Game {
@@ -250,7 +303,8 @@ enum Item {
 }
 
 impl<'c> Rewriter<'c> {
-    /// Creates a rewriter with depth bound `k = 2` and lazy game building.
+    /// Creates a rewriter with depth bound `k = 2`, lazy game building,
+    /// and a private (unpublished) solve cache.
     pub fn new(compiled: &'c Compiled) -> Self {
         Rewriter {
             compiled,
@@ -258,8 +312,8 @@ impl<'c> Rewriter<'c> {
             mode: BuildMode::Lazy,
             limits: AwkLimits::default(),
             max_calls: None,
-            comp_cache: HashMap::new(),
-            target_cache: HashMap::new(),
+            cache: SolveCache::unpublished(crate::solve_cache::DEFAULT_CAPACITY),
+            defer: None,
         }
     }
 
@@ -267,6 +321,21 @@ impl<'c> Rewriter<'c> {
     pub fn with_max_calls(mut self, max: usize) -> Self {
         self.max_calls = Some(max);
         self
+    }
+
+    /// Shares a solve cache: compiled DFAs and solved games are looked
+    /// up in (and inserted into) `cache` instead of this rewriter's
+    /// private one. Hand every rewriter of a long-running peer the same
+    /// cache and request N+1 skips the Thompson/determinize/product/
+    /// fixpoint pipeline entirely on repeated words.
+    pub fn with_cache(mut self, cache: &SolveCache) -> Self {
+        self.cache = cache.clone();
+        self
+    }
+
+    /// The solve cache this rewriter reads and writes.
+    pub fn cache(&self) -> &SolveCache {
+        &self.cache
     }
 
     /// Sets the depth bound (Def. 7).
@@ -345,6 +414,94 @@ impl<'c> Rewriter<'c> {
         Ok((out, report))
     }
 
+    /// Executes a *safe* rewriting with the direct element children of the
+    /// root rewritten concurrently on up to `workers` scoped threads.
+    ///
+    /// Safe mode never backtracks, so each independent sibling subtree can
+    /// be rewritten in isolation; the root-level word walk queues them,
+    /// leaves markers, and the merge step splices the workers' results —
+    /// and their invocation streams, at the positions the sequential walk
+    /// would have produced them — back in left-to-right order. The output
+    /// tree and report are identical to [`Rewriter::rewrite_safe`]; on
+    /// failure the leftmost subtree error is returned (workers to its
+    /// right may already have invoked services).
+    ///
+    /// `make_invoker` is called once on the calling thread per worker, so
+    /// invokers need [`Send`] but not [`Sync`].
+    pub fn rewrite_safe_parallel<'i>(
+        &mut self,
+        tree: &ITree,
+        make_invoker: &mut dyn FnMut() -> Box<dyn Invoker + Send + 'i>,
+        workers: usize,
+    ) -> Result<(ITree, RewriteReport), RewriteError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut pre = Analysis::default();
+        self.analyze_params(tree, &mut pre)?;
+        // Root walk with deferral active: direct element children are
+        // queued and replaced by markers; everything else (root games,
+        // root-level calls) happens inline, exactly as sequentially.
+        self.defer = Some(Vec::new());
+        let mut root_invoker = make_invoker();
+        let mut report = RewriteReport::default();
+        let walked = self.rewrite_node(tree, Strategy::Safe, &mut *root_invoker, &mut report);
+        let deferred = self.defer.take().unwrap_or_default();
+        let skeleton = walked?;
+        if deferred.is_empty() {
+            return Ok((skeleton, report));
+        }
+        let worker_count = workers.max(1).min(deferred.len());
+        let slots: Vec<axml_support::sync::Mutex<Option<SubtreeResult>>> =
+            (0..deferred.len()).map(|_| Default::default()).collect();
+        let next = AtomicUsize::new(0);
+        let mut invokers: Vec<Box<dyn Invoker + Send + 'i>> =
+            (0..worker_count).map(|_| make_invoker()).collect();
+        let compiled = self.compiled;
+        let (k, mode, limits, max_calls) = (self.k, self.mode, self.limits, self.max_calls);
+        let cache = &self.cache;
+        let (deferred_ref, slots_ref, next_ref) = (&deferred, &slots, &next);
+        std::thread::scope(|scope| {
+            for invoker in invokers.iter_mut() {
+                scope.spawn(move || {
+                    let mut rw = Rewriter::new(compiled).with_cache(cache);
+                    (rw.k, rw.mode, rw.limits, rw.max_calls) = (k, mode, limits, max_calls);
+                    loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = deferred_ref.get(i) else {
+                            break;
+                        };
+                        let mut rep = RewriteReport::default();
+                        let res = rw
+                            .rewrite_node(&item.tree, Strategy::Safe, &mut **invoker, &mut rep)
+                            .map(|t| (t, rep));
+                        *slots_ref[i].lock() = Some(res);
+                    }
+                });
+            }
+        });
+        // Deterministic merge, left to right; the leftmost error wins.
+        let mut results = Vec::with_capacity(deferred.len());
+        for slot in slots {
+            results.push(slot.into_inner().expect("every slot is claimed")?);
+        }
+        // Splice invocation streams right-to-left so earlier offsets stay
+        // valid; sums are order-independent.
+        for (d, (_, rep)) in deferred.iter().zip(&results).rev() {
+            report.games += rep.games;
+            report.wasted_calls += rep.wasted_calls;
+            let tail = report.invoked.split_off(d.invoked_at);
+            report.invoked.extend(rep.invoked.iter().cloned());
+            report.invoked.extend(tail);
+        }
+        let mut subs: Vec<Option<ITree>> = results.into_iter().map(|(t, _)| Some(t)).collect();
+        let out = substitute_markers(&skeleton, &mut subs)?;
+        if subs.iter().any(|s| s.is_some()) {
+            return Err(RewriteError::Invalid(
+                "deferred subtree was never spliced back".into(),
+            ));
+        }
+        Ok((out, report))
+    }
+
     /// Executes a *possible* rewriting: may invoke calls speculatively and
     /// backtrack; fails with [`RewriteError::Exhausted`] if the services'
     /// actual answers rule every viable branch out.
@@ -384,7 +541,7 @@ impl<'c> Rewriter<'c> {
         let out = self.rewrite_forest(
             params,
             &input,
-            CacheKey::Input(sym),
+            TargetSlot::Input(sym),
             &format!("τ_in({function})"),
             Strategy::Safe,
             invoker,
@@ -417,7 +574,7 @@ impl<'c> Rewriter<'c> {
         let out = self.rewrite_forest(
             result,
             &output,
-            CacheKey::Output(sym),
+            TargetSlot::Output(sym),
             &format!("τ_out({function})"),
             Strategy::Safe,
             invoker,
@@ -446,7 +603,7 @@ impl<'c> Rewriter<'c> {
                 .expect("function symbols carry signatures")
                 .input
                 .clone();
-            let game = self.safe_game(&f.params, &input, CacheKey::Input(sym))?;
+            let game = self.safe_game(&f.params, &input, TargetSlot::Input(sym))?;
             analysis.games += 1;
             analysis.product_nodes += game.num_nodes();
             if !game.is_safe() {
@@ -472,7 +629,7 @@ impl<'c> Rewriter<'c> {
                 .expect("function symbols carry signatures")
                 .input
                 .clone();
-            let game = self.possible_game(&f.params, &input, CacheKey::Input(sym))?;
+            let game = self.possible_game(&f.params, &input, TargetSlot::Input(sym))?;
             analysis.games += 1;
             analysis.product_nodes += game.num_nodes();
             if !game.is_possible() {
@@ -509,7 +666,7 @@ impl<'c> Rewriter<'c> {
                         }
                     }
                     CompiledContent::Model { regex, .. } => {
-                        let game = self.safe_game(children, &regex, CacheKey::Content(sym))?;
+                        let game = self.safe_game(children, &regex, TargetSlot::Content(sym))?;
                         analysis.games += 1;
                         analysis.product_nodes += game.num_nodes();
                         if !game.is_safe() {
@@ -551,7 +708,7 @@ impl<'c> Rewriter<'c> {
                         }
                     }
                     CompiledContent::Model { regex, .. } => {
-                        let game = self.possible_game(children, &regex, CacheKey::Content(sym))?;
+                        let game = self.possible_game(children, &regex, TargetSlot::Content(sym))?;
                         analysis.games += 1;
                         analysis.product_nodes += game.num_nodes();
                         if !game.is_possible() {
@@ -611,7 +768,7 @@ impl<'c> Rewriter<'c> {
                         let new_children = self.rewrite_forest(
                             children,
                             &regex,
-                            CacheKey::Content(sym),
+                            TargetSlot::Content(sym),
                             label,
                             strategy,
                             invoker,
@@ -639,15 +796,20 @@ impl<'c> Rewriter<'c> {
             .expect("function symbols carry signatures")
             .input
             .clone();
-        self.rewrite_forest(
+        // Deferral applies only to the level that activated it: parameter
+        // forests are always materialized inline, never queued.
+        let defer = self.defer.take();
+        let out = self.rewrite_forest(
             &f.params,
             &input,
-            CacheKey::Input(sym),
+            TargetSlot::Input(sym),
             &format!("τ_in({})", f.name),
             strategy,
             invoker,
             report,
-        )
+        );
+        self.defer = defer;
+        out
     }
 
     /// Rewrites a forest (children of an element, or call parameters) into
@@ -657,7 +819,7 @@ impl<'c> Rewriter<'c> {
         &mut self,
         items: &[ITree],
         target: &Regex,
-        key: CacheKey,
+        slot: TargetSlot,
         context: &str,
         strategy: Strategy,
         invoker: &mut dyn Invoker,
@@ -665,14 +827,14 @@ impl<'c> Rewriter<'c> {
     ) -> Result<Vec<ITree>, RewriteError> {
         let game = match strategy {
             Strategy::Safe => {
-                let g = self.safe_game(items, target, key)?;
+                let g = self.safe_game(items, target, slot)?;
                 if !g.is_safe() {
                     return Err(self.not_safe(context, items));
                 }
                 Game::Safe(g)
             }
             Strategy::Possible => {
-                let g = self.possible_game(items, target, key)?;
+                let g = self.possible_game(items, target, slot)?;
                 if !g.is_possible() {
                     return Err(self.not_possible(context, items));
                 }
@@ -743,7 +905,20 @@ impl<'c> Rewriter<'c> {
                     .step_symbol(game, cur, sym, context)?
                     .ok_or(Fail::Dead)?;
                 let processed = if *original {
-                    self.rewrite_node(tree, strategy, invoker, report)?
+                    if let Some(defer) = self.defer.as_mut() {
+                        // Parallel path: queue the subtree instead of
+                        // recursing; a worker rewrites it later and the
+                        // marker is spliced out. Safe mode never replays
+                        // this branch, so each subtree is queued once.
+                        let idx = defer.len();
+                        defer.push(Deferred {
+                            tree: tree.clone(),
+                            invoked_at: report.invoked.len(),
+                        });
+                        defer_marker(idx)
+                    } else {
+                        self.rewrite_node(tree, strategy, invoker, report)?
+                    }
                 } else {
                     tree.clone()
                 };
@@ -966,36 +1141,38 @@ impl<'c> Rewriter<'c> {
         &mut self,
         items: &[ITree],
         target: &Regex,
-        key: CacheKey,
-    ) -> Result<SafeGame, RewriteError> {
+        slot: TargetSlot,
+    ) -> Result<Arc<SolvedSafe>, RewriteError> {
         let w = self.word_of(items);
-        let awk = Awk::build(&w, self.compiled, self.k, &self.limits)
-            .map_err(|e| RewriteError::TooLarge(e.to_string()))?;
+        let schema = self.compiled.fingerprint();
         let n = self.compiled.alphabet().len();
-        let comp = self
-            .comp_cache
-            .entry(key)
-            .or_insert_with(|| complement_of(target, n))
-            .clone();
-        Ok(SafeGame::solve(awk, comp, self.mode))
+        let (compiled, k, limits, mode) = (self.compiled, self.k, self.limits, self.mode);
+        let cache = &self.cache;
+        cache.safe_game(schema, slot, &w, k, mode, limits.max_states, || {
+            let awk = Awk::build(&w, compiled, k, &limits)
+                .map_err(|e| RewriteError::TooLarge(e.to_string()))?;
+            let comp = cache.comp_dfa(schema, slot, || complement_of(target, n));
+            Ok(SafeGame::solve(awk, (*comp).clone(), mode))
+        })
     }
 
     fn possible_game(
         &mut self,
         items: &[ITree],
         target: &Regex,
-        key: CacheKey,
-    ) -> Result<PossibleGame, RewriteError> {
+        slot: TargetSlot,
+    ) -> Result<Arc<SolvedPossible>, RewriteError> {
         let w = self.word_of(items);
-        let awk = Awk::build(&w, self.compiled, self.k, &self.limits)
-            .map_err(|e| RewriteError::TooLarge(e.to_string()))?;
+        let schema = self.compiled.fingerprint();
         let n = self.compiled.alphabet().len();
-        let dfa = self
-            .target_cache
-            .entry(key)
-            .or_insert_with(|| Dfa::determinize(&Nfa::thompson(target, n)))
-            .clone();
-        Ok(PossibleGame::solve(awk, dfa))
+        let (compiled, k, limits) = (self.compiled, self.k, self.limits);
+        let cache = &self.cache;
+        cache.possible_game(schema, slot, &w, k, limits.max_states, || {
+            let awk = Awk::build(&w, compiled, k, &limits)
+                .map_err(|e| RewriteError::TooLarge(e.to_string()))?;
+            let dfa = cache.target_dfa(schema, slot, || Dfa::determinize(&Nfa::thompson(target, n)));
+            Ok(PossibleGame::solve(awk, (*dfa).clone()))
+        })
     }
 
     fn not_safe(&self, context: &str, items: &[ITree]) -> RewriteError {
@@ -1028,6 +1205,31 @@ pub fn enforce(
     Rewriter::new(compiled)
         .with_k(k)
         .rewrite_safe(tree, invoker)
+}
+
+/// [`enforce`] with a shared [`SolveCache`] and an optional parallel
+/// subtree pass: with `workers > 1` the root's element children are
+/// rewritten concurrently (byte-identical output, see
+/// [`Rewriter::rewrite_safe_parallel`]); otherwise the sequential path
+/// runs, still warm from the cache.
+pub fn enforce_with<'i>(
+    compiled: &Compiled,
+    tree: &ITree,
+    k: u32,
+    cache: &SolveCache,
+    workers: usize,
+    make_invoker: &mut dyn FnMut() -> Box<dyn Invoker + Send + 'i>,
+) -> Result<(ITree, RewriteReport), RewriteError> {
+    if axml_schema::validate(tree, compiled).is_ok() {
+        return Ok((tree.clone(), RewriteReport::default()));
+    }
+    let mut rw = Rewriter::new(compiled).with_k(k).with_cache(cache);
+    if workers > 1 {
+        rw.rewrite_safe_parallel(tree, make_invoker, workers)
+    } else {
+        let mut invoker = make_invoker();
+        rw.rewrite_safe(tree, &mut *invoker)
+    }
 }
 
 #[cfg(test)]
@@ -1621,5 +1823,101 @@ mod budget_tests {
         let (out, report) = enough.rewrite_safe(&doc, &mut inv).unwrap();
         assert_eq!(report.invoked.len(), 3);
         assert_eq!(out.children().len(), 3);
+    }
+
+    fn exhibits_compiled() -> Compiled {
+        Compiled::new(
+            Schema::builder()
+                .element("r", "exhibit*")
+                .element("exhibit", "title.date")
+                .data_element("title")
+                .data_element("date")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap()
+    }
+
+    fn exhibits_doc(n: usize) -> ITree {
+        let kids = (0..n)
+            .map(|i| {
+                let t = format!("t{i}");
+                ITree::elem(
+                    "exhibit",
+                    vec![
+                        ITree::data("title", &t),
+                        ITree::func("Get_Date", vec![ITree::data("title", &t)]),
+                    ],
+                )
+            })
+            .collect();
+        ITree::elem("r", kids)
+    }
+
+    #[test]
+    fn parallel_safe_rewriting_matches_sequential() {
+        let c = exhibits_compiled();
+        let doc = exhibits_doc(8);
+        let answer = vec![ITree::data("date", "Mon")];
+        let mut seq_inv = ScriptedInvoker::new().answer("Get_Date", answer.clone());
+        let (seq_out, seq_rep) = Rewriter::new(&c)
+            .with_k(1)
+            .rewrite_safe(&doc, &mut seq_inv)
+            .unwrap();
+        for workers in [1, 2, 4] {
+            let cache = SolveCache::unpublished(64);
+            let template = ScriptedInvoker::new().answer("Get_Date", answer.clone());
+            let mut mk = || -> Box<dyn Invoker + Send> { Box::new(template.clone()) };
+            let (par_out, par_rep) = Rewriter::new(&c)
+                .with_k(1)
+                .with_cache(&cache)
+                .rewrite_safe_parallel(&doc, &mut mk, workers)
+                .unwrap();
+            assert_eq!(par_out, seq_out, "workers={workers}");
+            assert_eq!(par_rep, seq_rep, "workers={workers}");
+            assert!(cache.stats().hits > 0, "siblings must share cached games");
+        }
+    }
+
+    #[test]
+    fn parallel_failure_reports_the_sequential_error() {
+        let c = exhibits_compiled();
+        let doc = exhibits_doc(5);
+        // No scripted answer for Get_Date: every subtree fails to invoke.
+        let mut seq_inv = ScriptedInvoker::new();
+        let seq_err = Rewriter::new(&c)
+            .with_k(1)
+            .rewrite_safe(&doc, &mut seq_inv)
+            .unwrap_err();
+        let mut mk = || -> Box<dyn Invoker + Send> { Box::new(ScriptedInvoker::new()) };
+        let par_err = Rewriter::new(&c)
+            .with_k(1)
+            .rewrite_safe_parallel(&doc, &mut mk, 3)
+            .unwrap_err();
+        assert_eq!(par_err, seq_err, "leftmost subtree error must win");
+    }
+
+    #[test]
+    fn warm_cache_reproduces_cold_results() {
+        let c = exhibits_compiled();
+        let doc = exhibits_doc(4);
+        let cache = SolveCache::unpublished(64);
+        let run = || {
+            let mut inv = ScriptedInvoker::new().answer("Get_Date", vec![ITree::data("date", "Mon")]);
+            Rewriter::new(&c)
+                .with_k(1)
+                .with_cache(&cache)
+                .rewrite_safe(&doc, &mut inv)
+                .unwrap()
+        };
+        let cold = run();
+        let misses_after_cold = cache.stats().misses;
+        let warm = run();
+        assert_eq!(warm, cold);
+        let s = cache.stats();
+        assert_eq!(s.misses, misses_after_cold, "warm run must not rebuild");
+        assert!(s.hits > 0);
     }
 }

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 pub type NodeId = u32;
 
 /// How the product graph is constructed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BuildMode {
     /// Build every reachable product node, then mark (Fig. 3 as printed).
     #[default]

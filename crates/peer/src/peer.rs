@@ -17,6 +17,7 @@
 use crate::repository::Repository;
 use axml_core::invoke::{InvokeError, Invoker};
 use axml_core::rewrite::{RewriteError, RewriteReport, Rewriter};
+use axml_core::solve_cache::SolveCache;
 use axml_schema::{validate_output_instance, Compiled, ITree};
 use axml_services::{soap, Registry, ServiceDef};
 use axml_support::sync::channel::{bounded, unbounded, Receiver, Sender};
@@ -162,6 +163,10 @@ pub struct Peer {
     pub inbound: InboundPolicy,
     /// Rewriting depth used by the enforcement module.
     pub k: u32,
+    /// Worker threads used by [`Peer::send_document`] to rewrite
+    /// independent root subtrees concurrently (1 = sequential).
+    pub enforce_workers: usize,
+    solve_cache: SolveCache,
     exported: RwLock<HashMap<String, Exported>>,
 }
 
@@ -176,8 +181,28 @@ impl Peer {
             repository: Repository::new(),
             inbound: InboundPolicy::AcceptAll,
             k: 2,
+            enforce_workers: 1,
+            solve_cache: SolveCache::default(),
             exported: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Replaces the enforcement module's solver cache (e.g. to bound its
+    /// capacity differently, or to share one cache between peers).
+    pub fn with_solve_cache(mut self, cache: SolveCache) -> Self {
+        self.solve_cache = cache;
+        self
+    }
+
+    /// Sets the [`Peer::send_document`] worker count.
+    pub fn with_enforce_workers(mut self, workers: usize) -> Self {
+        self.enforce_workers = workers.max(1);
+        self
+    }
+
+    /// The solver cache shared by every rewriter this peer creates.
+    pub fn solve_cache(&self) -> &SolveCache {
+        &self.solve_cache
     }
 
     /// Sets the inbound policy.
@@ -251,7 +276,9 @@ impl Peer {
         if validate_output_instance(params, &sig.input_dfa, &self.compiled).is_ok() {
             return Ok(params.to_vec());
         }
-        let mut rewriter = Rewriter::new(&self.compiled).with_k(self.k);
+        let mut rewriter = Rewriter::new(&self.compiled)
+            .with_k(self.k)
+            .with_cache(&self.solve_cache);
         let mut invoker = self.registry.invoker(None);
         let (out, _report) = rewriter.rewrite_to_input_type(function, params, &mut invoker)?;
         Ok(out)
@@ -267,7 +294,9 @@ impl Peer {
         if validate_output_instance(result, &sig.output_dfa, &self.compiled).is_ok() {
             return Ok(result.to_vec());
         }
-        let mut rewriter = Rewriter::new(&self.compiled).with_k(self.k);
+        let mut rewriter = Rewriter::new(&self.compiled)
+            .with_k(self.k)
+            .with_cache(&self.solve_cache);
         let mut invoker = self.registry.invoker(None);
         let (out, _report) = rewriter.rewrite_to_output_type(function, result, &mut invoker)?;
         Ok(out)
@@ -361,8 +390,19 @@ impl Peer {
         exchange: &Arc<Compiled>,
         receiver_policy: &InboundPolicy,
     ) -> Result<(ITree, RewriteReport), PeerError> {
-        let mut invoker = self.registry.invoker(None);
-        let (sent, report) = axml_core::rewrite::enforce(exchange, doc, self.k, &mut invoker)?;
+        fn boxed(registry: &Registry) -> Box<dyn Invoker + Send + '_> {
+            Box::new(registry.invoker(None))
+        }
+        let registry = &*self.registry;
+        let mut make_invoker = move || boxed(registry);
+        let (sent, report) = axml_core::rewrite::enforce_with(
+            exchange,
+            doc,
+            self.k,
+            &self.solve_cache,
+            self.enforce_workers,
+            &mut make_invoker,
+        )?;
         receiver_policy.check(std::slice::from_ref(&sent))?;
         Ok((sent, report))
     }

@@ -87,6 +87,7 @@ pub struct Compiled {
     anyelem: Symbol,
     anyfun: Symbol,
     data: Symbol,
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Compiled {
@@ -289,12 +290,59 @@ impl Compiled {
             anyelem,
             anyfun,
             data,
+            fingerprint: std::sync::OnceLock::new(),
         })
     }
 
     /// The effective alphabet.
     pub fn alphabet(&self) -> &Alphabet {
         &self.alphabet
+    }
+
+    /// A deterministic structural hash of the compiled schema: effective
+    /// alphabet (names, order, kinds), every content model, and every
+    /// signature (input/output types plus invocability).
+    ///
+    /// Two `Compiled` values with the same fingerprint define the same
+    /// effective alphabet and the same languages everywhere the rewriting
+    /// algorithms look, so solver artifacts (DFAs, solved games) keyed by
+    /// `(fingerprint, …)` may be shared between them. Computed once and
+    /// memoized; stable across runs and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            let mut h = axml_support::hash::FxHasher::default();
+            self.alphabet.len().hash(&mut h);
+            for (sym, name) in self.alphabet.iter() {
+                name.hash(&mut h);
+                (self.kinds[sym as usize] as u8).hash(&mut h);
+            }
+            for (sym, slot) in self.content.iter().enumerate() {
+                match slot {
+                    None => 0u8.hash(&mut h),
+                    Some(CompiledContent::Data) => 1u8.hash(&mut h),
+                    Some(CompiledContent::Any) => 2u8.hash(&mut h),
+                    Some(CompiledContent::Model { regex, .. }) => {
+                        3u8.hash(&mut h);
+                        sym.hash(&mut h);
+                        regex.display(&self.alphabet).to_string().hash(&mut h);
+                    }
+                }
+            }
+            for (sym, slot) in self.sigs.iter().enumerate() {
+                match slot {
+                    None => 0u8.hash(&mut h),
+                    Some(sig) => {
+                        1u8.hash(&mut h);
+                        sym.hash(&mut h);
+                        sig.input.display(&self.alphabet).to_string().hash(&mut h);
+                        sig.output.display(&self.alphabet).to_string().hash(&mut h);
+                        sig.invocable.hash(&mut h);
+                    }
+                }
+            }
+            h.finish()
+        })
     }
 
     /// Kind of an effective symbol.
@@ -409,6 +457,26 @@ mod tests {
         assert_eq!(c.label_symbols().count(), 7);
         // 3 functions + #anyfun, no patterns declared.
         assert_eq!(c.function_symbols().count(), 4);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = paper_compiled();
+        let b = paper_compiled();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint()); // memoized path
+        let other = Compiled::new(
+            Schema::builder()
+                .element("newspaper", "title.date")
+                .data_element("title")
+                .data_element("date")
+                .root("newspaper")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint());
     }
 
     #[test]

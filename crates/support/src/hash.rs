@@ -1,0 +1,140 @@
+//! Deterministic fast hashing.
+//!
+//! `std::collections::HashMap` defaults to SipHash with per-process
+//! random keys — robust against adversarial keys, but slow for the tiny
+//! integer keys the automata layer interns by the million, and
+//! non-deterministic across runs. This module provides an FxHash-style
+//! multiply-xor hasher: a fixed seed, one multiply per word, identical
+//! output on every platform and run. Use it for *internal* interning
+//! tables whose keys are trusted (state ids, symbol pairs, structural
+//! cache keys), never for maps keyed by untrusted input.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// 64-bit odd multiplier (derived from the golden ratio), the same
+/// constant rustc's FxHash uses. Any odd constant with good bit
+/// dispersion works; this one is well studied.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Each written word is combined by rotate-xor-multiply. Not resistant
+/// to collision attacks — only use with trusted keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "ab" and "ab\0" differ.
+            buf[7] ^= rest.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`] — deterministic iteration-free
+/// drop-in for interning tables on hot paths.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hashes a single value with [`FxHasher`] from the fixed seed.
+///
+/// Deterministic across runs and platforms — suitable for structural
+/// fingerprints that end up in cache keys or test snapshots.
+pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = fx_hash_one(&(3u32, 7u32));
+        let b = fx_hash_one(&(3u32, 7u32));
+        assert_eq!(a, b);
+        assert_ne!(a, fx_hash_one(&(7u32, 3u32)));
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        m.reserve(16);
+        for i in 0..100u32 {
+            m.insert((i, i + 1), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(41, 42)), Some(&41));
+        assert_eq!(m.get(&(42, 41)), None);
+    }
+
+    #[test]
+    fn string_tail_disambiguation() {
+        assert_ne!(fx_hash_one(&"ab"), fx_hash_one(&"ab\0"));
+        assert_ne!(fx_hash_one(&"abcdefgh"), fx_hash_one(&"abcdefg"));
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+        assert!(s.contains(&9));
+    }
+}

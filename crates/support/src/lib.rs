@@ -23,6 +23,9 @@
 //! * [`sync`] — `parking_lot`-flavoured [`sync::Mutex`] / [`sync::RwLock`]
 //!   (no poison plumbing at call sites) and a `crossbeam`-flavoured
 //!   [`sync::channel`] module, all over `std::sync`.
+//! * [`hash`] — an FxHash-style deterministic fast hasher
+//!   ([`hash::FxHashMap`], [`hash::fx_hash_one`]) for trusted-key
+//!   interning tables and structural fingerprints on hot paths.
 //!
 //! Everything here is plain `std`; adding a dependency to this crate
 //! defeats its purpose.
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod hash;
 mod macros;
 pub mod prop;
 pub mod rng;

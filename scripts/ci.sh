@@ -97,10 +97,18 @@ for name in [
     "server.faults_total", "server.busy_total", "server.timeouts_total",
     "server.frame_too_large_total", "server.panics_total",
     "client.retries_total", "peer.received_total",
+    "solve_cache.lookups_total", "solve_cache.hits_total",
+    "solve_cache.misses_total", "solve_cache.insertions_total",
+    "solve_cache.evictions_total",
 ]:
     assert name in counters, f"scrape missing counter {name}"
 assert "server.queue_depth" in gauges, "scrape missing server.queue_depth"
+assert "solve_cache.entries" in gauges, "scrape missing solve_cache.entries"
 assert "server.frame_bytes" in snap["histograms"], "scrape missing frame histogram"
+# Cache accounting identity (DESIGN.md §9.2) holds in the live daemon.
+assert counters["solve_cache.lookups_total"] == (
+    counters["solve_cache.hits_total"] + counters["solve_cache.misses_total"]
+), "solve cache accounting identity violated"
 # The exchange we just drove is accounted, and exactly once.
 assert counters["server.requests_total"] >= 1, "exchange not accounted"
 assert counters["peer.received_total"] >= 1, "document receipt not accounted"
@@ -109,6 +117,26 @@ assert counters["server.requests_total"] == (
 ), "request accounting identity violated"
 print(f"stats scrape ok: {len(counters)} counters, "
       f"requests={counters['server.requests_total']}")
+EOF
+
+echo "== tier-1: solver-cache gate (determinism suite + B11 smoke) =="
+timeout --kill-after=10 180 cargo test -q --offline --test cache_determinism
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    timeout --kill-after=10 300 \
+    cargo bench --offline -p axml-bench --bench b11_solve_cache
+python3 - "$json_dir" <<'EOF'
+import json, pathlib, sys
+b11 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b11_solve_cache.json").read_text())
+ids = {b["id"] for b in b11["benchmarks"]}
+want = {"cold_sequential", "warm_sequential", "cold_parallel_w4", "warm_parallel_w4"}
+assert want <= ids, f"B11 variants missing: {want - ids}"
+snap = b11["solve_cache_snapshot"]["counters"]
+assert snap["solve_cache.hits_total"] > 0, "warm B11 runs never hit the cache"
+assert snap["solve_cache.lookups_total"] == (
+    snap["solve_cache.hits_total"] + snap["solve_cache.misses_total"]
+), "B11 cache accounting identity violated"
+print(f"B11 smoke ok: {sorted(ids)}, "
+      f"hit rate {snap['solve_cache.hits_total']}/{snap['solve_cache.lookups_total']}")
 EOF
 
 echo "== tier-1: green =="

@@ -33,7 +33,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]\n  axml stats    <addr>"
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N] [--cache-capacity N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N]\n  axml stats    <addr>"
     );
     ExitCode::from(2)
 }
@@ -171,7 +171,20 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(c) => std::sync::Arc::new(c),
         Err(e) => return fail(&e.to_string()),
     };
-    let peer = std::sync::Arc::new(Peer::new(&name, compiled, std::sync::Arc::new(Registry::new())));
+    let mut peer = Peer::new(&name, compiled, std::sync::Arc::new(Registry::new()));
+    if let Some(c) = flag_value(args, "--cache-capacity") {
+        match c.parse::<usize>() {
+            Ok(n) if n > 0 => {
+                peer = peer.with_solve_cache(axml::core::solve_cache::SolveCache::new(n))
+            }
+            _ => {
+                return fail(&format!(
+                    "--cache-capacity expects a positive integer, got '{c}'"
+                ))
+            }
+        }
+    }
+    let peer = std::sync::Arc::new(peer);
     for spec in flag_values(args, "--doc") {
         let (doc_name, file) = match split_pair(&spec, "--doc") {
             Ok(p) => p,
@@ -249,6 +262,16 @@ fn cmd_send(args: &[String]) -> ExitCode {
     });
     let mut sender = Peer::new("axml-send", std::sync::Arc::clone(&compiled), std::sync::Arc::new(Registry::new()));
     sender.k = k;
+    if let Some(w) = flag_value(args, "--enforce-workers") {
+        match w.parse::<usize>() {
+            Ok(n) if n > 0 => sender.enforce_workers = n,
+            _ => {
+                return fail(&format!(
+                    "--enforce-workers expects a positive integer, got '{w}'"
+                ))
+            }
+        }
+    }
     let remote = match RemotePeer::connect(addr.as_str(), axml::net::ClientConfig::default()) {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),

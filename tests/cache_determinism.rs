@@ -1,0 +1,133 @@
+//! Determinism of the cross-request solver cache and the parallel
+//! enforcement path (DESIGN.md §9):
+//!
+//! * a warm run (every game answered from the [`SolveCache`]) produces
+//!   byte-identical XML and an identical [`RewriteReport`] to the cold
+//!   run that populated the cache;
+//! * parallel subtree enforcement is byte-identical to sequential
+//!   execution, for any worker count, warm or cold.
+//!
+//! Services are modeled by a *pure* invoker — the answer depends only on
+//! `(function, params)`, never on call order or thread — so any output
+//! divergence can only come from the cache or the parallel merge.
+
+use axml::core::invoke::{InvokeError, Invoker};
+use axml::core::rewrite::{RewriteReport, Rewriter};
+use axml::core::solve_cache::SolveCache;
+use axml::schema::{
+    generate_output_instance, validate, Compiled, GenConfig, ITree, NoOracle, Schema,
+};
+use axml_support::hash::fx_hash_one;
+use axml_support::prelude::*;
+use axml_support::rng::SeedableRng;
+
+#[allow(unused_imports)] // doc link
+use axml::core::rewrite::RewriteError;
+
+/// Answers every call with a random output instance of the function's
+/// declared type, drawn from an RNG seeded by `(salt, function, params)`
+/// alone: the same call always gets the same answer, on any thread.
+struct PureInvoker<'c> {
+    compiled: &'c Compiled,
+    salt: u64,
+}
+
+impl Invoker for PureInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let seed = fx_hash_one(&(self.salt, function, format!("{params:?}")));
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
+        let output = self.compiled.sig_of(function).output.clone();
+        generate_output_instance(self.compiled, &output, &mut rng, &GenConfig::default()).map_err(
+            |e| InvokeError {
+                function: function.to_owned(),
+                message: e.to_string(),
+            },
+        )
+    }
+}
+
+fn boxed<'c>(compiled: &'c Compiled, salt: u64) -> Box<dyn Invoker + Send + 'c> {
+    Box::new(PureInvoker { compiled, salt })
+}
+
+fn exchange_compiled() -> Compiled {
+    Compiled::new(
+        Schema::builder()
+            .element("r", "exhibit*")
+            .element("exhibit", "title.date")
+            .data_element("title")
+            .data_element("date")
+            .function("Get_Date", "title", "date")
+            .build()
+            .unwrap(),
+        &NoOracle,
+    )
+    .unwrap()
+}
+
+/// One root subtree: materialized or intensional date, per the flag.
+fn exhibit(title: &str, intensional: bool) -> ITree {
+    let date = if intensional {
+        ITree::func("Get_Date", vec![ITree::data("title", title)])
+    } else {
+        ITree::data("date", "mon")
+    };
+    ITree::elem("exhibit", vec![ITree::data("title", title), date])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cold, warm, and parallel (warm *and* cold caches, several worker
+    /// counts) runs of the same document agree byte for byte, and their
+    /// reports are identical.
+    #[test]
+    fn warm_and_parallel_runs_are_byte_identical(
+        exhibits in prop::collection::vec(("[a-z]{1,5}", 0u32..2), 0..6),
+        salt in 0u64..1_000,
+    ) {
+        let c = exchange_compiled();
+        let doc = ITree::elem(
+            "r",
+            exhibits.iter().map(|(t, f)| exhibit(t, *f == 1)).collect(),
+        );
+        let cache = SolveCache::unpublished(128);
+        let run_sequential = |cache: &SolveCache| -> (ITree, RewriteReport) {
+            let mut inv = PureInvoker { compiled: &c, salt };
+            Rewriter::new(&c)
+                .with_k(1)
+                .with_cache(cache)
+                .rewrite_safe(&doc, &mut inv)
+                .unwrap()
+        };
+        let (cold, cold_rep) = run_sequential(&cache);
+        validate(&cold, &c).unwrap();
+        let cold_xml = cold.to_xml().to_xml();
+
+        // Warm sequential: every game/DFA now comes from the cache.
+        let misses_after_cold = cache.stats().misses;
+        let (warm, warm_rep) = run_sequential(&cache);
+        prop_assert_eq!(warm.to_xml().to_xml(), cold_xml.clone(), "warm != cold");
+        prop_assert_eq!(&warm_rep, &cold_rep);
+        prop_assert_eq!(cache.stats().misses, misses_after_cold,
+            "a warm run must not rebuild anything");
+
+        // Parallel: warm shared cache and a cold private one, several
+        // worker counts — all byte-identical to the sequential run.
+        for (workers, cache) in [
+            (2, cache.clone()),
+            (3, SolveCache::unpublished(128)),
+            (8, SolveCache::unpublished(4)),
+        ] {
+            let mut mk = || boxed(&c, salt);
+            let (par, par_rep) = Rewriter::new(&c)
+                .with_k(1)
+                .with_cache(&cache)
+                .rewrite_safe_parallel(&doc, &mut mk, workers)
+                .unwrap();
+            prop_assert_eq!(par.to_xml().to_xml(), cold_xml.clone(),
+                "parallel != sequential at workers={}", workers);
+            prop_assert_eq!(&par_rep, &cold_rep);
+        }
+    }
+}

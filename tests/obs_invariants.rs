@@ -15,6 +15,7 @@
 use axml::core::awk::{Awk, AwkLimits};
 use axml::core::possible::PossibleGame;
 use axml::core::safe::{complement_of, BuildMode, SafeGame};
+use axml::core::solve_cache::{SolveCache, TargetSlot};
 use axml::net::{wire, ClientConfig, NetClient, NetServer, ServerConfig};
 use axml::obs::{register_catalogue, Registry, Snapshot};
 use axml::schema::{Compiled, NoOracle, Schema};
@@ -275,6 +276,82 @@ fn client_retries_are_bounded_by_the_attempt_budget() {
         snap.counter("client.retries_total"),
     );
     server.shutdown().unwrap();
+}
+
+/// A small deterministic DFA per slot, so cache reads can be checked
+/// against a fresh rebuild (any divergence would mean a torn or aliased
+/// entry).
+fn slot_dfa(slot: usize) -> axml::automata::Dfa {
+    let mut ab = axml::automata::Alphabet::new();
+    let pattern = ["a", "a*", "(a|b)", "a.b", "(a.b)?", "b*"][slot % 6];
+    let re = axml::automata::Regex::parse(pattern, &mut ab).unwrap();
+    axml::automata::Dfa::determinize(&axml::automata::Nfa::thompson(&re, ab.len()))
+}
+
+/// Cache accounting identities after heavy single-threaded churn well
+/// past capacity: `hits + misses = lookups`, the entry count never
+/// exceeds capacity, `entries = insertions - evictions`, and the
+/// published registry instruments agree with [`SolveCache::stats`].
+#[test]
+fn solve_cache_accounting_identities_survive_churn() {
+    let registry = Registry::new();
+    let cache = SolveCache::with_registry(4, &registry);
+    for round in 0..50usize {
+        for slot in 0..6usize {
+            let d = cache.comp_dfa(
+                (slot % 2) as u64,
+                TargetSlot::Content(slot as axml::automata::Symbol),
+                || slot_dfa(slot),
+            );
+            assert_eq!(d.num_states(), slot_dfa(slot).num_states(), "round {round}");
+        }
+    }
+    let s = cache.stats();
+    assert_eq!(s.lookups, s.hits + s.misses, "every lookup is a hit or a miss");
+    assert!(s.entries <= s.capacity, "{} entries > capacity {}", s.entries, s.capacity);
+    assert_eq!(s.entries as u64, s.insertions - s.evictions);
+    assert!(s.evictions > 0, "churn past capacity must evict");
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("solve_cache.lookups_total"), s.lookups);
+    assert_eq!(snap.counter("solve_cache.hits_total"), s.hits);
+    assert_eq!(snap.counter("solve_cache.misses_total"), s.misses);
+    assert_eq!(snap.counter("solve_cache.insertions_total"), s.insertions);
+    assert_eq!(snap.counter("solve_cache.evictions_total"), s.evictions);
+    assert_eq!(snap.gauge("solve_cache.entries") as usize, cache.len());
+}
+
+/// N threads hammering one under-sized cache with overlapping keys:
+/// no deadlock, every read hands back the artifact its key was built
+/// from, and the accounting identities hold at rest.
+#[test]
+fn solve_cache_hammering_is_deadlock_free_and_consistent() {
+    const THREADS: usize = 8;
+    const OPS: usize = 400;
+    let registry = Registry::new();
+    let cache = SolveCache::with_registry(3, &registry);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    let slot = (t + i) % 6;
+                    let d = cache.comp_dfa(
+                        7,
+                        TargetSlot::Content(slot as axml::automata::Symbol),
+                        || slot_dfa(slot),
+                    );
+                    assert_eq!(d.num_states(), slot_dfa(slot).num_states());
+                }
+            });
+        }
+    });
+    let s = cache.stats();
+    assert_eq!(s.lookups, (THREADS * OPS) as u64);
+    assert_eq!(s.lookups, s.hits + s.misses);
+    assert!(s.entries <= s.capacity);
+    assert_eq!(s.entries as u64, s.insertions - s.evictions);
+    // Racing builders may duplicate work, but lost races never insert.
+    assert!(s.insertions <= s.misses);
 }
 
 /// Concurrent snapshots while writers hammer the registry: every

@@ -13,13 +13,28 @@
 //!   identically, which keeps the loopback tests and benches reproducible;
 //! * non-retryable faults surface immediately as
 //!   [`ClientError::Fault`].
+//!
+//! Every call is additionally bounded by a **total deadline**
+//! ([`ClientConfig::deadline`]) spanning all attempts, backoff sleeps and
+//! dials: per-attempt socket timeouts are clamped to the remaining
+//! budget, and when it runs out the call fails with the typed
+//! [`ClientError::Deadline`] instead of letting `attempts ×
+//! read_timeout` of wall time accumulate.
+//!
+//! The client is generic over [`Transport`]: `NetClient::new` dials real
+//! TCP, while [`NetClient::with_transport`] accepts any transport and
+//! [`Clock`] — the deterministic simulator injects an in-memory network
+//! and virtual time, exercising these exact retry/backoff/deadline paths.
 
+use crate::transport::{Duplex, TcpTransport, Transport};
 use crate::wire::{self, FrameType, WireError, WireFault};
+use axml_support::clock::Clock;
 use axml_support::rng::{RngExt, SeedableRng, StdRng};
 use axml_support::sync::Mutex;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tuning knobs for a [`NetClient`].
@@ -33,6 +48,11 @@ pub struct ClientConfig {
     pub read_timeout: Duration,
     /// Socket write timeout.
     pub write_timeout: Duration,
+    /// Total per-call budget across *all* attempts, including backoff
+    /// sleeps and re-dials. Attempt-level timeouts are clamped to what
+    /// remains; an exhausted budget fails the call with
+    /// [`ClientError::Deadline`].
+    pub deadline: Duration,
     /// Maximum accepted frame payload, in bytes.
     pub max_frame: usize,
     /// Total attempts per call (1 = no retries).
@@ -56,6 +76,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            deadline: Duration::from_secs(30),
             max_frame: wire::DEFAULT_MAX_FRAME,
             attempts: 3,
             backoff: Duration::from_millis(10),
@@ -76,6 +97,14 @@ pub enum ClientError {
     Wire(WireError),
     /// The handshake failed (bad magic/version/unexpected frame).
     Handshake(String),
+    /// The total per-call deadline ([`ClientConfig::deadline`]) elapsed
+    /// before any attempt succeeded.
+    Deadline {
+        /// The configured total budget.
+        budget: Duration,
+        /// The failure of the last attempt, if one completed.
+        last: Option<Box<ClientError>>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -84,6 +113,13 @@ impl std::fmt::Display for ClientError {
             ClientError::Fault(fault) => write!(f, "{fault}"),
             ClientError::Wire(e) => write!(f, "transport: {e}"),
             ClientError::Handshake(m) => write!(f, "handshake failed: {m}"),
+            ClientError::Deadline { budget, last } => {
+                write!(f, "call deadline of {budget:?} exhausted")?;
+                if let Some(last) = last {
+                    write!(f, " (last attempt: {last})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -91,8 +127,8 @@ impl std::fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<Box<dyn Duplex>>,
+    writer: Box<dyn Duplex>,
     /// Name the remote daemon announced in its `Welcome`.
     server_name: String,
 }
@@ -120,7 +156,10 @@ impl Metrics {
 
 /// A pooled client for one remote daemon.
 pub struct NetClient {
-    addr: SocketAddr,
+    endpoint: String,
+    tcp_addr: Option<SocketAddr>,
+    transport: Arc<dyn Transport>,
+    clock: Arc<dyn Clock>,
     config: ClientConfig,
     idle: Mutex<Vec<Conn>>,
     next_id: AtomicU64,
@@ -129,7 +168,7 @@ pub struct NetClient {
 }
 
 impl NetClient {
-    /// Creates a client for `addr` (connections are dialed lazily).
+    /// Creates a TCP client for `addr` (connections are dialed lazily).
     pub fn new(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<NetClient, ClientError> {
         let addr = addr
             .to_socket_addrs()
@@ -138,21 +177,50 @@ impl NetClient {
             .ok_or_else(|| {
                 ClientError::Wire(WireError::Malformed("address resolved to nothing".to_owned()))
             })?;
+        let mut client = NetClient::with_transport(
+            addr.to_string(),
+            Arc::new(TcpTransport),
+            axml_support::clock::system(),
+            config,
+        );
+        client.tcp_addr = Some(addr);
+        Ok(client)
+    }
+
+    /// Creates a client dialing `endpoint` through an explicit transport
+    /// and clock — how the deterministic simulator runs this exact client
+    /// over an in-memory network and virtual time.
+    pub fn with_transport(
+        endpoint: impl Into<String>,
+        transport: Arc<dyn Transport>,
+        clock: Arc<dyn Clock>,
+        config: ClientConfig,
+    ) -> NetClient {
         let seed = config.seed;
         let metrics = Metrics::new(&config.metrics);
-        Ok(NetClient {
-            addr,
+        NetClient {
+            endpoint: endpoint.into(),
+            tcp_addr: None,
+            transport,
+            clock,
             config,
             idle: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             jitter: Mutex::new(StdRng::seed_from_u64(seed)),
             metrics,
-        })
+        }
     }
 
-    /// The remote address this client targets.
+    /// The endpoint this client dials, in the transport's notation.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The remote socket address. Panics when the client was built over a
+    /// non-TCP transport ([`NetClient::with_transport`]); use
+    /// [`NetClient::endpoint`] there.
     pub fn remote_addr(&self) -> SocketAddr {
-        self.addr
+        self.tcp_addr.expect("client is not on a TCP transport")
     }
 
     /// Number of idle pooled connections (for tests).
@@ -160,15 +228,21 @@ impl NetClient {
         self.idle.lock().len()
     }
 
-    fn dial(&self) -> Result<Conn, ClientError> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+    /// Budget still available `started` nanoseconds into a call.
+    fn remaining(&self, started: u64) -> Duration {
+        let elapsed = Duration::from_nanos(self.clock.now_ns().saturating_sub(started));
+        self.config.deadline.saturating_sub(elapsed)
+    }
+
+    fn dial(&self, remaining: Duration) -> Result<Conn, ClientError> {
+        let stream = self
+            .transport
+            .connect(&self.endpoint, self.config.connect_timeout.min(remaining))
             .map_err(|e| ClientError::Wire(e.into()))?;
-        wire::set_stream_timeouts(
-            &stream,
-            Some(self.config.read_timeout),
-            Some(self.config.write_timeout),
-        )
-        .map_err(|e| ClientError::Wire(e.into()))?;
+        stream
+            .set_read_timeout(Some(self.config.read_timeout.min(remaining)))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.write_timeout)))
+            .map_err(|e| ClientError::Wire(e.into()))?;
         let mut writer = stream
             .try_clone()
             .map_err(|e| ClientError::Wire(e.into()))?;
@@ -176,7 +250,7 @@ impl NetClient {
         wire::write_frame(&mut writer, &wire::hello(&self.config.name))
             .map_err(ClientError::Wire)?;
         let frame = wire::read_frame(&mut reader, self.config.max_frame).map_err(|e| {
-            ClientError::Handshake(format!("no Welcome from {}: {e}", self.addr))
+            ClientError::Handshake(format!("no Welcome from {}: {e}", self.endpoint))
         })?;
         match frame.kind {
             FrameType::Welcome => {
@@ -207,11 +281,11 @@ impl NetClient {
         }
     }
 
-    fn checkout(&self) -> Result<Conn, ClientError> {
+    fn checkout(&self, remaining: Duration) -> Result<Conn, ClientError> {
         if let Some(conn) = self.idle.lock().pop() {
             return Ok(conn);
         }
-        self.dial()
+        self.dial(remaining)
     }
 
     fn checkin(&self, conn: Conn) {
@@ -224,7 +298,7 @@ impl NetClient {
     /// The name of the remote daemon, learned from the handshake (dials a
     /// connection if none is pooled).
     pub fn server_name(&self) -> Result<String, ClientError> {
-        let conn = self.checkout()?;
+        let conn = self.checkout(self.config.deadline)?;
         let name = conn.server_name.clone();
         self.checkin(conn);
         Ok(name)
@@ -248,7 +322,8 @@ impl NetClient {
     /// Sends one request envelope and waits for the matching reply.
     ///
     /// Retries transport failures and retryable faults up to the
-    /// configured attempt budget, re-dialing as needed.
+    /// configured attempt budget, re-dialing as needed, all within the
+    /// total [`ClientConfig::deadline`].
     pub fn call(&self, envelope: &str) -> Result<String, ClientError> {
         self.call_impl(None, envelope)
     }
@@ -263,23 +338,38 @@ impl NetClient {
     }
 
     fn call_impl(&self, id: Option<u64>, envelope: &str) -> Result<String, ClientError> {
-        let started = std::time::Instant::now();
+        let started = self.clock.now_ns();
         self.metrics.calls.inc();
+        let deadline = |last: Option<ClientError>| ClientError::Deadline {
+            budget: self.config.deadline,
+            last: last.map(Box::new),
+        };
         let result = (|| {
             let mut last: Option<ClientError> = None;
             for attempt in 1..=self.config.attempts.max(1) {
                 if attempt > 1 {
+                    // The backoff sleep itself must fit the budget; a
+                    // retry we could start but never finish is wasted.
+                    let pause = self.backoff_for(attempt - 1);
+                    if pause >= self.remaining(started) {
+                        return Err(deadline(last));
+                    }
                     self.metrics.retries.inc();
-                    std::thread::sleep(self.backoff_for(attempt - 1));
+                    self.clock.sleep(pause);
+                }
+                let remaining = self.remaining(started);
+                if remaining.is_zero() {
+                    return Err(deadline(last));
                 }
                 self.metrics.attempts.inc();
-                match self.call_once(id, envelope) {
+                match self.call_once(id, envelope, started) {
                     Ok(reply) => return Ok(reply),
                     Err(e) => {
                         let retryable = match &e {
                             ClientError::Fault(f) => f.retryable,
                             ClientError::Wire(_) => true,
                             ClientError::Handshake(_) => false,
+                            ClientError::Deadline { .. } => false,
                         };
                         if !retryable {
                             return Err(e);
@@ -297,12 +387,12 @@ impl NetClient {
         }
         self.metrics
             .call_ns
-            .observe(started.elapsed().as_nanos() as u64);
+            .observe(self.clock.now_ns().saturating_sub(started));
         result
     }
 
-    fn call_once(&self, id: Option<u64>, envelope: &str) -> Result<String, ClientError> {
-        let mut conn = self.checkout()?;
+    fn call_once(&self, id: Option<u64>, envelope: &str, started: u64) -> Result<String, ClientError> {
+        let mut conn = self.checkout(self.remaining(started))?;
         let id = id.unwrap_or_else(|| self.next_id.fetch_add(1, Ordering::Relaxed));
         if let Err(e) = wire::write_frame(&mut conn.writer, &wire::request(id, envelope)) {
             // A pooled connection may have been closed by the server;
@@ -310,6 +400,16 @@ impl NetClient {
             return Err(ClientError::Wire(e));
         }
         loop {
+            // Clamp every wait to the remaining call budget, so the total
+            // deadline holds however many frames we must skip.
+            let remaining = self.remaining(started);
+            if remaining.is_zero() {
+                return Err(ClientError::Wire(WireError::Stalled));
+            }
+            conn.reader
+                .get_ref()
+                .set_read_timeout(Some(self.config.read_timeout.min(remaining)))
+                .map_err(|e| ClientError::Wire(e.into()))?;
             let frame = match wire::read_frame(&mut conn.reader, self.config.max_frame) {
                 Ok(f) => f,
                 Err(WireError::Idle | WireError::Stalled) => {
@@ -324,19 +424,23 @@ impl NetClient {
                     self.checkin(conn);
                     return Ok(reply);
                 }
-                FrameType::Fault => {
+                // Faults with id 0 are connection-level (the stream is no
+                // longer framed): terminal, and the connection is dropped.
+                // A fault for *this* request leaves the connection framed
+                // and reusable.
+                FrameType::Fault if frame.id == id || frame.id == 0 => {
                     let fault = wire::decode_fault(&frame.payload).map_err(ClientError::Wire)?;
-                    // Faults with id 0 are connection-level (the stream is
-                    // no longer framed); per-request faults leave the
-                    // connection reusable.
                     if frame.id == id {
                         self.checkin(conn);
                     }
                     return Err(ClientError::Fault(fault));
                 }
-                // A reply to a request this call does not own (pipelined
-                // by another thread's aborted call): skip it.
-                FrameType::Response => continue,
+                // A reply or fault for a request this call does not own —
+                // pipelined by another thread's aborted call, or a
+                // duplicate the network delivered twice: skip it. (Found
+                // by the simulator's duplication fault: a stale fault
+                // must not poison the next call on a pooled connection.)
+                FrameType::Response | FrameType::Fault => continue,
                 other => {
                     return Err(ClientError::Wire(WireError::Malformed(format!(
                         "unexpected {other:?} frame while awaiting a reply"
@@ -356,7 +460,7 @@ impl NetClient {
 
     /// Like [`NetClient::stats`], but returns the raw JSON snapshot.
     pub fn stats_json(&self) -> Result<String, ClientError> {
-        let mut conn = self.checkout()?;
+        let mut conn = self.checkout(self.config.deadline)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         wire::write_frame(&mut conn.writer, &wire::stats_request(id))
             .map_err(ClientError::Wire)?;
@@ -375,15 +479,15 @@ impl NetClient {
                     self.checkin(conn);
                     return Ok(text);
                 }
-                FrameType::Fault => {
+                FrameType::Fault if frame.id == id || frame.id == 0 => {
                     let fault = wire::decode_fault(&frame.payload).map_err(ClientError::Wire)?;
                     if frame.id == id {
                         self.checkin(conn);
                     }
                     return Err(ClientError::Fault(fault));
                 }
-                // Stray replies to aborted pipelined calls: skip.
-                FrameType::Response | FrameType::StatsResponse => continue,
+                // Stray replies/faults for aborted pipelined calls: skip.
+                FrameType::Response | FrameType::StatsResponse | FrameType::Fault => continue,
                 other => {
                     return Err(ClientError::Wire(WireError::Malformed(format!(
                         "unexpected {other:?} frame while awaiting a stats reply"
@@ -494,6 +598,42 @@ mod tests {
             client.call("x").unwrap_err(),
             ClientError::Wire(_)
         ));
+    }
+
+    #[test]
+    fn deadline_bounds_total_call_time_across_retries() {
+        // Every attempt faults retryably; a generous attempt budget must
+        // still be cut short by the total deadline.
+        let handler: Arc<dyn Handler> = Arc::new(move |_: u64, _: &str| {
+            Err(WireFault::new(FaultCode::Busy, "always busy").retryable())
+        });
+        let server = NetServer::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+        let deadline = Duration::from_millis(120);
+        let client = NetClient::new(
+            server.local_addr(),
+            ClientConfig {
+                attempts: 1000,
+                backoff: Duration::from_millis(20),
+                deadline,
+                metrics: axml_obs::Registry::new(),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let started = std::time::Instant::now();
+        let err = client.call("x").unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(err, ClientError::Deadline { budget, last: Some(_) } if budget == deadline),
+            "expected a deadline error carrying the last fault, got {err:?}"
+        );
+        // Wall time is bounded by the deadline plus modest scheduling
+        // slack — not by attempts × backoff.
+        assert!(
+            elapsed < deadline + Duration::from_secs(2),
+            "call ran {elapsed:?} against a {deadline:?} deadline"
+        );
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -12,9 +12,14 @@
 //!   bounded in-flight queue (backpressure by retryable `Busy` faults),
 //!   per-connection read/write timeouts, graceful panic-reporting
 //!   shutdown;
-//! * [`client`] — a pooled connection client with connect/read timeouts
-//!   and bounded retry-with-backoff driven by deterministic jitter from
-//!   `axml_support::rng`.
+//! * [`client`] — a pooled connection client with connect/read timeouts,
+//!   a total per-call deadline spanning retries, and bounded
+//!   retry-with-backoff driven by deterministic jitter from
+//!   `axml_support::rng`;
+//! * [`transport`] — the pluggable byte-stream layer ([`Transport`] /
+//!   [`Acceptor`] / [`Duplex`]): client and server are generic over it,
+//!   with real TCP as the default and the deterministic simulator
+//!   (`axml-sim`) as the other implementation.
 //!
 //! The crate is transport only: it moves opaque envelopes and knows
 //! nothing about schemas or rewriting. `axml-peer::NetPeer` plugs the
@@ -24,8 +29,10 @@
 
 pub mod client;
 pub mod server;
+pub mod transport;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, NetClient};
 pub use server::{Handler, NetServer, ServerConfig, ServerError, ServerStats};
+pub use transport::{Acceptor, Duplex, TcpTransport, Transport};
 pub use wire::{FaultCode, WireError, WireFault, VERSION};

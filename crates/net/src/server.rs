@@ -1,9 +1,9 @@
-//! The peer daemon: a concurrent TCP server for the wire protocol.
+//! The peer daemon: a concurrent server for the wire protocol.
 //!
 //! Architecture (all plain `std` threads):
 //!
-//! * one **accept thread** polls the (non-blocking) listener and spawns a
-//!   lightweight **reader thread** per connection;
+//! * one **accept thread** polls the (non-blocking) [`Acceptor`] and
+//!   spawns a lightweight **reader thread** per connection;
 //! * each reader performs the versioned handshake, then decodes `Request`
 //!   frames and pushes jobs into a **bounded in-flight queue** — when the
 //!   queue is full the reader immediately answers a retryable
@@ -19,17 +19,24 @@
 //!   worker (bounded wait), and reports any worker panic as an error
 //!   instead of leaking threads.
 //!
-//! Per-connection read/write timeouts bound every blocking socket
-//! operation: an idle connection is kept (pooled clients stay connected),
-//! but a peer that stalls *mid-frame* is answered with a `Timeout` fault
-//! and dropped.
+//! The server is generic over [`Transport`]: [`NetServer::bind`] listens
+//! on real TCP, [`NetServer::bind_with`] on anything implementing the
+//! trait — the connection handling, backpressure and shutdown logic are
+//! identical either way.
+//!
+//! Per-connection read/write timeouts bound every blocking read or write:
+//! an idle connection is kept (pooled clients stay connected), but a peer
+//! that stalls *mid-frame* is answered with a `Timeout` fault and
+//! dropped.
 
+use crate::transport::{Acceptor, Duplex, TcpTransport, Transport};
 use crate::wire::{self, FaultCode, Frame, FrameType, WireError, WireFault};
+use axml_support::clock::Clock;
 use axml_support::sync::channel::{bounded, Receiver, Sender, TrySendError};
 use axml_support::sync::Mutex;
 use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -101,8 +108,10 @@ pub struct ServerStats {
     pub faulted: AtomicU64,
 }
 
+type SharedWriter = Arc<Mutex<Box<dyn Duplex>>>;
+
 struct Job {
-    writer: Arc<Mutex<TcpStream>>,
+    writer: SharedWriter,
     id: u64,
     envelope: String,
 }
@@ -156,12 +165,13 @@ impl Metrics {
 struct Shared {
     handler: Arc<dyn Handler>,
     config: ServerConfig,
+    clock: Arc<dyn Clock>,
     stats: Arc<ServerStats>,
     metrics: Metrics,
     stop: AtomicBool,
     /// Live connection streams, keyed by a connection id, so shutdown can
-    /// unblock readers stuck in a socket read.
-    conns: Mutex<HashMap<u64, Arc<Mutex<TcpStream>>>>,
+    /// unblock readers stuck in a read.
+    conns: Mutex<HashMap<u64, SharedWriter>>,
     next_conn: AtomicU64,
 }
 
@@ -169,7 +179,8 @@ struct Shared {
 /// stops and joins everything (panics in workers are then swallowed).
 pub struct NetServer {
     shared: Arc<Shared>,
-    local_addr: std::net::SocketAddr,
+    endpoint: String,
+    local_addr: Option<std::net::SocketAddr>,
     accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
     job_tx: Option<Sender<Job>>,
@@ -206,21 +217,51 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl NetServer {
-    /// Binds `addr` and starts the accept loop, readers and worker pool.
+    /// Binds `addr` over TCP and starts the accept loop, readers and
+    /// worker pool.
     pub fn bind(
         addr: impl ToSocketAddrs,
         handler: Arc<dyn Handler>,
         config: ServerConfig,
     ) -> Result<NetServer, ServerError> {
-        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
-        listener.set_nonblocking(true).map_err(ServerError::Io)?;
-        let local_addr = listener.local_addr().map_err(ServerError::Io)?;
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(ServerError::Io)?
+            .next()
+            .ok_or_else(|| {
+                ServerError::Io(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    "address resolved to nothing",
+                ))
+            })?;
+        NetServer::bind_with(
+            &TcpTransport,
+            &addr.to_string(),
+            axml_support::clock::system(),
+            handler,
+            config,
+        )
+    }
+
+    /// Binds `endpoint` on an explicit transport and clock — how tests
+    /// run this exact server over an in-memory network.
+    pub fn bind_with(
+        transport: &dyn Transport,
+        endpoint: &str,
+        clock: Arc<dyn Clock>,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> Result<NetServer, ServerError> {
+        let acceptor = transport.bind(endpoint).map_err(ServerError::Io)?;
+        let endpoint = acceptor.local_endpoint();
+        let local_addr = acceptor.local_addr();
         let workers = config.workers.max(1);
         let queue = config.queue.max(1);
         let metrics = Metrics::new(&config.metrics);
         let shared = Arc::new(Shared {
             handler,
             config,
+            clock,
             stats: Arc::new(ServerStats::default()),
             metrics,
             stop: AtomicBool::new(false),
@@ -247,12 +288,13 @@ impl NetServer {
             let job_tx = job_tx.clone();
             std::thread::Builder::new()
                 .name("axml-net-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &shared, &job_tx))
+                .spawn(move || accept_loop(acceptor.as_ref(), &shared, &job_tx))
                 .expect("spawn accept thread")
         };
 
         Ok(NetServer {
             shared,
+            endpoint,
             local_addr,
             accept: Some(accept),
             workers: worker_handles,
@@ -260,9 +302,16 @@ impl NetServer {
         })
     }
 
-    /// The bound socket address (useful with port 0).
+    /// The bound endpoint, in the transport's notation.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The bound socket address (useful with port 0). Panics when the
+    /// server was bound over a non-TCP transport; use
+    /// [`NetServer::endpoint`] there.
     pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.local_addr
+        self.local_addr.expect("server is not bound to a TCP socket")
     }
 
     /// The server's counters.
@@ -278,9 +327,9 @@ impl NetServer {
 
     fn stop_all(&mut self) -> Result<(), ServerError> {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock readers parked in socket reads.
+        // Unblock readers parked in reads.
         for conn in self.shared.conns.lock().values() {
-            let _ = conn.lock().shutdown(Shutdown::Both);
+            let _ = conn.lock().shutdown();
         }
         let mut first_panic: Option<String> = None;
         let panics = &self.shared.metrics.panics;
@@ -321,14 +370,14 @@ impl Drop for NetServer {
 }
 
 fn accept_loop(
-    listener: &TcpListener,
+    acceptor: &dyn Acceptor,
     shared: &Arc<Shared>,
     job_tx: &Sender<Job>,
 ) -> Vec<JoinHandle<()>> {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
+        match acceptor.accept() {
+            Ok(stream) => {
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.connections.inc();
                 let shared = Arc::clone(shared);
@@ -344,7 +393,7 @@ fn accept_loop(
                 readers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                shared.clock.sleep(Duration::from_millis(10));
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => break,
@@ -354,14 +403,12 @@ fn accept_loop(
 }
 
 /// Serves one connection: handshake, then requests until close/shutdown.
-fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+fn reader_loop(stream: Box<dyn Duplex>, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
     let config = &shared.config;
-    if wire::set_stream_timeouts(
-        &stream,
-        Some(config.read_timeout),
-        Some(config.write_timeout),
-    )
-    .is_err()
+    if stream
+        .set_read_timeout(Some(config.read_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(config.write_timeout)))
+        .is_err()
     {
         return;
     }
@@ -381,13 +428,13 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
     shared.conns.lock().remove(&conn_id);
 }
 
-fn send_reply(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), WireError> {
+fn send_reply(writer: &SharedWriter, frame: &Frame) -> Result<(), WireError> {
     wire::write_frame(&mut *writer.lock(), frame)
 }
 
 fn handshake(
-    reader: &mut BufReader<TcpStream>,
-    writer: &Arc<Mutex<TcpStream>>,
+    reader: &mut BufReader<Box<dyn Duplex>>,
+    writer: &SharedWriter,
     shared: &Arc<Shared>,
 ) -> Result<(), ()> {
     // The handshake must arrive promptly: idle timeouts here are fatal.
@@ -426,8 +473,8 @@ fn handshake(
 }
 
 fn serve_frames(
-    reader: &mut BufReader<TcpStream>,
-    writer: &Arc<Mutex<TcpStream>>,
+    reader: &mut BufReader<Box<dyn Duplex>>,
+    writer: &SharedWriter,
     shared: &Arc<Shared>,
     job_tx: &Sender<Job>,
 ) {
@@ -569,6 +616,7 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>>>) {
 mod tests {
     use super::*;
     use std::io::Write as _;
+    use std::net::TcpStream;
 
     fn echo_server(config: ServerConfig) -> NetServer {
         let handler: Arc<dyn Handler> = Arc::new(|_id: u64, envelope: &str| {

@@ -85,7 +85,8 @@ impl FrameType {
         }
     }
 
-    fn from_byte(b: u8) -> Result<Self, WireError> {
+    /// Decodes a frame's `type` byte (byte 0 of the header).
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
         match b {
             0x01 => Ok(FrameType::Hello),
             0x02 => Ok(FrameType::Welcome),

@@ -20,6 +20,6 @@ mod peer;
 mod repository;
 
 pub use negotiate::{negotiate, Negotiation, Proposal};
-pub use net::{NetInvoker, NetPeer, RemotePeer, RECEIVE_METHOD};
+pub use net::{envelope_handler, NetInvoker, NetPeer, RemotePeer, RECEIVE_METHOD};
 pub use peer::{InboundPolicy, Peer, PeerError, PeerServer, Query, RemoteInvoker};
 pub use repository::{RepoError, Repository, UpdateOp};

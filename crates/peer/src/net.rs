@@ -24,7 +24,10 @@ use crate::peer::{Peer, PeerError};
 use axml_core::invoke::{InvokeError, Invoker};
 use axml_core::rewrite::RewriteReport;
 use axml_net::wire::{FaultCode, WireFault};
-use axml_net::{ClientConfig, ClientError, NetClient, NetServer, ServerConfig, ServerStats};
+use axml_net::{
+    ClientConfig, ClientError, Handler, NetClient, NetServer, ServerConfig, ServerStats, Transport,
+};
+use axml_support::clock::Clock;
 use axml_schema::{validate, validate_output_instance, Compiled, ITree};
 use axml_services::soap;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -84,16 +87,34 @@ impl NetPeer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<NetPeer, PeerError> {
-        let handler_peer = Arc::clone(&peer);
-        let handler =
-            move |id: u64, envelope: &str| handle_net_envelope(&handler_peer, id, envelope);
-        let server = NetServer::bind(addr, Arc::new(handler), config).map_err(transport)?;
+        let handler = envelope_handler(Arc::clone(&peer));
+        let server = NetServer::bind(addr, handler, config).map_err(transport)?;
+        Ok(NetPeer { peer, server })
+    }
+
+    /// Like [`NetPeer::serve`], but over an explicit [`Transport`] and
+    /// [`Clock`] — how tests serve a peer on an in-memory network.
+    pub fn serve_with(
+        peer: Arc<Peer>,
+        net: &dyn Transport,
+        endpoint: &str,
+        clock: Arc<dyn Clock>,
+        config: ServerConfig,
+    ) -> Result<NetPeer, PeerError> {
+        let handler = envelope_handler(Arc::clone(&peer));
+        let server =
+            NetServer::bind_with(net, endpoint, clock, handler, config).map_err(transport)?;
         Ok(NetPeer { peer, server })
     }
 
     /// The daemon's bound socket address.
     pub fn local_addr(&self) -> SocketAddr {
         self.server.local_addr()
+    }
+
+    /// The daemon's bound endpoint, in the transport's notation.
+    pub fn endpoint(&self) -> &str {
+        self.server.endpoint()
     }
 
     /// The peer being served.
@@ -134,6 +155,14 @@ impl NetPeer {
     pub fn shutdown(self) -> Result<(), PeerError> {
         self.server.shutdown().map_err(transport)
     }
+}
+
+/// The peer's full server-side envelope handling (declared services plus
+/// [`RECEIVE_METHOD`]) as an `axml-net` [`Handler`], so any server — the
+/// threaded TCP daemon or the simulator's single-threaded in-memory peer —
+/// serves exactly the same enforcement pipeline.
+pub fn envelope_handler(peer: Arc<Peer>) -> Arc<dyn Handler> {
+    Arc::new(move |id: u64, envelope: &str| handle_net_envelope(&peer, id, envelope))
 }
 
 /// The server side of one envelope: decode, dispatch, and turn peer
@@ -219,6 +248,12 @@ impl RemotePeer {
         Ok(RemotePeer {
             client: NetClient::new(addr, config).map_err(client_error)?,
         })
+    }
+
+    /// Wraps an already-built [`NetClient`] — e.g. one dialing an
+    /// in-memory transport via [`NetClient::with_transport`].
+    pub fn from_client(client: NetClient) -> RemotePeer {
+        RemotePeer { client }
     }
 
     /// The remote daemon's address.

@@ -1,0 +1,66 @@
+//! Time as a capability: a [`Clock`] trait code blocks and measures
+//! against, instead of calling `std::time` directly.
+//!
+//! Anything that sleeps (client retry backoff) or timestamps (latency
+//! histograms) takes a `Arc<dyn Clock>`; production code gets the
+//! wall-clock [`SystemClock`], while the deterministic simulator
+//! (`axml-sim`) substitutes a *virtual* clock whose time advances only
+//! when its event scheduler says so. That substitution is what lets a
+//! simulated scenario with seconds of configured timeouts run in
+//! microseconds of wall time — and reproduce byte-identically per seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonic clock plus the ability to block until a later instant.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's (arbitrary, fixed) epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Blocks the calling thread for (at least) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real monotonic clock; its epoch is the first call in the process.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        Instant::now().duration_since(epoch).as_nanos() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// The shared wall clock, for call sites that default rather than inject.
+pub fn system() -> Arc<dyn Clock> {
+    use std::sync::OnceLock;
+    static SYSTEM: OnceLock<Arc<dyn Clock>> = OnceLock::new();
+    Arc::clone(SYSTEM.get_or_init(|| Arc::new(SystemClock)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_sleeps() {
+        let clock = SystemClock;
+        let a = clock.now_ns();
+        clock.sleep(Duration::from_millis(2));
+        let b = clock.now_ns();
+        assert!(b > a, "time moved: {a} -> {b}");
+    }
+
+    #[test]
+    fn shared_clock_is_one_instance() {
+        assert!(Arc::ptr_eq(&system(), &system()));
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`hash`] — an FxHash-style deterministic fast hasher
 //!   ([`hash::FxHashMap`], [`hash::fx_hash_one`]) for trusted-key
 //!   interning tables and structural fingerprints on hot paths.
+//! * [`clock`] — time as a capability: the [`clock::Clock`] trait with a
+//!   wall-clock default, so the deterministic simulator can substitute
+//!   virtual time everywhere code sleeps or timestamps.
 //!
 //! Everything here is plain `std`; adding a dependency to this crate
 //! defeats its purpose.
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod clock;
 pub mod hash;
 mod macros;
 pub mod prop;

@@ -139,4 +139,23 @@ print(f"B11 smoke ok: {sorted(ids)}, "
       f"hit rate {snap['solve_cache.hits_total']}/{snap['solve_cache.lookups_total']}")
 EOF
 
+echo "== tier-1: sim gate (seeded fault injection, DESIGN.md §10) =="
+# The deterministic simulator suites: ≥1000 fresh seeds plus the full
+# regression corpus (regressions/sim/*.seeds replays automatically via
+# the property harness), the ported protocol-fault tests, and the golden
+# transcripts — all under one wall-clock budget. Virtual time means the
+# whole batch simulates minutes of network traffic in seconds; a budget
+# blowout signals a real-sleep or livelock regression, so it fails hard.
+sim_started=$(date +%s)
+timeout --kill-after=10 60 cargo test -q --offline --test sim_invariants
+timeout --kill-after=10 60 cargo test -q --offline --test sim_faults
+timeout --kill-after=10 60 cargo test -q --offline --test golden_transcripts
+timeout --kill-after=10 60 cargo test -q --offline -p axml-sim
+sim_elapsed=$(( $(date +%s) - sim_started ))
+if [ "$sim_elapsed" -ge 60 ]; then
+    echo "sim gate blew its wall-clock budget: ${sim_elapsed}s >= 60s"
+    exit 1
+fi
+echo "sim gate ok in ${sim_elapsed}s (budget 60s)"
+
 echo "== tier-1: green =="

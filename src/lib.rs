@@ -14,6 +14,8 @@
 //! * [`peer`] — Active XML peers and the Schema Enforcement module.
 //! * [`net`] — the TCP wire protocol and daemon substrate.
 //! * [`obs`] — metrics registry, spans and deterministic JSON snapshots.
+//! * [`sim`] — deterministic discrete-event simulator for seeded
+//!   fault-injection testing of multi-peer exchange.
 //!
 //! See the repository README for a guided tour and `examples/` for runnable
 //! scenarios (start with `examples/quickstart.rs`).
@@ -25,4 +27,5 @@ pub use axml_obs as obs;
 pub use axml_peer as peer;
 pub use axml_schema as schema;
 pub use axml_services as services;
+pub use axml_sim as sim;
 pub use axml_xml as xml;

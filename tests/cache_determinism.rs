@@ -75,6 +75,29 @@ fn exhibit(title: &str, intensional: bool) -> ITree {
     ITree::elem("exhibit", vec![ITree::data("title", title), date])
 }
 
+/// A pure invoker whose *failures* are pure too: a call crashes iff a
+/// hash of `(crash_salt, function, params)` says so — a property of what
+/// is being called, never of call order, thread, or how many calls came
+/// before. Sequential and parallel enforcement therefore face the same
+/// failure set, and must report it the same way.
+struct CrashingInvoker<'c> {
+    inner: PureInvoker<'c>,
+    crash_salt: u64,
+}
+
+impl Invoker for CrashingInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let die = fx_hash_one(&(self.crash_salt, function, format!("{params:?}"))) % 3 == 0;
+        if die {
+            return Err(InvokeError {
+                function: function.to_owned(),
+                message: "service crashed (injected)".to_owned(),
+            });
+        }
+        self.inner.invoke(function, params)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -128,6 +151,70 @@ proptest! {
             prop_assert_eq!(par.to_xml().to_xml(), cold_xml.clone(),
                 "parallel != sequential at workers={}", workers);
             prop_assert_eq!(&par_rep, &cold_rep);
+        }
+    }
+
+    /// A crashing service crashes *identically* under sequential and
+    /// parallel enforcement: either both deliver the same bytes, or both
+    /// fail with the same typed error. Crashes keyed on call count or
+    /// thread identity would make retries and parallelism observable —
+    /// keyed on `(function, params)` they are not.
+    #[test]
+    fn crashing_invoker_fails_identically_parallel_and_sequential(
+        exhibits in prop::collection::vec(("[a-z]{1,5}", 0u32..2), 1..6),
+        salt in 0u64..1_000,
+        crash_salt in 0u64..1_000,
+    ) {
+        let c = exchange_compiled();
+        let doc = ITree::elem(
+            "r",
+            exhibits.iter().map(|(t, f)| exhibit(t, *f == 1)).collect(),
+        );
+        let sequential = {
+            let mut inv = CrashingInvoker {
+                inner: PureInvoker { compiled: &c, salt },
+                crash_salt,
+            };
+            Rewriter::new(&c).with_k(1).rewrite_safe(&doc, &mut inv)
+        };
+        for workers in [1usize, 2, 8] {
+            let mut mk = || -> Box<dyn Invoker + Send + '_> {
+                Box::new(CrashingInvoker {
+                    inner: PureInvoker { compiled: &c, salt },
+                    crash_salt,
+                })
+            };
+            let parallel = Rewriter::new(&c)
+                .with_k(1)
+                .rewrite_safe_parallel(&doc, &mut mk, workers);
+            match (&sequential, &parallel) {
+                (Ok((s, s_rep)), Ok((p, p_rep))) => {
+                    prop_assert_eq!(
+                        p.to_xml().to_xml(),
+                        s.to_xml().to_xml(),
+                        "delivered bytes diverged at workers={}",
+                        workers
+                    );
+                    prop_assert_eq!(p_rep, s_rep);
+                }
+                (Err(se), Err(pe)) => {
+                    prop_assert_eq!(
+                        format!("{pe:?}"),
+                        format!("{se:?}"),
+                        "typed error diverged at workers={}",
+                        workers
+                    );
+                }
+                (s, p) => {
+                    prop_assert!(
+                        false,
+                        "outcome diverged at workers={}: sequential ok={}, parallel ok={}",
+                        workers,
+                        s.is_ok(),
+                        p.is_ok()
+                    );
+                }
+            }
         }
     }
 }

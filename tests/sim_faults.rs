@@ -1,0 +1,360 @@
+//! Deterministic fault scenarios on the simulated network.
+//!
+//! The first three tests are ports of the ad-hoc TCP fault tests that
+//! used to live in `tests/net_exchange.rs` (oversized frame, mid-frame
+//! stall, malformed envelope): same protocol semantics, but driven over
+//! the in-memory transport under virtual time, so a "50 ms" server
+//! timeout costs no wall clock and the interleaving is identical on
+//! every run. The rest pin behavior only a simulator can reach
+//! deterministically: the client's total-deadline bound across retries,
+//! stale duplicated frames on pooled connections, crash-restart, and
+//! link partitions.
+
+use axml::net::wire::{self, FaultCode, WireFault};
+use axml::net::{ClientConfig, ClientError, NetClient};
+use axml::peer::{envelope_handler, Peer, Query};
+use axml::schema::{Compiled, ITree, NoOracle, Schema};
+use axml::services::{soap, Registry, ServiceDef};
+use axml::sim::{Crash, FaultPlan, Partition, SimServerConfig, SimWorld};
+use std::io::{BufReader, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const LISTINGS: &str = "listings.example.org";
+
+fn vocab() -> Schema {
+    Schema::builder()
+        .element("newspaper", "title.date.(Listings|exhibit*)")
+        .data_element("title")
+        .data_element("date")
+        .element("exhibit", "title.date")
+        .function("Listings", "data", "exhibit*")
+        .build()
+        .unwrap()
+}
+
+/// The listings-provider peer from the TCP suite, served as a sim actor.
+fn listings_peer() -> Arc<Peer> {
+    let peer = Arc::new(Peer::new(
+        LISTINGS,
+        Arc::new(Compiled::new(vocab(), &NoOracle).unwrap()),
+        Arc::new(Registry::new()),
+    ));
+    peer.repository.store(
+        "program",
+        ITree::elem(
+            "listings",
+            vec![
+                ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Monet"), ITree::data("date", "Mon")],
+                ),
+                ITree::elem(
+                    "exhibit",
+                    vec![ITree::data("title", "Rodin"), ITree::data("date", "Tue")],
+                ),
+            ],
+        ),
+    );
+    peer.declare(
+        ServiceDef::new("Listings", "data", "exhibit*"),
+        Query::Children("program".to_owned()),
+    );
+    peer
+}
+
+fn sim_client(world: &SimWorld, endpoint: &str, config: ClientConfig) -> NetClient {
+    NetClient::with_transport(endpoint, world.transport("tester"), world.clock(), config)
+}
+
+#[test]
+fn oversized_frames_are_faulted_and_refused() {
+    let world = SimWorld::new(1, FaultPlan::default());
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig {
+            max_frame: 2048,
+            ..Default::default()
+        },
+    );
+    let client = sim_client(&world, LISTINGS, ClientConfig::default());
+    let huge = format!("<x>{}</x>", "a".repeat(64 << 10));
+    let err = client.call(&huge).unwrap_err();
+    match err {
+        ClientError::Fault(f) => {
+            assert_eq!(f.code, FaultCode::TooLarge);
+            assert!(!f.retryable, "an oversized request will never fit");
+        }
+        other => panic!("expected a TooLarge fault, got {other}"),
+    }
+    // The daemon survives and keeps serving well-sized requests (on a
+    // fresh connection — the faulted one was closed).
+    let small = client
+        .call(&soap::request("Listings", &[ITree::text("x")]).to_xml())
+        .unwrap();
+    assert!(small.contains("exhibit"));
+}
+
+#[test]
+fn stalled_connections_hit_the_read_timeout() {
+    let world = SimWorld::new(2, FaultPlan::default());
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig {
+            read_timeout: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let transport = world.transport("slowpoke");
+    let mut stream = transport
+        .connect(LISTINGS, Duration::from_secs(1))
+        .unwrap();
+    wire::write_frame(&mut stream, &wire::hello("slowpoke")).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let welcome = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!(welcome.kind, wire::FrameType::Welcome);
+
+    // Write half a frame header, then stall: the server must fault with
+    // Timeout and close rather than wait forever — and under virtual
+    // time "forever" is checked without a single real sleep.
+    stream
+        .write_all(&[wire::FrameType::Request as u8, 0, 0])
+        .unwrap();
+    stream.flush().unwrap();
+    let fault_frame = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+    assert_eq!(fault_frame.kind, wire::FrameType::Fault);
+    let fault = wire::decode_fault(&fault_frame.payload).unwrap();
+    assert_eq!(fault.code, FaultCode::Timeout);
+    // ...and the connection is closed afterwards.
+    let mut rest = Vec::new();
+    let closed = reader.get_mut().read_to_end(&mut rest);
+    assert!(matches!(closed, Ok(0)), "{closed:?} / {} bytes", rest.len());
+    // The stall was detected at the configured virtual timeout, not by a
+    // wall-clock sleep.
+    assert!(world.now_ns() >= 50_000_000, "timeout fired early");
+}
+
+#[test]
+fn malformed_envelopes_fault_without_wedging_the_daemon() {
+    let world = SimWorld::new(3, FaultPlan::default());
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig::default(),
+    );
+    let client = sim_client(&world, LISTINGS, ClientConfig::default());
+    for bad in [
+        "this is not xml",
+        "<notsoap/>",
+        "<soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\"/>",
+    ] {
+        let err = client.call(bad).unwrap_err();
+        match err {
+            ClientError::Fault(f) => {
+                assert_eq!(f.code, FaultCode::Client, "{bad}: {f}");
+                assert!(!f.retryable);
+            }
+            other => panic!("{bad}: expected a Client fault, got {other}"),
+        }
+    }
+    // The connection stays usable after per-request faults.
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("x")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
+}
+
+/// The client's per-call deadline bounds *total* time — dials, attempts,
+/// and backoff sleeps included — not each attempt separately. Against an
+/// always-Busy daemon with a generous attempt budget, the call must stop
+/// at the deadline; the sim clock pins the bound exactly, with no
+/// tolerance for scheduler noise and no wall-clock cost.
+#[test]
+fn deadline_bounds_total_call_time_across_retries() {
+    let world = SimWorld::new(4, FaultPlan::default());
+    world.listen(
+        "busy.example.org",
+        Arc::new(|_id: u64, _envelope: &str| -> Result<String, WireFault> {
+            Err(WireFault::new(FaultCode::Busy, "queue full").retryable())
+        }),
+        SimServerConfig::default(),
+    );
+    let deadline = Duration::from_millis(500);
+    let client = sim_client(
+        &world,
+        "busy.example.org",
+        ClientConfig {
+            attempts: 1000,
+            backoff: Duration::from_millis(20),
+            deadline,
+            ..ClientConfig::default()
+        },
+    );
+    let started = world.now_ns();
+    let wall = std::time::Instant::now();
+    let err = client.call("<x/>").unwrap_err();
+    match err {
+        ClientError::Deadline { budget, last } => {
+            assert_eq!(budget, deadline);
+            assert!(last.is_some(), "the last attempt's error is preserved");
+        }
+        other => panic!("expected Deadline, got {other}"),
+    }
+    let elapsed = world.now_ns() - started;
+    assert!(
+        elapsed <= deadline.as_nanos() as u64 + 1_000_000,
+        "call consumed {elapsed}ns of virtual time against a {deadline:?} deadline"
+    );
+    assert!(
+        elapsed >= deadline.as_nanos() as u64 / 2,
+        "call gave up far too early: {elapsed}ns"
+    );
+    // All those backoff sleeps and read timeouts were virtual.
+    assert!(wall.elapsed() < Duration::from_secs(2));
+}
+
+/// Regression for a bug the simulator's duplication fault found (seed 84
+/// of `regressions/sim/invariants.seeds`): with every frame delivered
+/// twice, the duplicate of a Fault reply lingers in the pooled
+/// connection's read buffer after the call it answered has finished. The
+/// next call on that connection must skip the stale frame — the old
+/// client treated any Fault on the stream as the current call's answer
+/// and failed a perfectly healthy request.
+#[test]
+fn stale_fault_frames_do_not_poison_pooled_connections() {
+    let world = SimWorld::new(5, FaultPlan::default());
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls_in_handler = Arc::clone(&calls);
+    // Deterministic per *content*, not per call count: a request carrying
+    // "doomed" always faults, so the duplicated copy of it faults too.
+    world.listen(
+        "flaky.example.org",
+        Arc::new(move |_id: u64, envelope: &str| -> Result<String, WireFault> {
+            let n = calls_in_handler.fetch_add(1, Ordering::SeqCst);
+            if envelope.contains("doomed") {
+                Err(WireFault::new(FaultCode::Server, "injected failure"))
+            } else {
+                Ok(format!("<ok n=\"{n}\"/>"))
+            }
+        }),
+        SimServerConfig::default(),
+    );
+    let client = sim_client(&world, "flaky.example.org", ClientConfig::default());
+
+    // Handshake and pool a connection while the network is clean.
+    let ok = client.call("<warmup/>").unwrap();
+    assert!(ok.starts_with("<ok"), "{ok}");
+
+    // Now every frame is delivered twice. The doomed request reaches the
+    // handler twice; both replies are Faults carrying the same request
+    // id. The client consumes one, reports the (non-retryable) fault, and
+    // returns the connection to the pool — with the second, now-stale
+    // Fault frame still in flight toward it.
+    world.with_plan(|p| p.dup_prob = 1.0);
+    let err = client.call("<doomed/>").unwrap_err();
+    assert!(
+        matches!(err, ClientError::Fault(ref f) if f.code == FaultCode::Server),
+        "{err}"
+    );
+    world.run_until_idle(); // let the stale duplicate land in the pooled conn
+    world.with_plan(|p| p.dup_prob = 0.0);
+
+    // The next call reuses that connection and must skip the stale frame
+    // (mismatched request id) instead of failing a healthy request — the
+    // bug seed 84 of regressions/sim/invariants.seeds originally exposed.
+    let ok = client.call("<healthy/>").unwrap();
+    assert!(ok.starts_with("<ok"), "{ok}");
+    assert!(
+        calls.load(Ordering::SeqCst) >= 4,
+        "expected warmup + doomed + duplicate + healthy handler calls, saw {}",
+        calls.load(Ordering::SeqCst)
+    );
+}
+
+/// A daemon crash mid-conversation resets every connection and loses
+/// in-flight requests; the client's bounded retry rides out the outage
+/// once the daemon restarts.
+#[test]
+fn crash_restart_is_survived_by_bounded_retry() {
+    let world = SimWorld::new(6, FaultPlan {
+        crashes: vec![Crash {
+            endpoint: LISTINGS.to_owned(),
+            at_ns: 5_000_000,       // 5 ms: between the handshake and the call
+            down_ns: 40_000_000,    // down for 40 ms
+        }],
+        ..FaultPlan::default()
+    });
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig::default(),
+    );
+    let metrics = axml::obs::Registry::new();
+    let client = sim_client(
+        &world,
+        LISTINGS,
+        ClientConfig {
+            attempts: 6,
+            backoff: Duration::from_millis(25),
+            metrics: metrics.clone(),
+            ..ClientConfig::default()
+        },
+    );
+    // Handshake before the crash so a live pooled connection gets reset.
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("x")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
+    world.advance(Duration::from_millis(10)); // now inside the outage
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("y")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
+    assert!(
+        metrics.snapshot().counter("client.retries_total") >= 1,
+        "the second call should have had to retry across the outage"
+    );
+}
+
+/// A partitioned link times out connects and loses frames until it
+/// heals; afterwards the same client reaches the daemon again.
+#[test]
+fn partitions_heal_and_calls_succeed_afterwards() {
+    let world = SimWorld::new(7, FaultPlan {
+        partitions: vec![Partition {
+            a: "tester".to_owned(),
+            b: LISTINGS.to_owned(),
+            from_ns: 0,
+            until_ns: 60_000_000, // first 60 ms
+        }],
+        ..FaultPlan::default()
+    });
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig::default(),
+    );
+    let client = sim_client(
+        &world,
+        LISTINGS,
+        ClientConfig {
+            attempts: 8,
+            backoff: Duration::from_millis(20),
+            connect_timeout: Duration::from_millis(10),
+            ..ClientConfig::default()
+        },
+    );
+    // Dials during the partition time out and are retried; once the link
+    // heals the call lands.
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("x")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
+    assert!(
+        world.now_ns() >= 60_000_000,
+        "the call cannot have completed while partitioned"
+    );
+}

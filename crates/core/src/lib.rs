@@ -14,6 +14,8 @@
 //!   against live services, including the backtracking executor of Sec. 5.
 //! * [`mixed`] — the mixed approach of Sec. 5 (eager invocation of cheap
 //!   calls, then safe analysis on actual results).
+//! * [`adversary`] — strategic opponents extracted from the solved games:
+//!   worst-case type-correct answers for a given call.
 //! * [`schema_rw`] — schema-to-schema safe rewriting (Sec. 6).
 //! * [`invoke`] — the service-invocation boundary.
 //! * [`brute`] — brute-force reference implementations of the definitions,
@@ -47,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod awk;
 pub mod brute;
 pub mod dot;

@@ -176,6 +176,26 @@ impl PossibleGame {
         self.pairs.len()
     }
 
+    /// The product node for an `(awk state, target state)` pair, if that
+    /// pair survived construction (pairs dead in the target are pruned).
+    /// The inverse of [`PossibleGame::pair`], for callers walking the game
+    /// graph externally (e.g. a strategic adversary scoring its answers).
+    pub fn node(&self, awk_state: u32, target_state: u32) -> Option<NodeId> {
+        self.ids.get(&(awk_state, target_state)).copied()
+    }
+
+    /// The adversary's preferred move from `node`: a successor that is
+    /// *not viable* (traps the rewriter away from every accepting node),
+    /// if any. Ties break on the lowest edge id so strategic opponents
+    /// replay deterministically.
+    pub fn trapping_successor(&self, node: NodeId) -> Option<(EdgeId, NodeId)> {
+        self.out[node as usize]
+            .iter()
+            .copied()
+            .find(|&(_, t)| !self.viable[t as usize])
+            .or_else(|| self.out[node as usize].first().copied())
+    }
+
     /// Whether `node` is an accepting terminal.
     pub fn accepting(&self, node: NodeId) -> bool {
         self.is_accepting(node)

@@ -288,6 +288,25 @@ impl SafeGame {
         self.pairs.len()
     }
 
+    /// The product node for an `(awk state, complement state)` pair, if
+    /// that pair was reached during construction. The inverse of
+    /// [`SafeGame::pair`], for callers walking the game graph externally
+    /// (e.g. a strategic adversary replaying answer choices).
+    pub fn node(&self, awk_state: u32, comp_state: u32) -> Option<NodeId> {
+        self.ids.get(&(awk_state, comp_state)).copied()
+    }
+
+    /// The adversary's preferred move from `node`: a successor that stays
+    /// *marked* (keeps the rewriter losing), if any. Ties break on the
+    /// lowest edge id so strategic opponents replay deterministically.
+    pub fn adversarial_successor(&self, node: NodeId) -> Option<(EdgeId, NodeId)> {
+        self.out[node as usize]
+            .iter()
+            .copied()
+            .find(|&(_, t)| self.marked[t as usize])
+            .or_else(|| self.out[node as usize].first().copied())
+    }
+
     /// The static rewriting decisions for the *original* function
     /// occurrences of `w`, in left-to-right order: `true` = invoke.
     ///

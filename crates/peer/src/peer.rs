@@ -220,6 +220,14 @@ impl Peer {
             .insert(def.name.clone(), Exported { def, query });
     }
 
+    /// Withdraws a previously declared service (registry churn: the
+    /// provider stops serving mid-exchange). Later calls fail with the
+    /// typed [`PeerError::NoSuchService`]; re-declaring restores it.
+    /// Returns whether the service was declared.
+    pub fn retract(&self, name: &str) -> bool {
+        self.exported.write().remove(name).is_some()
+    }
+
     /// WSDL_int descriptions of the peer's declared services.
     pub fn interface(&self) -> Vec<ServiceDef> {
         let mut out: Vec<ServiceDef> = self
@@ -552,6 +560,24 @@ mod tests {
             Query::Document("front".to_owned()),
         );
         Arc::new(peer)
+    }
+
+    #[test]
+    fn retracted_service_fails_typed_and_redeclare_restores() {
+        let peer = newspaper_peer();
+        peer.handle("Front_Page", &[ITree::text("today")]).unwrap();
+        assert!(peer.retract("Front_Page"));
+        assert!(!peer.retract("Front_Page"), "second retract is a no-op");
+        assert!(peer.interface().is_empty());
+        match peer.handle("Front_Page", &[ITree::text("today")]) {
+            Err(PeerError::NoSuchService(name)) => assert_eq!(name, "Front_Page"),
+            other => panic!("expected NoSuchService, got {other:?}"),
+        }
+        peer.declare(
+            SDef::new("Front_Page", "data", "newspaper"),
+            Query::Document("front".to_owned()),
+        );
+        peer.handle("Front_Page", &[ITree::text("today")]).unwrap();
     }
 
     #[test]

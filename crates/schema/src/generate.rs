@@ -81,6 +81,22 @@ pub fn generate_output_instance<R: Rng + ?Sized>(
     gen_forest(compiled, output, rng, config, 0, &mut budget)
 }
 
+/// Realizes one *fixed* word as an instance forest: one subtree per
+/// symbol, with element contents (below the word level) still drawn from
+/// `rng`. Used by strategic adversaries that have already chosen the
+/// worst-case answer word and only need data under it.
+pub fn generate_word_instance<R: Rng + ?Sized>(
+    compiled: &Compiled,
+    word: &[Symbol],
+    rng: &mut R,
+    config: &GenConfig,
+) -> Result<Vec<ITree>, GenError> {
+    let mut budget = config.max_nodes;
+    word.iter()
+        .map(|&sym| gen_symbol(compiled, sym, rng, config, 0, &mut budget))
+        .collect()
+}
+
 fn gen_element<R: Rng + ?Sized>(
     compiled: &Compiled,
     label: &str,
@@ -251,6 +267,21 @@ mod tests {
                 generate_output_instance(&c, &sig.output, &mut rng, &GenConfig::default()).unwrap();
             crate::validate::validate_output_instance(&forest, &sig.output_dfa, &c).unwrap();
         }
+    }
+
+    #[test]
+    fn fixed_words_realize_and_validate() {
+        let c = paper_compiled();
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(13);
+        let sig = c.sig_of("TimeOut").clone();
+        let word: Vec<Symbol> = ["exhibit", "performance", "exhibit"]
+            .iter()
+            .map(|n| c.alphabet().lookup(n).unwrap())
+            .collect();
+        let forest =
+            generate_word_instance(&c, &word, &mut rng, &GenConfig::default()).unwrap();
+        assert_eq!(forest.len(), 3);
+        crate::validate::validate_output_instance(&forest, &sig.output_dfa, &c).unwrap();
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub use def::{
     PatternOracle, Predicate, Schema, SchemaBuilder, SchemaError, ANY_ELEMENT, ANY_FUNCTION, DATA,
 };
 pub use doc::{newspaper_example, FuncNode, ITree, INT_NS};
-pub use generate::{generate_instance, generate_output_instance, GenConfig, GenError};
+pub use generate::{
+    generate_instance, generate_output_instance, generate_word_instance, GenConfig, GenError,
+};
 pub use path::{PathError, PathQuery, Step};
 pub use refine::{schema_refines, RefineFailure};
 pub use stream::{validate_xml_stream, StreamValidator};

@@ -80,6 +80,15 @@ impl Registry {
         self.register(def, Arc::new(f));
     }
 
+    /// Removes a service from the registry (UDDI churn: a provider
+    /// withdraws its listing mid-exchange). Later calls fail with the
+    /// typed "service not registered" [`InvokeError`]; ACL entries are
+    /// kept, so re-registering restores the previous grants. Returns
+    /// whether the service was registered.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.inner.write().services.remove(name).is_some()
+    }
+
     /// True if a service with this name is registered (the `UDDIF`
     /// predicate).
     pub fn is_registered(&self, name: &str) -> bool {
@@ -285,6 +294,30 @@ mod tests {
         assert!(!reg.is_registered("ghost"));
         assert_eq!(reg.describe("Get_Temp"), Some(def));
         assert_eq!(reg.descriptions().len(), 1);
+    }
+
+    #[test]
+    fn deregister_churn_fails_typed_and_reregister_restores() {
+        let reg = Registry::new();
+        let (def, imp) = temp_service();
+        reg.register(def.clone(), Arc::clone(&imp));
+        reg.grant("alice", "Get_Temp");
+        let mut inv = reg.invoker(Some("alice"));
+        inv.invoke("Get_Temp", &[ITree::data("city", "Paris")])
+            .unwrap();
+        assert!(reg.deregister("Get_Temp"));
+        assert!(!reg.is_registered("Get_Temp"));
+        assert!(!reg.deregister("Get_Temp"), "second deregister is a no-op");
+        let err = reg
+            .invoker(Some("alice"))
+            .invoke("Get_Temp", &[ITree::data("city", "Paris")])
+            .unwrap_err();
+        assert!(err.message.contains("not registered"), "{err:?}");
+        // Re-registering restores the service *and* the surviving grant.
+        reg.register(def, imp);
+        reg.invoker(Some("alice"))
+            .invoke("Get_Temp", &[ITree::data("city", "Paris")])
+            .unwrap();
     }
 
     #[test]

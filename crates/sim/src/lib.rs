@@ -20,18 +20,39 @@
 //! * [`world`] — the event queue, virtual clock, in-memory transport,
 //!   fault pipeline, and server actors;
 //! * [`scenario`] — the Fig. 1 three-party exchange scenario, its
-//!   invariant checks, and the transcript serializer.
+//!   invariant checks, and the transcript serializer;
+//! * [`marketplace`] — continuation-style quote chains across a provider
+//!   fleet, with UDDI/ACL registry churn mid-exchange;
+//! * [`soak`] — the fleet-scale soak: ≥100 peers, ≥1000 exchanges in
+//!   one world, every invariant checked fleet-wide;
+//! * [`strategy`] — pluggable provider answer policies: random,
+//!   crashing, and the strategic game-graph opponent;
+//! * [`topology`] — declarative construction of multi-peer casts
+//!   (listening peers, custom services, client edges).
 //!
 //! [`Transport`]: axml_net::Transport
 //! [`Clock`]: axml_support::clock::Clock
 
 #![warn(missing_docs)]
 
+pub mod marketplace;
 pub mod scenario;
+pub mod soak;
+pub mod strategy;
+pub mod topology;
 pub mod world;
 
+pub use marketplace::{
+    market_endpoint, marketplace_schema, offer, run_marketplace, ChurnKind, ChurnPlan,
+    MarketplaceConfig, RoutingInvoker, StrategyKind, BUYER, PRINCIPAL, SHOPPER,
+};
 pub use scenario::{
     exchange_schema, exhibit, run_scenario, scenario_plan, Mode, Outcome, ScenarioConfig,
     ScenarioReport, PROVIDER, RECEIVER, SENDER,
 };
+pub use soak::{fleet_endpoint, run_soak, SoakConfig, SoakReport};
+pub use strategy::{
+    strategy_provider, CrashingStrategy, RandomStrategy, StrategicStrategy, Strategy,
+};
+pub use topology::{Link, PeerNode, Topology};
 pub use world::{Crash, FaultPlan, Partition, SimServerConfig, SimWorld};

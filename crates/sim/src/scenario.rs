@@ -37,18 +37,15 @@
 //! event log, rewrite decisions, outcome, metric snapshots — that is
 //! byte-identical across runs of the same seed.
 
-use crate::world::{Crash, FaultPlan, Partition, SimServerConfig, SimWorld};
+use crate::strategy::{strategy_provider, RandomStrategy};
+use crate::topology::Topology;
+use crate::world::{Crash, FaultPlan, Partition, SimWorld};
 use axml_core::rewrite::{RewriteReport, Rewriter};
 use axml_core::solve_cache::SolveCache;
-use axml_net::wire::{FaultCode, WireFault};
-use axml_net::{ClientConfig, NetClient};
-use axml_peer::{envelope_handler, NetInvoker, Peer, PeerError, RemotePeer};
-use axml_schema::{
-    generate_output_instance, validate, Compiled, GenConfig, ITree, NoOracle, Schema,
-};
-use axml_services::soap;
+use axml_net::ClientConfig;
+use axml_peer::{NetInvoker, PeerError};
+use axml_schema::{validate, Compiled, ITree, NoOracle, Schema};
 use axml_support::rng::{RngExt, SeedableRng, StdRng};
-use axml_support::sync::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -115,6 +112,7 @@ impl ScenarioConfig {
                 b: if rng.random_bool(0.5) { PROVIDER } else { RECEIVER }.to_owned(),
                 from_ns,
                 until_ns: from_ns + rng.random_range(0..300_000_000),
+                oneway: false,
             });
         }
         if rng.random_bool(0.25) {
@@ -221,41 +219,27 @@ fn generated_doc(rng: &mut StdRng, exhibits: usize) -> ITree {
 
 /// The adversarial provider: answers `Get_Date` with *random but
 /// type-correct* data, or an injected fault (half of them retryable) —
-/// all drawn deterministically from the scenario seed.
+/// all drawn deterministically from the scenario seed. Now a thin alias
+/// for [`RandomStrategy`] under the strategy adapter; the RNG draws are
+/// identical, so transcripts are unchanged.
 fn adversarial_provider(
     compiled: Arc<Compiled>,
     seed: u64,
     fault_prob: f64,
 ) -> Arc<dyn axml_net::Handler> {
-    let rng = Mutex::new(StdRng::seed_from_u64(seed ^ 0xad7e_25a1));
-    Arc::new(move |_id: u64, envelope: &str| -> Result<String, WireFault> {
-        let message = soap::decode(envelope)
-            .map_err(|e| WireFault::new(FaultCode::Client, format!("bad envelope: {e}")))?;
-        let soap::Message::Request { method, .. } = message else {
-            return Err(WireFault::new(FaultCode::Client, "expected a call request"));
-        };
-        let mut rng = rng.lock();
-        if rng.random_bool(fault_prob) {
-            let f = WireFault::new(FaultCode::Server, "injected service failure");
-            return Err(if rng.random_bool(0.5) { f.retryable() } else { f });
-        }
-        let output = compiled.sig_of(&method).output.clone();
-        let result = generate_output_instance(&compiled, &output, &mut *rng, &GenConfig::default())
-            .map_err(|e| WireFault::new(FaultCode::Server, e.to_string()))?;
-        Ok(soap::response(&result).to_xml())
-    })
+    strategy_provider(compiled, seed, Arc::new(RandomStrategy { fault_prob }))
 }
 
-fn client_config(config: &ScenarioConfig, metrics: &axml_obs::Registry) -> ClientConfig {
+/// The client template every scenario edge starts from (the topology
+/// overrides `name` and `metrics` per edge).
+fn client_template(config: &ScenarioConfig) -> ClientConfig {
     ClientConfig {
-        name: SENDER.to_owned(),
         connect_timeout: Duration::from_millis(100),
         read_timeout: Duration::from_millis(200),
         attempts: config.attempts,
         backoff: Duration::from_millis(10),
         deadline: config.deadline,
         seed: config.seed,
-        metrics: metrics.clone(),
         ..ClientConfig::default()
     }
 }
@@ -263,57 +247,27 @@ fn client_config(config: &ScenarioConfig, metrics: &axml_obs::Registry) -> Clien
 /// Runs one seeded Fig. 1 exchange and checks every invariant.
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let world = SimWorld::new(config.seed, config.plan.clone());
-    let compiled = exchange_schema();
+    let topo = Topology::new(&world, exchange_schema()).with_client_template(client_template(config));
+    let compiled = Arc::clone(topo.compiled());
 
     // Receiver: the real peer pipeline served as a sim actor.
-    let receiver_metrics = axml_obs::Registry::new();
-    let receiver_peer = Arc::new(Peer::new(
-        RECEIVER,
-        Arc::clone(&compiled),
-        Arc::new(axml_services::Registry::new()),
-    ));
-    world.listen(
-        RECEIVER,
-        envelope_handler(Arc::clone(&receiver_peer)),
-        SimServerConfig {
-            name: RECEIVER.to_owned(),
-            metrics: receiver_metrics.clone(),
-            ..SimServerConfig::default()
-        },
-    );
+    let receiver = topo.peer(RECEIVER);
+    let receiver_peer = Arc::clone(&receiver.peer);
+    let receiver_metrics = receiver.metrics.clone();
 
     // Provider: adversarial Get_Date daemon.
-    let provider_metrics = axml_obs::Registry::new();
-    world.listen(
+    let provider_metrics = topo.serve(
         PROVIDER,
         adversarial_provider(Arc::clone(&compiled), config.seed, config.provider_fault_prob),
-        SimServerConfig {
-            name: PROVIDER.to_owned(),
-            metrics: provider_metrics.clone(),
-            ..SimServerConfig::default()
-        },
     );
 
     // Sender: the real pooled client stack over the sim transport.
-    let sender_peer = Arc::new(Peer::new(
-        SENDER,
-        Arc::clone(&compiled),
-        Arc::new(axml_services::Registry::new()),
-    ));
-    let provider_client_metrics = axml_obs::Registry::new();
-    let receiver_client_metrics = axml_obs::Registry::new();
-    let provider_remote = RemotePeer::from_client(NetClient::with_transport(
-        PROVIDER,
-        world.transport(SENDER),
-        world.clock(),
-        client_config(config, &provider_client_metrics),
-    ));
-    let receiver_remote = RemotePeer::from_client(NetClient::with_transport(
-        RECEIVER,
-        world.transport(SENDER),
-        world.clock(),
-        client_config(config, &receiver_client_metrics),
-    ));
+    let sender_peer = topo.local_peer(SENDER);
+    let provider_link = topo.remote(SENDER, PROVIDER);
+    let receiver_link = topo.remote(SENDER, RECEIVER);
+    let (provider_remote, receiver_remote) = (&provider_link.remote, &receiver_link.remote);
+    let provider_client_metrics = provider_link.metrics.clone();
+    let receiver_client_metrics = receiver_link.metrics.clone();
 
     // Enforce the exchange schema through the real rewriter, materializing
     // embedded calls over the simulated network; then ship the result.
@@ -329,7 +283,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioReport {
     let exchange = || -> Result<(ITree, RewriteReport), PeerError> {
         let mut invoker = NetInvoker {
             caller: &sender_peer,
-            remote: &provider_remote,
+            remote: provider_remote,
         };
         let mut rewriter = Rewriter::new(&compiled).with_k(1).with_cache(&cache);
         let (sent, report) = if validate(&doc, &compiled).is_ok() {

@@ -51,18 +51,48 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One scheduled link partition: frames between `a` and `b` (either
-/// direction) sent inside `[from_ns, until_ns)` are silently lost.
+/// One scheduled link partition: frames between `a` and `b` sent inside
+/// `[from_ns, until_ns)` are silently lost — in both directions by
+/// default, or only `a → b` when `oneway` is set (an asymmetric cut: a
+/// request can still land while its response vanishes, or vice versa,
+/// which is what drives the client's retry-until-deadline path).
 #[derive(Debug, Clone)]
 pub struct Partition {
-    /// One side of the link (an endpoint or client name).
+    /// One side of the link (an endpoint or client name); the sending
+    /// side when `oneway`.
     pub a: String,
-    /// The other side.
+    /// The other side; the receiving side when `oneway`.
     pub b: String,
     /// Virtual time the partition starts.
     pub from_ns: u64,
     /// Virtual time the link heals.
     pub until_ns: u64,
+    /// Cut only the `a → b` direction; `b → a` frames still flow.
+    pub oneway: bool,
+}
+
+impl Partition {
+    /// A symmetric partition: both directions cut during the window.
+    pub fn symmetric(a: &str, b: &str, from_ns: u64, until_ns: u64) -> Partition {
+        Partition {
+            a: a.to_owned(),
+            b: b.to_owned(),
+            from_ns,
+            until_ns,
+            oneway: false,
+        }
+    }
+
+    /// An asymmetric partition: only frames from `from` to `to` are lost.
+    pub fn oneway(from: &str, to: &str, from_ns: u64, until_ns: u64) -> Partition {
+        Partition {
+            a: from.to_owned(),
+            b: to.to_owned(),
+            from_ns,
+            until_ns,
+            oneway: true,
+        }
+    }
 }
 
 /// One scheduled crash: at `at_ns` the endpoint loses every connection
@@ -312,9 +342,9 @@ impl WorldState {
         self.queue.push(Scheduled { at_ns, seq, event });
     }
 
-    fn partitioned(&self, a: &str, b: &str) -> bool {
+    fn partitioned(&self, from: &str, to: &str) -> bool {
         self.plan.partitions.iter().any(|p| {
-            ((p.a == a && p.b == b) || (p.a == b && p.b == a))
+            ((p.a == from && p.b == to) || (!p.oneway && p.a == to && p.b == from))
                 && self.now_ns >= p.from_ns
                 && self.now_ns < p.until_ns
         })

@@ -151,6 +151,10 @@ timeout --kill-after=10 60 cargo test -q --offline --test sim_invariants
 timeout --kill-after=10 60 cargo test -q --offline --test sim_faults
 timeout --kill-after=10 60 cargo test -q --offline --test golden_transcripts
 timeout --kill-after=10 60 cargo test -q --offline -p axml-sim
+# Fleet soak (DESIGN.md §10.5): the reduced 16-peer gate plus the full
+# 100-peer/1000-exchange fleet, strategic game-graph adversaries
+# included — determinism and both accounting identities fleet-wide.
+timeout --kill-after=10 60 cargo test -q --offline --test sim_soak
 sim_elapsed=$(( $(date +%s) - sim_started ))
 if [ "$sim_elapsed" -ge 60 ]; then
     echo "sim gate blew its wall-clock budget: ${sim_elapsed}s >= 60s"

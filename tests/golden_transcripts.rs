@@ -18,7 +18,10 @@
 //! and review the diff of `tests/golden/` like any other code change.
 
 use axml::schema::ITree;
-use axml::sim::{exhibit, run_scenario, FaultPlan, Mode, Outcome, ScenarioConfig};
+use axml::sim::{
+    exhibit, offer, run_marketplace, run_scenario, FaultPlan, MarketplaceConfig, Mode, Outcome,
+    ScenarioConfig, StrategyKind,
+};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -121,4 +124,39 @@ fn fig9_possible_rewriting_transcript_is_stable() {
     });
     assert!(report.violations.is_empty(), "{:?}", report.violations);
     check_golden("fig9.txt", &report.transcript);
+}
+
+/// The strategic game-graph adversary (Sec. 5's Possible game, played
+/// against us): on a seed where a random opponent delivers, the
+/// strategic provider walks the solved game graph and answers the worst
+/// type-correct word (`apology`) at every `Get_Quote` fork, forcing the
+/// possible-mode rewrite into a typed exhaustion failure. The pinned
+/// transcript shows the whole dance — the quote call, the apology
+/// answer, the backtracking, the typed error — byte-for-byte.
+#[test]
+fn strategic_adversary_transcript_is_stable() {
+    let config = MarketplaceConfig {
+        seed: 3,
+        plan: FaultPlan::default(),
+        mode: Mode::Possible,
+        doc: Some(ITree::elem(
+            "catalog",
+            vec![offer("laptop", Some("Get_Quote"))],
+        )),
+        offers: 0,
+        strategies: vec![StrategyKind::Strategic],
+        k: 3,
+        churn: None,
+        attempts: 4,
+        deadline: Duration::from_secs(5),
+    };
+    let report = run_marketplace(&config);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    // The same seed with a fault-free random opponent delivers (see
+    // tests/sim_soak.rs); the strategic opponent must not.
+    match &report.outcome {
+        Outcome::Failed { error } => assert!(error.contains("all rewriting branches failed")),
+        Outcome::Delivered { .. } => panic!("strategic opponent must force a typed failure"),
+    }
+    check_golden("strategic.txt", &report.transcript);
 }

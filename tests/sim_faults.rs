@@ -324,12 +324,7 @@ fn crash_restart_is_survived_by_bounded_retry() {
 #[test]
 fn partitions_heal_and_calls_succeed_afterwards() {
     let world = SimWorld::new(7, FaultPlan {
-        partitions: vec![Partition {
-            a: "tester".to_owned(),
-            b: LISTINGS.to_owned(),
-            from_ns: 0,
-            until_ns: 60_000_000, // first 60 ms
-        }],
+        partitions: vec![Partition::symmetric("tester", LISTINGS, 0, 60_000_000)],
         ..FaultPlan::default()
     });
     world.listen(
@@ -357,4 +352,120 @@ fn partitions_heal_and_calls_succeed_afterwards() {
         world.now_ns() >= 60_000_000,
         "the call cannot have completed while partitioned"
     );
+}
+
+/// An asymmetric cut of the *request* direction: the client's dials and
+/// frames toward the daemon vanish, so every attempt times out until the
+/// window closes, and the retry loop carries the call across the heal.
+#[test]
+fn oneway_request_partition_is_retried_until_heal() {
+    let world = SimWorld::new(8, FaultPlan {
+        partitions: vec![Partition::oneway("tester", LISTINGS, 0, 60_000_000)],
+        ..FaultPlan::default()
+    });
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig::default(),
+    );
+    let metrics = axml::obs::Registry::new();
+    let client = sim_client(
+        &world,
+        LISTINGS,
+        ClientConfig {
+            attempts: 8,
+            backoff: Duration::from_millis(20),
+            connect_timeout: Duration::from_millis(10),
+            metrics: metrics.clone(),
+            ..ClientConfig::default()
+        },
+    );
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("x")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
+    assert!(
+        world.now_ns() >= 60_000_000,
+        "no request can land while the forward direction is cut"
+    );
+    assert!(
+        metrics.snapshot().counter("client.retries_total") >= 1,
+        "the call must have retried across the outage"
+    );
+}
+
+/// An asymmetric cut of the *response* direction: requests still land and
+/// the daemon answers, but every reply vanishes until the window closes.
+/// The in-window call does server-side work that is never acknowledged
+/// (the client times out reading, retries on a fresh dial, and fails
+/// *typed* because the Welcome frame is lost too — handshake failures
+/// are terminal by design). The server accounting identity
+/// `requests = ok + faults` must hold despite the orphaned work, and the
+/// link must serve again once healed.
+#[test]
+fn oneway_response_partition_orphans_work_but_keeps_accounting() {
+    let world = SimWorld::new(9, FaultPlan {
+        // Cut starts at 10 ms, after the first call's handshake pools a
+        // live connection, and heals at 60 ms.
+        partitions: vec![Partition::oneway(LISTINGS, "tester", 10_000_000, 60_000_000)],
+        ..FaultPlan::default()
+    });
+    let server_metrics = axml::obs::Registry::new();
+    world.listen(
+        LISTINGS,
+        envelope_handler(listings_peer()),
+        SimServerConfig {
+            metrics: server_metrics.clone(),
+            ..Default::default()
+        },
+    );
+    let client_metrics = axml::obs::Registry::new();
+    let client = sim_client(
+        &world,
+        LISTINGS,
+        ClientConfig {
+            attempts: 4,
+            backoff: Duration::from_millis(5),
+            connect_timeout: Duration::from_millis(10),
+            read_timeout: Duration::from_millis(25),
+            metrics: client_metrics.clone(),
+            ..ClientConfig::default()
+        },
+    );
+    // Before the cut: normal round trip, connection pooled.
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("x")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
+    world.advance(Duration::from_millis(15)); // now inside the window
+    // In-window: the request reaches the daemon on the pooled connection
+    // and is served, but the response is lost; the retry's fresh dial
+    // never sees a Welcome, which is a terminal typed failure.
+    let err = client
+        .call(&soap::request("Listings", &[ITree::text("y")]).to_xml())
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Handshake(_)),
+        "expected a typed handshake failure, got {err}"
+    );
+    assert!(client_metrics.snapshot().counter("client.retries_total") >= 1);
+    let server = server_metrics.snapshot();
+    let requests = server.counter("server.requests_total");
+    assert!(
+        requests >= 2,
+        "the in-window request must have reached the daemon (saw {requests})"
+    );
+    assert_eq!(
+        requests,
+        server.counter("server.responses_ok_total") + server.counter("server.faults_total"),
+        "requests = ok + faults must hold even for orphaned responses"
+    );
+    // After the heal the same client serves again on a fresh dial.
+    while world.now_ns() < 60_000_000 {
+        world.advance(Duration::from_millis(10));
+    }
+    let ok = client
+        .call(&soap::request("Listings", &[ITree::text("z")]).to_xml())
+        .unwrap();
+    assert!(ok.contains("exhibit"));
 }

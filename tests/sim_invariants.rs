@@ -22,7 +22,7 @@
 //! ```
 
 use axml::obs::{install_sink, uninstall_sink, RingSink, SpanSink};
-use axml::sim::{run_scenario, Outcome, ScenarioConfig};
+use axml::sim::{run_marketplace, run_scenario, MarketplaceConfig, Outcome, ScenarioConfig};
 use axml_support::prop::{run, ProptestConfig, TestCaseError};
 use std::sync::Arc;
 
@@ -63,6 +63,43 @@ fn seed_batch_upholds_exchange_invariants() {
     );
 }
 
+/// Marketplace analogue of [`assert_seed_holds`]: continuation chains
+/// across a seeded provider fleet (random, crashing, and strategic
+/// opponents), UDDI/ACL registry churn mid-exchange, one-direction
+/// partitions — same invariant suite, same shrink-and-replay story.
+fn assert_marketplace_seed_holds(seed: u64) -> Result<(), TestCaseError> {
+    let report = run_marketplace(&MarketplaceConfig::from_seed(seed));
+    if report.violations.is_empty() {
+        return Ok(());
+    }
+    let tail: String = report
+        .transcript
+        .lines()
+        .rev()
+        .take(30)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect::<Vec<_>>()
+        .join("\n");
+    Err(TestCaseError::fail(format!(
+        "marketplace seed 0x{seed:016x} violated: {:?}\ntranscript tail:\n{tail}",
+        report.violations
+    )))
+}
+
+/// The marketplace CI gate: ≥1000 seeded fleets (plus the curated corpus
+/// in `regressions/sim/marketplace.seeds`) uphold the invariants.
+#[test]
+fn marketplace_seed_batch_upholds_invariants() {
+    run(
+        "sim/marketplace",
+        &ProptestConfig::with_cases(1000),
+        0u64..u64::MAX,
+        assert_marketplace_seed_holds,
+    );
+}
+
 /// Determinism pin: the same seed, run twice, produces byte-identical
 /// event logs, transcripts and metrics snapshots.
 #[test]
@@ -74,6 +111,13 @@ fn same_seed_replays_byte_identically() {
         assert_eq!(
             a.transcript, b.transcript,
             "seed 0x{seed:x} diverged between runs"
+        );
+        let config = MarketplaceConfig::from_seed(seed);
+        let a = run_marketplace(&config);
+        let b = run_marketplace(&config);
+        assert_eq!(
+            a.transcript, b.transcript,
+            "marketplace seed 0x{seed:x} diverged between runs"
         );
     }
 }

@@ -1,0 +1,184 @@
+//! B12: cold start vs warm-snapshot start (DESIGN.md §11).
+//!
+//! A daemon restart used to mean an empty [`SolveCache`]: the first
+//! request of every distinct shape re-ran the full Glushkov →
+//! determinize → complement → `A_w^k` → fixpoint pipeline. With the
+//! store, the restarting daemon reloads its snapshot and resumes at
+//! warm hit-rates. Four variants measure the difference:
+//!
+//! * `cold_start_first_request` — fresh cache, serve one request: the
+//!   price every restart used to pay;
+//! * `warm_start_first_request` — load the snapshot from disk *and*
+//!   serve the same request: the price a restart pays now (snapshot
+//!   I/O included);
+//! * `snapshot_load` / `snapshot_persist` — the store operations in
+//!   isolation.
+//!
+//! The JSON report carries a `warm_start` block comparing the first
+//! 100 post-(re)start requests cold vs warm: CI asserts the warm
+//! restart serves all 100 without a single solver miss.
+
+use axml_core::rewrite::Rewriter;
+use axml_core::solve_cache::SolveCache;
+use axml_obs::Registry;
+use axml_schema::{Compiled, ITree, NoOracle, Schema};
+use axml_store::Store;
+use axml_support::bench::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Distinct request shapes: each costs its own subtree game cold.
+const SHAPES: usize = 8;
+/// The "first requests after restart" window the JSON block reports.
+const FIRST_REQUESTS: usize = 100;
+
+fn exchange_compiled() -> Compiled {
+    Compiled::new(
+        Schema::builder()
+            .element("r", "exhibit*")
+            .element("exhibit", "title.date.line*")
+            .data_element("title")
+            .data_element("date")
+            .data_element("line")
+            .function("Get_Date", "title", "date")
+            .build()
+            .unwrap(),
+        &NoOracle,
+    )
+    .unwrap()
+}
+
+/// Request `i`: `1 + i % SHAPES` trailing lines, so requests cycle
+/// through `SHAPES` distinct children words — the realistic regime
+/// where a warm cache answers everything and a cold one solves each
+/// shape once.
+fn request_doc(i: usize) -> ITree {
+    let title = format!("t{i}");
+    let mut children = vec![
+        ITree::data("title", &title),
+        ITree::func("Get_Date", vec![ITree::data("title", &title)]),
+    ];
+    for l in 0..1 + i % SHAPES {
+        children.push(ITree::data("line", &format!("l{l}")));
+    }
+    ITree::elem("r", vec![ITree::elem("exhibit", children)])
+}
+
+fn invoker() -> axml_core::invoke::ScriptedInvoker {
+    axml_core::invoke::ScriptedInvoker::new().answer("Get_Date", vec![ITree::data("date", "mon")])
+}
+
+/// Serves `n` requests through `cache`, returning total output size.
+fn serve(compiled: &Compiled, cache: &SolveCache, n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        let (out, _) = Rewriter::new(compiled)
+            .with_k(2)
+            .with_cache(cache)
+            .rewrite_safe(&request_doc(i), &mut invoker())
+            .unwrap();
+        total += out.size();
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let compiled = exchange_compiled();
+    let dir = std::env::temp_dir().join(format!("axml-b12-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+
+    // Yesterday's daemon: serve the traffic once, snapshot at shutdown.
+    let yesterday = SolveCache::unpublished(512);
+    serve(&compiled, &yesterday, FIRST_REQUESTS);
+    let snapshot_bytes = store
+        .persist_cache(&yesterday, compiled.fingerprint())
+        .unwrap();
+    let entries = yesterday.export_entries().len();
+
+    // Out-of-band comparison for the JSON block: the first 100
+    // requests after a cold start vs after a warm-snapshot start.
+    let cold_registry = Registry::new();
+    let cold = SolveCache::with_registry(512, &cold_registry);
+    serve(&compiled, &cold, FIRST_REQUESTS);
+    let warm_registry = Registry::new();
+    let warm = SolveCache::with_registry(512, &warm_registry);
+    let load = store.load_cache(&warm, compiled.fingerprint());
+    assert_eq!(load.entries, entries);
+    serve(&compiled, &warm, FIRST_REQUESTS);
+    let cold_snap = cold_registry.snapshot();
+    let warm_snap = warm_registry.snapshot();
+
+    let mut group = c.benchmark_group("b12_store_warm_start");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("cold_start_first_request", |b| {
+        b.iter(|| {
+            let cache = SolveCache::unpublished(512);
+            black_box(serve(&compiled, &cache, black_box(1)))
+        })
+    });
+    group.bench_function("warm_start_first_request", |b| {
+        b.iter(|| {
+            let cache = SolveCache::unpublished(512);
+            let report = store.load_cache(&cache, compiled.fingerprint());
+            assert!(!report.discarded);
+            black_box(serve(&compiled, &cache, black_box(1)))
+        })
+    });
+    group.bench_function("cold_start_first_100", |b| {
+        b.iter(|| {
+            let cache = SolveCache::unpublished(512);
+            black_box(serve(&compiled, &cache, black_box(FIRST_REQUESTS)))
+        })
+    });
+    group.bench_function("warm_start_first_100", |b| {
+        b.iter(|| {
+            let cache = SolveCache::unpublished(512);
+            store.load_cache(&cache, compiled.fingerprint());
+            black_box(serve(&compiled, &cache, black_box(FIRST_REQUESTS)))
+        })
+    });
+    group.bench_function("snapshot_load", |b| {
+        b.iter(|| {
+            let cache = SolveCache::unpublished(512);
+            black_box(store.load_cache(&cache, compiled.fingerprint()).entries)
+        })
+    });
+    group.bench_function("snapshot_persist", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .persist_cache(&yesterday, compiled.fingerprint())
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.attach_json(
+        "warm_start",
+        format!(
+            concat!(
+                "{{\"snapshot_bytes\":{},\"entries\":{},\"first_requests\":{},",
+                "\"cold\":{{\"lookups\":{},\"hits\":{},\"misses\":{}}},",
+                "\"warm\":{{\"lookups\":{},\"hits\":{},\"misses\":{}}}}}"
+            ),
+            snapshot_bytes,
+            entries,
+            FIRST_REQUESTS,
+            cold_snap.counter("solve_cache.lookups_total"),
+            cold_snap.counter("solve_cache.hits_total"),
+            cold_snap.counter("solve_cache.misses_total"),
+            warm_snap.counter("solve_cache.lookups_total"),
+            warm_snap.counter("solve_cache.hits_total"),
+            warm_snap.counter("solve_cache.misses_total"),
+        ),
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

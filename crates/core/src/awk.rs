@@ -156,6 +156,96 @@ impl Awk {
         &self.out[state as usize]
     }
 
+    /// Reassembles an automaton from its serialized parts (the snapshot
+    /// decode path in `axml-store`).
+    ///
+    /// The `out` adjacency must be passed explicitly — it is *not*
+    /// derivable from `edges`, because fork expansion reorders a
+    /// state's outgoing list in place and the game builders depend on
+    /// that order. Every structural invariant the builder guarantees is
+    /// re-checked here, so a corrupted or adversarial snapshot yields
+    /// `Err`, never an automaton that can make downstream indexing
+    /// panic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        num_symbols: usize,
+        kinds: Vec<StateKind>,
+        edges: Vec<Edge>,
+        out: Vec<Vec<EdgeId>>,
+        start: StateId,
+        finish: StateId,
+        k: u32,
+        direction: Direction,
+    ) -> Result<Awk, String> {
+        let states = kinds.len();
+        if out.len() != states {
+            return Err(format!(
+                "adjacency covers {} states but {} are declared",
+                out.len(),
+                states
+            ));
+        }
+        if states == 0 {
+            return Err("automaton has no states".to_owned());
+        }
+        if (start as usize) >= states || (finish as usize) >= states {
+            return Err(format!(
+                "start {start} or finish {finish} out of range (states: {states})"
+            ));
+        }
+        for (i, e) in edges.iter().enumerate() {
+            if (e.from as usize) >= states || (e.to as usize) >= states {
+                return Err(format!("edge {i} endpoints out of range"));
+            }
+            if let Some(sym) = e.label {
+                if (sym as usize) >= num_symbols {
+                    return Err(format!("edge {i} labeled with unknown symbol {sym}"));
+                }
+            }
+        }
+        // Each edge appears exactly once in the adjacency, at its source.
+        let mut listed = vec![false; edges.len()];
+        for (s, ids) in out.iter().enumerate() {
+            for &eid in ids {
+                let Some(slot) = listed.get_mut(eid as usize) else {
+                    return Err(format!("state {s} lists unknown edge {eid}"));
+                };
+                if *slot {
+                    return Err(format!("edge {eid} listed twice in the adjacency"));
+                }
+                *slot = true;
+                if edges[eid as usize].from != s as StateId {
+                    return Err(format!("edge {eid} listed at state {s}, not its source"));
+                }
+            }
+        }
+        if let Some(missing) = listed.iter().position(|l| !l) {
+            return Err(format!("edge {missing} absent from the adjacency"));
+        }
+        for (s, kind) in kinds.iter().enumerate() {
+            if let StateKind::Fork { skip, invoke, .. } = kind {
+                for (role, eid) in [("skip", *skip), ("invoke", *invoke)] {
+                    if (eid as usize) >= edges.len() {
+                        return Err(format!("fork {s}: {role} edge {eid} out of range"));
+                    }
+                    if edges[eid as usize].from != s as StateId {
+                        return Err(format!("fork {s}: {role} edge {eid} has another source"));
+                    }
+                }
+            }
+        }
+        Ok(Awk {
+            num_symbols,
+            kinds,
+            edges,
+            out,
+            start,
+            finish,
+            k,
+            direction,
+        })
+    }
+
     fn add_state(&mut self) -> StateId {
         self.kinds.push(StateKind::Regular);
         self.out.push(Vec::new());

@@ -79,6 +79,62 @@ impl PossibleGame {
         game
     }
 
+    /// Reassembles a solved game from its serialized parts (the
+    /// snapshot decode path in `axml-store`). The pair-to-node index is
+    /// derived from `pairs`. Validation guards memory safety — indices
+    /// in range, pairs unique — not logical correctness of the
+    /// viability marking; that is the job of the snapshot checksum and
+    /// the structural cache key.
+    pub fn from_solved_parts(
+        awk: Awk,
+        target: Dfa,
+        pairs: Vec<(u32, u32)>,
+        out: Vec<Vec<(EdgeId, NodeId)>>,
+        viable: Vec<bool>,
+        start: NodeId,
+        stats: crate::safe::GameStats,
+    ) -> Result<PossibleGame, String> {
+        if target.num_symbols != awk.num_symbols {
+            return Err("target/expansion alphabet mismatch".to_owned());
+        }
+        let nodes = pairs.len();
+        if out.len() != nodes || viable.len() != nodes {
+            return Err("node table lengths disagree".to_owned());
+        }
+        if nodes == 0 || (start as usize) >= nodes {
+            return Err(format!("start node {start} out of range ({nodes} nodes)"));
+        }
+        let mut ids = HashMap::with_capacity(nodes);
+        for (i, &(s, q)) in pairs.iter().enumerate() {
+            if (s as usize) >= awk.num_states() || (q as usize) >= target.num_states() {
+                return Err(format!("node {i} pair ({s},{q}) out of range"));
+            }
+            if ids.insert((s, q), i as NodeId).is_some() {
+                return Err(format!("pair ({s},{q}) interned twice"));
+            }
+        }
+        for (n, succs) in out.iter().enumerate() {
+            for &(eid, m) in succs {
+                if (eid as usize) >= awk.num_edges() {
+                    return Err(format!("node {n}: product edge {eid} out of range"));
+                }
+                if (m as usize) >= nodes {
+                    return Err(format!("node {n}: successor {m} out of range"));
+                }
+            }
+        }
+        Ok(PossibleGame {
+            awk,
+            target,
+            pairs,
+            ids,
+            out,
+            viable,
+            start,
+            stats,
+        })
+    }
+
     fn intern(&mut self, pair: (u32, u32)) -> (NodeId, bool) {
         if let Some(&id) = self.ids.get(&pair) {
             return (id, false);

@@ -126,6 +126,74 @@ impl SafeGame {
         game
     }
 
+    /// Reassembles a solved game from its serialized parts (the
+    /// snapshot decode path in `axml-store`).
+    ///
+    /// Only `pairs`, `out`, `marked`, `start`, and `stats` need to be
+    /// persisted: the pair-to-node index and the reverse adjacency are
+    /// derived here (`rev` is a per-edge multiset, so deriving it from
+    /// `out` reproduces the original exactly). Validation guards
+    /// *memory safety* — every index must be in range, every pair
+    /// unique — not logical correctness of the marking; that is the
+    /// job of the snapshot checksum and the structural cache key. A
+    /// game that fails validation is reported as an error, never a
+    /// panic.
+    pub fn from_solved_parts(
+        awk: Awk,
+        comp: Dfa,
+        pairs: Vec<(u32, u32)>,
+        out: Vec<Vec<(EdgeId, NodeId)>>,
+        marked: Vec<bool>,
+        start: NodeId,
+        stats: GameStats,
+    ) -> Result<SafeGame, String> {
+        if !comp.is_complete() {
+            return Err("complement automaton is not complete".to_owned());
+        }
+        if comp.num_symbols != awk.num_symbols {
+            return Err("complement/expansion alphabet mismatch".to_owned());
+        }
+        let nodes = pairs.len();
+        if out.len() != nodes || marked.len() != nodes {
+            return Err("node table lengths disagree".to_owned());
+        }
+        if nodes == 0 || (start as usize) >= nodes {
+            return Err(format!("start node {start} out of range ({nodes} nodes)"));
+        }
+        let mut ids = HashMap::with_capacity(nodes);
+        for (i, &(s, q)) in pairs.iter().enumerate() {
+            if (s as usize) >= awk.num_states() || (q as usize) >= comp.num_states() {
+                return Err(format!("node {i} pair ({s},{q}) out of range"));
+            }
+            if ids.insert((s, q), i as NodeId).is_some() {
+                return Err(format!("pair ({s},{q}) interned twice"));
+            }
+        }
+        let mut rev = vec![Vec::new(); nodes];
+        for (n, succs) in out.iter().enumerate() {
+            for &(eid, m) in succs {
+                if (eid as usize) >= awk.num_edges() {
+                    return Err(format!("node {n}: product edge {eid} out of range"));
+                }
+                if (m as usize) >= nodes {
+                    return Err(format!("node {n}: successor {m} out of range"));
+                }
+                rev[m as usize].push(n as NodeId);
+            }
+        }
+        Ok(SafeGame {
+            awk,
+            comp,
+            pairs,
+            ids,
+            out,
+            rev,
+            marked,
+            start,
+            stats,
+        })
+    }
+
     fn intern(&mut self, pair: (u32, u32)) -> (NodeId, bool) {
         if let Some(&id) = self.ids.get(&pair) {
             return (id, false);

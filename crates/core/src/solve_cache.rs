@@ -410,6 +410,134 @@ impl SolveCache {
         }
     }
 
+    /// Every cached entry with its full structural key, ordered from
+    /// least- to most-recently touched.
+    ///
+    /// This is the snapshot surface for `axml-store`: the order is the
+    /// LRU order, so a consumer that replays entries through
+    /// [`SolveCache::preload`] in sequence reconstructs both the
+    /// contents *and* the relative eviction order of this cache.
+    /// Values are shared (`Arc`), so exporting copies no solved game.
+    pub fn export_entries(&self) -> Vec<CacheEntry> {
+        let table = self.state.table.lock();
+        let mut entries: Vec<(&Key, &Entry)> = table.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.tick);
+        entries
+            .into_iter()
+            .map(|(key, entry)| match (key, &entry.value) {
+                (&Key::Comp { schema, slot }, Value::Dfa(dfa)) => CacheEntry::CompDfa {
+                    schema,
+                    slot,
+                    dfa: Arc::clone(dfa),
+                },
+                (&Key::Target { schema, slot }, Value::Dfa(dfa)) => CacheEntry::TargetDfa {
+                    schema,
+                    slot,
+                    dfa: Arc::clone(dfa),
+                },
+                (
+                    &Key::Safe {
+                        schema,
+                        slot,
+                        ref word,
+                        k,
+                        mode,
+                        max_states,
+                    },
+                    Value::Safe(game),
+                ) => CacheEntry::SafeGame {
+                    schema,
+                    slot,
+                    word: word.clone(),
+                    k,
+                    mode,
+                    max_states,
+                    game: Arc::clone(game),
+                },
+                (
+                    &Key::Possible {
+                        schema,
+                        slot,
+                        ref word,
+                        k,
+                        max_states,
+                    },
+                    Value::Possible(game),
+                ) => CacheEntry::PossibleGame {
+                    schema,
+                    slot,
+                    word: word.clone(),
+                    k,
+                    max_states,
+                    game: Arc::clone(game),
+                },
+                _ => unreachable!("cache keys always hold their own value kind"),
+            })
+            .collect()
+    }
+
+    /// Seeds the cache with entries exported earlier (typically decoded
+    /// from a snapshot). Returns how many were actually installed.
+    ///
+    /// Insertions follow the normal path — they count as
+    /// `solve_cache.insertions_total`, respect the capacity bound
+    /// (evicting LRU entries if the snapshot is larger than this
+    /// cache), and lose gracefully to already-present keys. Lookup
+    /// counters are untouched: preloading is not traffic, so hit-rate
+    /// metrics still measure only real requests.
+    pub fn preload(&self, entries: impl IntoIterator<Item = CacheEntry>) -> usize {
+        let mut installed = 0;
+        for entry in entries {
+            let (key, value) = match entry {
+                CacheEntry::CompDfa { schema, slot, dfa } => {
+                    (Key::Comp { schema, slot }, Value::Dfa(dfa))
+                }
+                CacheEntry::TargetDfa { schema, slot, dfa } => {
+                    (Key::Target { schema, slot }, Value::Dfa(dfa))
+                }
+                CacheEntry::SafeGame {
+                    schema,
+                    slot,
+                    word,
+                    k,
+                    mode,
+                    max_states,
+                    game,
+                } => (
+                    Key::Safe {
+                        schema,
+                        slot,
+                        word,
+                        k,
+                        mode,
+                        max_states,
+                    },
+                    Value::Safe(game),
+                ),
+                CacheEntry::PossibleGame {
+                    schema,
+                    slot,
+                    word,
+                    k,
+                    max_states,
+                    game,
+                } => (
+                    Key::Possible {
+                        schema,
+                        slot,
+                        word,
+                        k,
+                        max_states,
+                    },
+                    Value::Possible(game),
+                ),
+            };
+            self.insert(key, value);
+            installed += 1;
+        }
+        installed
+    }
+
     /// Point-in-time counter values, read directly off this cache's
     /// instruments (they may be shared with a registry snapshot).
     pub fn stats(&self) -> CacheStats {
@@ -429,6 +557,64 @@ impl Default for SolveCache {
     fn default() -> Self {
         SolveCache::new(DEFAULT_CAPACITY)
     }
+}
+
+/// One exported cache entry: the full structural key (the same
+/// components [`SolveCache::safe_game`] and friends key by) plus the
+/// shared value. Produced by [`SolveCache::export_entries`], consumed
+/// by [`SolveCache::preload`]; `axml-store` serializes these.
+#[derive(Debug, Clone)]
+pub enum CacheEntry {
+    /// Completed + complemented target DFA (safe-game side).
+    CompDfa {
+        /// [`Compiled::fingerprint`] of the owning schema.
+        schema: u64,
+        /// Which target regex of the schema the DFA derives from.
+        slot: TargetSlot,
+        /// The complement DFA.
+        dfa: Arc<Dfa>,
+    },
+    /// Determinized target DFA (possible-game side).
+    TargetDfa {
+        /// [`Compiled::fingerprint`] of the owning schema.
+        schema: u64,
+        /// Which target regex of the schema the DFA derives from.
+        slot: TargetSlot,
+        /// The determinized target DFA.
+        dfa: Arc<Dfa>,
+    },
+    /// A solved safe game for one children word.
+    SafeGame {
+        /// [`Compiled::fingerprint`] of the owning schema.
+        schema: u64,
+        /// Which target regex the game plays against.
+        slot: TargetSlot,
+        /// The children word the game was built for.
+        word: Box<[Symbol]>,
+        /// Rewriting depth bound.
+        k: u32,
+        /// Eager or lazy product construction.
+        mode: BuildMode,
+        /// The `A_w^k` state limit in force when the game was built.
+        max_states: usize,
+        /// The solved game.
+        game: Arc<SolvedSafe>,
+    },
+    /// A solved possible game for one children word.
+    PossibleGame {
+        /// [`Compiled::fingerprint`] of the owning schema.
+        schema: u64,
+        /// Which target regex the game plays against.
+        slot: TargetSlot,
+        /// The children word the game was built for.
+        word: Box<[Symbol]>,
+        /// Rewriting depth bound.
+        k: u32,
+        /// The `A_w^k` state limit in force when the game was built.
+        max_states: usize,
+        /// The solved game.
+        game: Arc<SolvedPossible>,
+    },
 }
 
 /// Point-in-time accounting of a [`SolveCache`].

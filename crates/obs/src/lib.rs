@@ -80,10 +80,15 @@ pub fn register_catalogue(registry: &Registry) {
         "services.calls_total",
         "services.call_faults_total",
         "services.fees_cents_total",
+        "store.load_total",
+        "store.persist_total",
+        "store.entries_loaded_total",
+        "store.corrupt_discarded_total",
     ] {
         registry.counter(name);
     }
     registry.gauge("server.queue_depth");
+    registry.gauge("store.bytes");
     registry.histogram("solver.safe.solve_ns", LATENCY_NS_BOUNDS);
     registry.histogram("solver.possible.solve_ns", LATENCY_NS_BOUNDS);
     registry.histogram("server.frame_bytes", BYTES_BOUNDS);

@@ -19,7 +19,7 @@ pub mod net;
 mod peer;
 mod repository;
 
-pub use negotiate::{negotiate, Negotiation, Proposal};
+pub use negotiate::{negotiate, negotiate_with_matrix, MatrixUse, Negotiation, Proposal};
 pub use net::{envelope_handler, NetInvoker, NetPeer, RemotePeer, RECEIVE_METHOD};
-pub use peer::{InboundPolicy, Peer, PeerError, PeerServer, Query, RemoteInvoker};
+pub use peer::{EnforceOptions, InboundPolicy, Peer, PeerError, PeerServer, Query, RemoteInvoker};
 pub use repository::{RepoError, Repository, UpdateOp};

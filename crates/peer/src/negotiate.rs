@@ -15,7 +15,8 @@
 
 use crate::peer::InboundPolicy;
 use axml_core::schema_rw::schema_safe_rewrites;
-use axml_schema::{Content, NameKind, PatternOracle, Schema, SchemaError};
+use axml_schema::{Compiled, Content, NameKind, PatternOracle, Schema, SchemaError};
+use axml_store::CompatMatrix;
 
 /// A named exchange-schema proposal.
 #[derive(Debug, Clone)]
@@ -118,6 +119,106 @@ pub fn negotiate(
         });
     }
     Ok(Negotiation::Failed { reasons })
+}
+
+/// How a [`negotiate_with_matrix`] run split its Sec. 6 checks between
+/// the precomputed [`CompatMatrix`] and live game solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixUse {
+    /// Proposals answered from the matrix (no games solved).
+    pub matrix_hits: usize,
+    /// Proposals that fell back to a live `schema_safe_rewrites` run
+    /// (not in the matrix, stale fingerprint, or wrong `k`/root).
+    pub live_checks: usize,
+}
+
+/// [`negotiate`], but consulting a precomputed schema compatibility
+/// matrix before solving any game: when the matrix was built for the
+/// same `root` and `k` and pins both `sender_name` and the proposal's
+/// name to their *current* compiled fingerprints, its verdict is used
+/// verbatim — the hot path costs a table lookup. Anything the matrix
+/// cannot vouch for (unknown name, drifted schema, different `k`)
+/// falls back to the live Sec. 6 check, so a stale matrix can slow a
+/// negotiation down but never change its outcome.
+///
+/// Proposal names are matched against matrix member names, so build
+/// the matrix over the same named portfolio the proposals come from.
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate_with_matrix(
+    sender_schema: &Schema,
+    sender_name: &str,
+    root: &str,
+    proposals: &[Proposal],
+    receiver: &InboundPolicy,
+    k: u32,
+    oracle: &dyn PatternOracle,
+    matrix: &CompatMatrix,
+) -> Result<(Negotiation, MatrixUse), SchemaError> {
+    let mut usage = MatrixUse::default();
+    // The matrix is only authoritative for the same game: same root
+    // element, same rewriting depth, and a sender it still pins.
+    let sender_fp = if matrix.root() == root && matrix.k() == k {
+        Some(Compiled::new(sender_schema.clone(), oracle)?.fingerprint())
+    } else {
+        None
+    };
+    let mut reasons = Vec::new();
+    for (i, p) in proposals.iter().enumerate() {
+        if let Err(reason) = receiver.accepts_schema(&p.schema) {
+            reasons.push((i, format!("receiver refuses: {reason}")));
+            continue;
+        }
+        let precomputed = match sender_fp {
+            Some(fp) if matrix.fingerprint_of(&p.name).is_some() => {
+                let to_fp = Compiled::new(p.schema.clone(), oracle)?.fingerprint();
+                matrix.can_send_pinned(sender_name, fp, &p.name, to_fp)
+            }
+            _ => None,
+        };
+        let verdict = match precomputed {
+            Some(ok) => {
+                usage.matrix_hits += 1;
+                if ok {
+                    None
+                } else {
+                    Some(
+                        matrix
+                            .reason(sender_name, &p.name)
+                            .unwrap_or("incompatible")
+                            .to_owned(),
+                    )
+                }
+            }
+            None => {
+                usage.live_checks += 1;
+                let report = schema_safe_rewrites(sender_schema, root, &p.schema, k, oracle)?;
+                if report.compatible() {
+                    None
+                } else {
+                    Some(
+                        report
+                            .failures
+                            .first()
+                            .map(|f| f.to_string())
+                            .unwrap_or_else(|| "incompatible".to_owned()),
+                    )
+                }
+            }
+        };
+        match verdict {
+            Some(detail) => reasons.push((i, format!("sender cannot guarantee it: {detail}"))),
+            None => {
+                return Ok((
+                    Negotiation::Agreed {
+                        index: i,
+                        skipped: reasons,
+                    },
+                    usage,
+                ))
+            }
+        }
+    }
+    Ok((Negotiation::Failed { reasons }, usage))
 }
 
 #[cfg(test)]
@@ -247,6 +348,71 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn matrix_negotiation_matches_live_and_skips_games() {
+        let sender = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let proposals = proposals();
+        // A portfolio covering the sender and every proposal, keyed by
+        // the same names the proposals carry.
+        let mut portfolio = vec![("sender".to_owned(), sender.clone())];
+        portfolio.extend(proposals.iter().map(|p| (p.name.clone(), p.schema.clone())));
+        let matrix = CompatMatrix::build(&portfolio, "newspaper", 1, &NoOracle).unwrap();
+        for policy in [
+            InboundPolicy::AcceptAll,
+            InboundPolicy::RejectFunctions,
+            InboundPolicy::AllowOnly(vec!["TimeOut".to_owned()]),
+        ] {
+            let live = negotiate(&sender, "newspaper", &proposals, &policy, 1, &NoOracle).unwrap();
+            let (fast, usage) = negotiate_with_matrix(
+                &sender,
+                "sender",
+                "newspaper",
+                &proposals,
+                &policy,
+                1,
+                &NoOracle,
+                &matrix,
+            )
+            .unwrap();
+            // Same outcome, and every Sec. 6 check the receiver let
+            // through was answered from the matrix, not a game.
+            match (&live, &fast) {
+                (
+                    Negotiation::Agreed { index: a, .. },
+                    Negotiation::Agreed { index: b, .. },
+                ) => assert_eq!(a, b),
+                (Negotiation::Failed { .. }, Negotiation::Failed { .. }) => {}
+                other => panic!("outcomes diverge: {other:?}"),
+            }
+            assert_eq!(usage.live_checks, 0, "matrix should answer everything");
+            assert!(usage.matrix_hits >= 1);
+        }
+    }
+
+    #[test]
+    fn matrix_with_wrong_k_falls_back_to_live_checks() {
+        let sender = newspaper_schema("title.date.(Get_Temp|temp).(TimeOut|exhibit*)");
+        let proposals = proposals();
+        let mut portfolio = vec![("sender".to_owned(), sender.clone())];
+        portfolio.extend(proposals.iter().map(|p| (p.name.clone(), p.schema.clone())));
+        // Built at k = 2, consulted at k = 1: not authoritative.
+        let matrix = CompatMatrix::build(&portfolio, "newspaper", 2, &NoOracle).unwrap();
+        let (fast, usage) = negotiate_with_matrix(
+            &sender,
+            "sender",
+            "newspaper",
+            &proposals,
+            &InboundPolicy::AcceptAll,
+            1,
+            &NoOracle,
+            &matrix,
+        )
+        .unwrap();
+        assert_eq!(usage.matrix_hits, 0);
+        assert!(usage.live_checks >= 1);
+        assert!(matches!(fast, Negotiation::Agreed { index: 0, .. }));
     }
 
     #[test]

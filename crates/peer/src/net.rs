@@ -370,7 +370,7 @@ impl RemotePeer {
         let (sent, report) = {
             let mut sp = axml_obs::span("enforce");
             sp.set("rid", rid);
-            match axml_core::rewrite::enforce(exchange, doc, caller.k, invoker) {
+            match axml_core::rewrite::enforce(exchange, doc, caller.enforce.k, invoker) {
                 Ok(v) => v,
                 Err(e) => {
                     sp.fail(&e);

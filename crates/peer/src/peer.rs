@@ -149,6 +149,40 @@ struct Exported {
     query: Query,
 }
 
+/// The Schema Enforcement module's tuning knobs, grouped in one struct
+/// so a new knob extends this type instead of growing [`Peer`] another
+/// parallel field (rewriting depth, subtree workers, solver cache).
+#[derive(Clone)]
+pub struct EnforceOptions {
+    /// Rewriting depth used by the enforcement module (Sec. 5's `k`).
+    pub k: u32,
+    /// Worker threads used by [`Peer::send_document`] to rewrite
+    /// independent root subtrees concurrently (1 = sequential).
+    pub workers: usize,
+    /// The solver cache shared by every rewriter the peer creates.
+    /// Cloning an [`EnforceOptions`] shares the cache (it is `Arc`ed).
+    pub cache: SolveCache,
+}
+
+impl Default for EnforceOptions {
+    fn default() -> Self {
+        EnforceOptions {
+            k: 2,
+            workers: 1,
+            cache: SolveCache::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for EnforceOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnforceOptions")
+            .field("k", &self.k)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
 /// An Active XML peer.
 pub struct Peer {
     /// The peer's name.
@@ -161,12 +195,8 @@ pub struct Peer {
     pub repository: Repository,
     /// Receiver-side screening policy.
     pub inbound: InboundPolicy,
-    /// Rewriting depth used by the enforcement module.
-    pub k: u32,
-    /// Worker threads used by [`Peer::send_document`] to rewrite
-    /// independent root subtrees concurrently (1 = sequential).
-    pub enforce_workers: usize,
-    solve_cache: SolveCache,
+    /// The Schema Enforcement module's knobs.
+    pub enforce: EnforceOptions,
     exported: RwLock<HashMap<String, Exported>>,
 }
 
@@ -180,29 +210,58 @@ impl Peer {
             registry,
             repository: Repository::new(),
             inbound: InboundPolicy::AcceptAll,
-            k: 2,
-            enforce_workers: 1,
-            solve_cache: SolveCache::default(),
+            enforce: EnforceOptions::default(),
             exported: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Replaces the whole knob set at once.
+    pub fn with_enforce(mut self, options: EnforceOptions) -> Self {
+        self.enforce = options;
+        self.enforce.workers = self.enforce.workers.max(1);
+        self
+    }
+
+    /// Sets the enforcement module's rewriting depth.
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.enforce.k = k;
+        self
     }
 
     /// Replaces the enforcement module's solver cache (e.g. to bound its
     /// capacity differently, or to share one cache between peers).
     pub fn with_solve_cache(mut self, cache: SolveCache) -> Self {
-        self.solve_cache = cache;
+        self.enforce.cache = cache;
         self
     }
 
     /// Sets the [`Peer::send_document`] worker count.
     pub fn with_enforce_workers(mut self, workers: usize) -> Self {
-        self.enforce_workers = workers.max(1);
+        self.enforce.workers = workers.max(1);
         self
     }
 
     /// The solver cache shared by every rewriter this peer creates.
     pub fn solve_cache(&self) -> &SolveCache {
-        &self.solve_cache
+        &self.enforce.cache
+    }
+
+    /// Warm-starts the peer from a persistent [`Store`]: loads the
+    /// solver-cache snapshot captured under this peer's schema
+    /// fingerprint (if one is on disk and intact) into the enforcement
+    /// module's cache. A missing, torn, or foreign-schema snapshot is a
+    /// cold start, never an error.
+    ///
+    /// [`Store`]: axml_store::Store
+    pub fn warm_start(&self, store: &axml_store::Store) -> axml_store::LoadReport {
+        store.load_cache(&self.enforce.cache, self.compiled.fingerprint())
+    }
+
+    /// Persists the enforcement module's solver cache into `store`, so
+    /// the next [`Peer::warm_start`] under the same schema resumes at
+    /// warm hit-rates. Returns the snapshot size in bytes.
+    pub fn persist_warm_state(&self, store: &axml_store::Store) -> std::io::Result<u64> {
+        store.persist_cache(&self.enforce.cache, self.compiled.fingerprint())
     }
 
     /// Sets the inbound policy.
@@ -285,8 +344,8 @@ impl Peer {
             return Ok(params.to_vec());
         }
         let mut rewriter = Rewriter::new(&self.compiled)
-            .with_k(self.k)
-            .with_cache(&self.solve_cache);
+            .with_k(self.enforce.k)
+            .with_cache(&self.enforce.cache);
         let mut invoker = self.registry.invoker(None);
         let (out, _report) = rewriter.rewrite_to_input_type(function, params, &mut invoker)?;
         Ok(out)
@@ -303,8 +362,8 @@ impl Peer {
             return Ok(result.to_vec());
         }
         let mut rewriter = Rewriter::new(&self.compiled)
-            .with_k(self.k)
-            .with_cache(&self.solve_cache);
+            .with_k(self.enforce.k)
+            .with_cache(&self.enforce.cache);
         let mut invoker = self.registry.invoker(None);
         let (out, _report) = rewriter.rewrite_to_output_type(function, result, &mut invoker)?;
         Ok(out)
@@ -406,9 +465,9 @@ impl Peer {
         let (sent, report) = axml_core::rewrite::enforce_with(
             exchange,
             doc,
-            self.k,
-            &self.solve_cache,
-            self.enforce_workers,
+            self.enforce.k,
+            &self.enforce.cache,
+            self.enforce.workers,
             &mut make_invoker,
         )?;
         receiver_policy.check(std::slice::from_ref(&sent))?;

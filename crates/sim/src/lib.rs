@@ -25,6 +25,9 @@
 //!   fleet, with UDDI/ACL registry churn mid-exchange;
 //! * [`soak`] — the fleet-scale soak: ≥100 peers, ≥1000 exchanges in
 //!   one world, every invariant checked fleet-wide;
+//! * [`upgrade`] — rolling-schema-upgrade fleet: the persisted
+//!   compatibility matrix gates sends while daemons change versions,
+//!   and a mid-run sender restart resumes from a warm cache snapshot;
 //! * [`strategy`] — pluggable provider answer policies: random,
 //!   crashing, and the strategic game-graph opponent;
 //! * [`topology`] — declarative construction of multi-peer casts
@@ -40,6 +43,7 @@ pub mod scenario;
 pub mod soak;
 pub mod strategy;
 pub mod topology;
+pub mod upgrade;
 pub mod world;
 
 pub use marketplace::{
@@ -55,4 +59,8 @@ pub use strategy::{
     strategy_provider, CrashingStrategy, RandomStrategy, StrategicStrategy, Strategy,
 };
 pub use topology::{Link, PeerNode, Topology};
+pub use upgrade::{
+    run_upgrade, upgrade_endpoint, upgrade_portfolio, UpgradeConfig, UpgradeReport,
+    UPGRADE_PROVIDER, UPGRADE_SENDER,
+};
 pub use world::{Crash, FaultPlan, Partition, SimServerConfig, SimWorld};

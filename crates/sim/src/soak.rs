@@ -47,6 +47,7 @@ use axml_net::ClientConfig;
 use axml_peer::{envelope_handler, Peer, PeerError};
 use axml_schema::{validate, ITree};
 use axml_services::{soap, Registry, ServiceDef};
+use axml_support::hash::fnv64;
 use axml_support::rng::{RngExt, SeedableRng, StdRng};
 use std::sync::Arc;
 use std::time::Duration;
@@ -167,15 +168,6 @@ fn register_appraisal(registry: &Registry) {
     registry.register_fn(ServiceDef::new("Get_Appraisal", "title", "price"), |_| {
         Ok(vec![ITree::data("price", "100")])
     });
-}
-
-fn fnv64(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Runs one seeded fleet soak and checks every invariant.
@@ -439,7 +431,7 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
     t.push_str(&format!(
         "events: count={} fnv64=0x{:016x}\n",
         events.lines().count(),
-        fnv64(&events)
+        fnv64(events.as_bytes())
     ));
     t.push_str(&format!("virtual_ns={}\n", world.now_ns()));
     for v in &violations {

@@ -1,0 +1,360 @@
+//! The on-disk container format shared by every store artifact.
+//!
+//! A store file is one fixed-size little-endian header followed by one
+//! checksummed payload (DESIGN.md §11):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        artifact kind (b"AXSC" cache, b"AXCM" matrix)
+//!      4     4  version      format version (u32 LE)
+//!      8     8  fingerprint  schema fingerprint the artifact was captured
+//!                            under (0 when not applicable)
+//!     16     8  payload_len  exact payload byte count (u64 LE)
+//!     24     8  checksum     FNV-1a 64 of the payload bytes
+//!     32     …  payload      artifact-specific encoding
+//! ```
+//!
+//! Fixed-width LE fields and a length-prefixed payload make the layout
+//! mmap-friendly: a reader can validate the header, then hand the
+//! payload slice to the decoder without copying. Loading is paranoid by
+//! design — a file that is truncated, bit-flipped, version-skewed, or
+//! captured under another schema is reported as [`Corrupt`] and the
+//! caller falls back to a cold cache. Corruption is *never* an error
+//! that propagates: warm state is an optimization, losing it is safe.
+//!
+//! [`Corrupt`]: FileError::Corrupt
+
+use axml_support::hash::fnv64;
+use std::io::Write;
+use std::path::Path;
+
+/// Current snapshot format version. Bump on any payload layout change;
+/// old files then load as cold misses instead of being misdecoded.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header size in bytes (see the module docs for the layout).
+pub const HEADER_LEN: usize = 32;
+
+/// Why a store file could not be used.
+#[derive(Debug)]
+pub enum FileError {
+    /// The file does not exist — a normal cold start, not corruption.
+    Missing,
+    /// The file exists but cannot be trusted: torn write, bit flip,
+    /// version skew, or captured under a different schema. The reason
+    /// is diagnostic only; every corrupt file is handled identically
+    /// (discard, count, run cold).
+    Corrupt(String),
+    /// An I/O error other than the file being absent.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::Missing => write!(f, "no snapshot on disk"),
+            FileError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            FileError::Io(e) => write!(f, "snapshot i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+/// Serializes `payload` under a checksummed header and writes it
+/// atomically: the bytes go to `<path>.tmp` first and are renamed into
+/// place, so a crash mid-write can tear only the temporary — the
+/// published file is always a complete, old-or-new artifact.
+pub fn write_file(
+    path: &Path,
+    magic: [u8; 4],
+    fingerprint: u64,
+    payload: &[u8],
+) -> std::io::Result<u64> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&magic);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&fingerprint.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv64(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and verifies a store file, returning its payload.
+///
+/// `expected_fingerprint` pins the artifact to the schema the caller is
+/// about to serve; `None` skips that check (the compatibility matrix
+/// carries per-schema fingerprints in its payload instead).
+pub fn read_file(
+    path: &Path,
+    magic: [u8; 4],
+    expected_fingerprint: Option<u64>,
+) -> Result<Vec<u8>, FileError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(FileError::Missing),
+        Err(e) => return Err(FileError::Io(e)),
+    };
+    if bytes.len() < HEADER_LEN {
+        return Err(FileError::Corrupt(format!(
+            "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != magic {
+        return Err(FileError::Corrupt(format!(
+            "magic {:02x?} != expected {:02x?}",
+            &bytes[0..4],
+            magic
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(FileError::Corrupt(format!(
+            "format version {version} != supported {FORMAT_VERSION}"
+        )));
+    }
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if let Some(expected) = expected_fingerprint {
+        if fingerprint != expected {
+            return Err(FileError::Corrupt(format!(
+                "schema fingerprint {fingerprint:#018x} != serving schema {expected:#018x}"
+            )));
+        }
+    }
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(FileError::Corrupt(format!(
+            "payload is {} bytes, header declares {payload_len}",
+            payload.len()
+        )));
+    }
+    let actual = fnv64(payload);
+    if actual != checksum {
+        return Err(FileError::Corrupt(format!(
+            "checksum {actual:#018x} != recorded {checksum:#018x}"
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// A little-endian payload encoder. All multi-byte integers are
+/// fixed-width LE; collections are length-prefixed with a `u32`.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` (LE).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked payload decoder over a byte slice. Every read can
+/// fail; none can panic or read past the end — a decoder over hostile
+/// bytes degenerates to `Err`, never to undefined behavior or an
+/// attacker-sized allocation.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32` (LE).
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` (LE).
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and converts to `usize`.
+    pub fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "length overflows usize".to_owned())
+    }
+
+    /// Reads a bool byte (strictly 0 or 1, so flipped padding is caught).
+    pub fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b:#04x}")),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_owned())
+    }
+
+    /// Reads a `u32` element count for a collection whose elements each
+    /// occupy at least `min_bytes` — rejecting counts the remaining
+    /// bytes cannot possibly hold, so a corrupted count can never drive
+    /// a huge allocation.
+    pub fn count(&mut self, min_bytes: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_bytes.max(1)) > remaining {
+            return Err(format!(
+                "count {n} needs ≥{} bytes but only {remaining} remain",
+                n.saturating_mul(min_bytes.max(1))
+            ));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 1);
+        e.bool(true);
+        e.str("héllo");
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes[..5]);
+        assert!(d.u64().is_err());
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(d.count(4).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("axsn-fmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.axsc");
+        let magic = *b"AXSC";
+        write_file(&path, magic, 0xfeed, b"payload bytes").unwrap();
+        assert_eq!(read_file(&path, magic, Some(0xfeed)).unwrap(), b"payload bytes");
+        // Wrong expected fingerprint.
+        assert!(matches!(
+            read_file(&path, magic, Some(0xbeef)),
+            Err(FileError::Corrupt(_))
+        ));
+        // Wrong magic.
+        assert!(matches!(
+            read_file(&path, *b"XXXX", None),
+            Err(FileError::Corrupt(_))
+        ));
+        // Bit flip in the payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_file(&path, magic, None),
+            Err(FileError::Corrupt(_))
+        ));
+        // Missing file.
+        assert!(matches!(
+            read_file(&dir.join("absent"), magic, None),
+            Err(FileError::Missing)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,287 @@
+//! The precomputed schema compatibility matrix (DESIGN.md §11.3).
+//!
+//! Sec. 6 of the paper lifts safe rewriting from documents to schemas:
+//! `S safely rewrites into S'` iff *every* document of `S` can be
+//! safely enforced into `S'`. That relation is a pairwise property of
+//! a peer's schema portfolio — it does not depend on any document — so
+//! a fleet that upgrades schemas over time can compute it *offline*,
+//! persist it, and answer "can I still safely send to you?" during
+//! negotiation without solving a single game on the hot path.
+//!
+//! Each portfolio member is pinned by its [`Compiled::fingerprint`].
+//! A consult with a fingerprint that no longer matches (the named
+//! schema changed since the matrix was built) returns `None` — the
+//! caller falls back to the live Sec. 6 check, so a stale matrix can
+//! delay but never corrupt a negotiation.
+
+use crate::format::{Dec, Enc};
+use axml_core::schema_rw::schema_safe_rewrites;
+use axml_schema::{Compiled, PatternOracle, Schema, SchemaError};
+
+/// Magic for compatibility-matrix files.
+pub const MATRIX_MAGIC: [u8; 4] = *b"AXCM";
+
+/// The precomputed Sec. 6 safe-rewriting relation over one schema
+/// portfolio: for every ordered pair `(from, to)`, whether `from`
+/// safely rewrites into `to` at depth `k`, and if not, why not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompatMatrix {
+    k: u32,
+    root: String,
+    /// Portfolio members: name and compiled structural fingerprint.
+    schemas: Vec<(String, u64)>,
+    /// Row-major verdicts; `None` = compatible, `Some(reason)` = not.
+    verdicts: Vec<Option<String>>,
+}
+
+impl CompatMatrix {
+    /// Computes the full pairwise relation over `portfolio` by running
+    /// the Sec. 6 check (`schema_safe_rewrites`) for every ordered
+    /// pair — `n²` solver runs, intended for offline/startup use; the
+    /// hot path only ever calls [`CompatMatrix::can_send`].
+    pub fn build(
+        portfolio: &[(String, Schema)],
+        root: &str,
+        k: u32,
+        oracle: &dyn PatternOracle,
+    ) -> Result<CompatMatrix, SchemaError> {
+        let mut schemas = Vec::with_capacity(portfolio.len());
+        for (name, schema) in portfolio {
+            let compiled = Compiled::new(schema.clone(), oracle)?;
+            schemas.push((name.clone(), compiled.fingerprint()));
+        }
+        let mut verdicts = Vec::with_capacity(portfolio.len() * portfolio.len());
+        for (_, from) in portfolio {
+            for (_, to) in portfolio {
+                let report = schema_safe_rewrites(from, root, to, k, oracle)?;
+                verdicts.push(if report.compatible() {
+                    None
+                } else {
+                    report.failures.first().map(|f| f.to_string())
+                });
+            }
+        }
+        Ok(CompatMatrix {
+            k,
+            root: root.to_owned(),
+            schemas,
+            verdicts,
+        })
+    }
+
+    /// The depth bound the relation was computed at.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The root element the relation was computed for.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Portfolio member names, in matrix order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.schemas.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of portfolio members.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True when the portfolio is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// The recorded fingerprint of a named member.
+    pub fn fingerprint_of(&self, name: &str) -> Option<u64> {
+        self.index_of(name).map(|i| self.schemas[i].1)
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.schemas.iter().position(|(n, _)| n == name)
+    }
+
+    /// The precomputed verdict for "documents of `from` can be safely
+    /// enforced into `to`". `None` when either name is not in the
+    /// portfolio — the caller must fall back to the live check.
+    pub fn can_send(&self, from: &str, to: &str) -> Option<bool> {
+        let i = self.index_of(from)?;
+        let j = self.index_of(to)?;
+        Some(self.verdicts[i * self.schemas.len() + j].is_none())
+    }
+
+    /// Like [`CompatMatrix::can_send`], but additionally pins both
+    /// members to live fingerprints: a name whose schema has changed
+    /// since the matrix was built yields `None` (stale — recompute),
+    /// never a wrong verdict.
+    pub fn can_send_pinned(
+        &self,
+        from: &str,
+        from_fingerprint: u64,
+        to: &str,
+        to_fingerprint: u64,
+    ) -> Option<bool> {
+        if self.fingerprint_of(from)? != from_fingerprint
+            || self.fingerprint_of(to)? != to_fingerprint
+        {
+            return None;
+        }
+        self.can_send(from, to)
+    }
+
+    /// Why `from` cannot safely rewrite into `to` (first recorded
+    /// incompatibility), if the pair is known and incompatible.
+    pub fn reason(&self, from: &str, to: &str) -> Option<&str> {
+        let i = self.index_of(from)?;
+        let j = self.index_of(to)?;
+        self.verdicts[i * self.schemas.len() + j].as_deref()
+    }
+
+    /// Encodes the matrix into a store payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.k);
+        e.str(&self.root);
+        e.u32(self.schemas.len() as u32);
+        for (name, fp) in &self.schemas {
+            e.str(name);
+            e.u64(*fp);
+        }
+        for v in &self.verdicts {
+            match v {
+                None => e.u8(0),
+                Some(reason) => {
+                    e.u8(1);
+                    e.str(reason);
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a store payload back into a matrix.
+    pub fn decode(payload: &[u8]) -> Result<CompatMatrix, String> {
+        let mut d = Dec::new(payload);
+        let k = d.u32()?;
+        let root = d.str()?;
+        let n = d.count(12)?;
+        let mut schemas = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = d.str()?;
+            let fp = d.u64()?;
+            schemas.push((name, fp));
+        }
+        let cells = n
+            .checked_mul(n)
+            .ok_or("matrix dimensions overflow")?;
+        let mut verdicts = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            verdicts.push(match d.u8()? {
+                0 => None,
+                1 => Some(d.str()?),
+                b => return Err(format!("invalid verdict flag {b}")),
+            });
+        }
+        if !d.is_done() {
+            return Err("trailing bytes after the last verdict".to_owned());
+        }
+        Ok(CompatMatrix {
+            k,
+            root,
+            schemas,
+            verdicts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_schema::NoOracle;
+
+    /// The paper's (*) schema: temp and the guide may stay intensional.
+    fn star() -> Schema {
+        Schema::builder()
+            .element("newspaper", "title.date.(Get_Temp|temp).(TimeOut|exhibit*)")
+            .data_element("title")
+            .data_element("date")
+            .data_element("temp")
+            .data_element("city")
+            .element("exhibit", "title.(Get_Date|date)")
+            .data_element("performance")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(exhibit|performance)*")
+            .function("Get_Date", "title", "date")
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's (**) schema: temp must be materialized.
+    fn star_star() -> Schema {
+        Schema::builder()
+            .element("newspaper", "title.date.temp.(TimeOut|exhibit*)")
+            .data_element("title")
+            .data_element("date")
+            .data_element("temp")
+            .data_element("city")
+            .element("exhibit", "title.(Get_Date|date)")
+            .data_element("performance")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(exhibit|performance)*")
+            .function("Get_Date", "title", "date")
+            .build()
+            .unwrap()
+    }
+
+    fn portfolio() -> Vec<(String, Schema)> {
+        vec![
+            ("star".to_owned(), star()),
+            ("star_star".to_owned(), star_star()),
+        ]
+    }
+
+    #[test]
+    fn matrix_matches_live_sec6_checks() {
+        let m = CompatMatrix::build(&portfolio(), "newspaper", 1, &NoOracle).unwrap();
+        for (from, fs) in portfolio() {
+            for (to, ts) in portfolio() {
+                let live = schema_safe_rewrites(&fs, "newspaper", &ts, 1, &NoOracle)
+                    .unwrap()
+                    .compatible();
+                assert_eq!(
+                    m.can_send(&from, &to),
+                    Some(live),
+                    "matrix and live check disagree on {from} -> {to}"
+                );
+            }
+        }
+        // The paper's pair: (*) safely rewrites into (**).
+        assert_eq!(m.can_send("star", "star_star"), Some(true));
+        // Unknown members are a miss, not a verdict.
+        assert_eq!(m.can_send("star", "ghost"), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = CompatMatrix::build(&portfolio(), "newspaper", 2, &NoOracle).unwrap();
+        let payload = m.encode();
+        let back = CompatMatrix::decode(&payload).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.encode(), payload);
+    }
+
+    #[test]
+    fn pinned_consult_rejects_stale_fingerprints() {
+        let m = CompatMatrix::build(&portfolio(), "newspaper", 1, &NoOracle).unwrap();
+        let fp_star = m.fingerprint_of("star").unwrap();
+        let fp_ss = m.fingerprint_of("star_star").unwrap();
+        assert_eq!(
+            m.can_send_pinned("star", fp_star, "star_star", fp_ss),
+            Some(true)
+        );
+        // A drifted schema (wrong fingerprint) must miss, not answer.
+        assert_eq!(m.can_send_pinned("star", fp_star ^ 1, "star_star", fp_ss), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Store`] handle: one directory of warm-state artifacts plus
+//! the `store.*` observability instruments.
+
+use crate::format::{self, FileError};
+use crate::matrix::{CompatMatrix, MATRIX_MAGIC};
+use crate::snapshot::{decode_entries, encode_entries, CACHE_MAGIC};
+use axml_core::solve_cache::SolveCache;
+use axml_obs::{Counter, Gauge, Registry};
+use std::path::{Path, PathBuf};
+
+/// File name of the solver-cache snapshot inside a store directory.
+pub const CACHE_SNAPSHOT_FILE: &str = "solve_cache.axsc";
+/// File name of the compatibility matrix inside a store directory.
+pub const MATRIX_FILE: &str = "compat_matrix.axcm";
+
+/// What one load attempt did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries decoded and preloaded into the cache.
+    pub entries: usize,
+    /// Bytes of snapshot consumed.
+    pub bytes: u64,
+    /// True when a file existed but was discarded as corrupt/stale.
+    pub discarded: bool,
+}
+
+/// A directory of persistent warm state for one peer: the solver-cache
+/// snapshot and the schema compatibility matrix, with every operation
+/// accounted under `store.*` metrics.
+///
+/// All writes are atomic (tmp + rename), so a crash can never publish
+/// a torn file; all reads are checksum-verified, so a torn or
+/// bit-flipped file is discarded and counted, never served.
+pub struct Store {
+    dir: PathBuf,
+    loads: Counter,
+    persists: Counter,
+    entries_loaded: Counter,
+    corrupt_discarded: Counter,
+    bytes: Gauge,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").field("dir", &self.dir).finish()
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) a store directory, publishing
+    /// `store.*` instruments into the process-wide registry.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Store> {
+        Self::open_with(dir, &axml_obs::global())
+    }
+
+    /// Like [`Store::open`], but publishing into the given registry.
+    pub fn open_with(dir: impl Into<PathBuf>, registry: &Registry) -> std::io::Result<Store> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Store {
+            dir,
+            loads: registry.counter("store.load_total"),
+            persists: registry.counter("store.persist_total"),
+            entries_loaded: registry.counter("store.entries_loaded_total"),
+            corrupt_discarded: registry.counter("store.corrupt_discarded_total"),
+            bytes: registry.gauge("store.bytes"),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the solver-cache snapshot.
+    pub fn cache_snapshot_path(&self) -> PathBuf {
+        self.dir.join(CACHE_SNAPSHOT_FILE)
+    }
+
+    /// Path of the compatibility matrix.
+    pub fn matrix_path(&self) -> PathBuf {
+        self.dir.join(MATRIX_FILE)
+    }
+
+    /// Persists every entry of `cache` as a snapshot captured under
+    /// `fingerprint` (the serving schema's [`Compiled::fingerprint`]).
+    /// Returns the bytes written. Atomic: concurrent readers and a
+    /// crash mid-write both observe either the old or the new file.
+    ///
+    /// [`Compiled::fingerprint`]: axml_schema::Compiled::fingerprint
+    pub fn persist_cache(&self, cache: &SolveCache, fingerprint: u64) -> std::io::Result<u64> {
+        let payload = encode_entries(&cache.export_entries());
+        let written = format::write_file(
+            &self.cache_snapshot_path(),
+            CACHE_MAGIC,
+            fingerprint,
+            &payload,
+        )?;
+        self.persists.inc();
+        self.refresh_bytes();
+        Ok(written)
+    }
+
+    /// Loads the snapshot (if any) into `cache`, verifying it was
+    /// captured under `fingerprint`. Missing file → cold start; torn,
+    /// corrupt, version-skewed, or foreign-schema file → discarded
+    /// (and deleted, so the next persist starts clean) with
+    /// `store.corrupt_discarded_total` incremented. Never panics,
+    /// never loads an entry the checksum does not vouch for.
+    pub fn load_cache(&self, cache: &SolveCache, fingerprint: u64) -> LoadReport {
+        self.loads.inc();
+        let path = self.cache_snapshot_path();
+        let payload = match format::read_file(&path, CACHE_MAGIC, Some(fingerprint)) {
+            Ok(p) => p,
+            Err(e) => return self.discard(&path, e),
+        };
+        let entries = match decode_entries(&payload) {
+            Ok(entries) => entries,
+            Err(why) => return self.discard(&path, FileError::Corrupt(why)),
+        };
+        let installed = cache.preload(entries);
+        self.entries_loaded.add(installed as u64);
+        self.refresh_bytes();
+        LoadReport {
+            entries: installed,
+            bytes: (payload.len() + format::HEADER_LEN) as u64,
+            discarded: false,
+        }
+    }
+
+    /// Persists the compatibility matrix. The header fingerprint is 0:
+    /// the matrix spans many schemas and pins each by fingerprint in
+    /// its own payload.
+    pub fn persist_matrix(&self, matrix: &CompatMatrix) -> std::io::Result<u64> {
+        let written = format::write_file(&self.matrix_path(), MATRIX_MAGIC, 0, &matrix.encode())?;
+        self.persists.inc();
+        self.refresh_bytes();
+        Ok(written)
+    }
+
+    /// Loads the compatibility matrix, if a valid one is on disk.
+    /// Corrupt files are discarded and counted, like cache snapshots.
+    pub fn load_matrix(&self) -> Option<CompatMatrix> {
+        self.loads.inc();
+        let path = self.matrix_path();
+        let payload = match format::read_file(&path, MATRIX_MAGIC, None) {
+            Ok(p) => p,
+            Err(e) => {
+                self.discard(&path, e);
+                return None;
+            }
+        };
+        match CompatMatrix::decode(&payload) {
+            Ok(m) => {
+                self.refresh_bytes();
+                Some(m)
+            }
+            Err(why) => {
+                self.discard(&path, FileError::Corrupt(why));
+                None
+            }
+        }
+    }
+
+    fn discard(&self, path: &Path, err: FileError) -> LoadReport {
+        if matches!(err, FileError::Corrupt(_)) {
+            self.corrupt_discarded.inc();
+            // Remove the bad file so the next persist starts clean and
+            // a later load doesn't re-count the same corpse.
+            std::fs::remove_file(path).ok();
+        }
+        self.refresh_bytes();
+        LoadReport {
+            discarded: matches!(err, FileError::Corrupt(_)),
+            ..LoadReport::default()
+        }
+    }
+
+    /// Points `store.bytes` at the current on-disk footprint.
+    fn refresh_bytes(&self) {
+        let total: u64 = [self.cache_snapshot_path(), self.matrix_path()]
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        self.bytes.set(total as i64);
+    }
+}

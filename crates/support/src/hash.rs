@@ -100,6 +100,62 @@ pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice: the canonical streaming digest used for
+/// transcript fingerprints and on-disk snapshot checksums.
+///
+/// Unlike [`FxHasher`] (word-at-a-time, tuned for interning tables),
+/// this folds byte-by-byte, so it is stable under re-chunking: digesting
+/// a file in one read or in many yields the same value. That makes it
+/// the right choice wherever the digest is *externally visible* — event
+/// logs compared across runs, snapshot files verified after a restart.
+/// Not cryptographic; it detects corruption, not adversaries.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A resumable FNV-1a digest for callers that fold incrementally (e.g.
+/// checksumming a snapshot while streaming it to disk). `Fnv64::new()`
+/// then repeated [`Fnv64::update`] is byte-for-byte equivalent to one
+/// [`fnv64`] call over the concatenation.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest of everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +184,23 @@ mod tests {
     fn string_tail_disambiguation() {
         assert_ne!(fx_hash_one(&"ab"), fx_hash_one(&"ab\0"));
         assert_ne!(fx_hash_one(&"abcdefgh"), fx_hash_one(&"abcdefg"));
+    }
+
+    #[test]
+    fn fnv64_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv64_streaming_matches_oneshot() {
+        let data = b"the quick brown fox";
+        let mut d = Fnv64::new();
+        d.update(&data[..7]);
+        d.update(&data[7..]);
+        assert_eq!(d.finish(), fnv64(data));
     }
 
     #[test]

@@ -139,6 +139,121 @@ print(f"B11 smoke ok: {sorted(ids)}, "
       f"hit rate {snap['solve_cache.hits_total']}/{snap['solve_cache.lookups_total']}")
 EOF
 
+echo "== tier-1: store gate (persistent warm state, DESIGN.md §11) =="
+# Snapshot/matrix round-trip and corruption suites, the B12 warm-start
+# bench, and a live cold→warm daemon restart — all under a 60s budget
+# like the sim gate (the suites are pure compute plus a few KB of I/O).
+store_started=$(date +%s)
+timeout --kill-after=10 60 cargo test -q --offline -p axml-store
+timeout --kill-after=10 60 cargo test -q --offline --test store_roundtrip
+timeout --kill-after=10 60 cargo test -q --offline --test store_robustness
+timeout --kill-after=10 60 cargo test -q --offline --test store_restart
+store_elapsed=$(( $(date +%s) - store_started ))
+if [ "$store_elapsed" -ge 60 ]; then
+    echo "store suites blew their wall-clock budget: ${store_elapsed}s >= 60s"
+    exit 1
+fi
+echo "store suites ok in ${store_elapsed}s (budget 60s)"
+
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    timeout --kill-after=10 300 \
+    cargo bench --offline -p axml-bench --bench b12_store_warm_start
+python3 - "$json_dir" <<'EOF'
+import json, pathlib, sys
+b12 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b12_store_warm_start.json").read_text())
+ids = {b["id"] for b in b12["benchmarks"]}
+want = {"cold_start_first_request", "warm_start_first_request",
+        "cold_start_first_100", "warm_start_first_100",
+        "snapshot_load", "snapshot_persist"}
+assert want <= ids, f"B12 variants missing: {want - ids}"
+ws = b12["warm_start"]
+assert ws["entries"] > 0 and ws["snapshot_bytes"] > 0, f"empty snapshot: {ws}"
+assert ws["cold"]["misses"] > 0, "cold start never exercised the solver"
+assert ws["warm"]["misses"] == 0, (
+    f"warm-snapshot start missed {ws['warm']['misses']} times in the "
+    f"first {ws['first_requests']} requests")
+assert ws["warm"]["hits"] == ws["warm"]["lookups"], "warm accounting broken"
+print(f"B12 smoke ok: {ws['entries']} entries / {ws['snapshot_bytes']} bytes, "
+      f"warm hit rate {ws['warm']['hits']}/{ws['warm']['lookups']}")
+EOF
+
+# Live restart fidelity: a daemon populates its cache enforcing an
+# intensional document, snapshots at graceful shutdown, and its
+# replacement must resume warm — first request answered without one
+# solver miss, asserted through the real stats scrape.
+cat > "$obs_dir/sched.schema" <<'SCHEMA'
+element r       = exhibit*
+element exhibit = title.date
+element title   = data
+element date    = data
+function Get_Date    : title -> date
+function Get_Program : data -> r
+root r
+SCHEMA
+cat > "$obs_dir/prog.xml" <<'XML'
+<r><exhibit><title>Monet</title><int:fun xmlns:int="http://www.activexml.com/ns/int" methodName="Get_Date"><int:params><int:param><title>Monet</title></int:param></int:params></int:fun></exhibit></r>
+XML
+store_dir="$obs_dir/warm"
+serve_store() {
+    "$axml_bin" serve "$obs_dir/sched.schema" 127.0.0.1:0 --name store-gate \
+        --doc program="$obs_dir/prog.xml" --export Get_Program=program \
+        --builtin-services --store-dir "$store_dir" "$@"
+}
+serve_store --requests 2 > "$obs_dir/serve-cold.out" 2> "$obs_dir/serve-cold.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$obs_dir/serve-cold.out")"
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "cold store daemon never printed its banner"; exit 1; }
+timeout --kill-after=10 60 \
+    "$axml_bin" invoke "$obs_dir/sched.schema" "$addr" Get_Program Monet > /dev/null
+timeout --kill-after=10 60 "$axml_bin" stats "$addr" > "$obs_dir/stats-cold.json"
+# Request 2 hits the quota: the daemon exits gracefully, snapshotting.
+timeout --kill-after=10 60 \
+    "$axml_bin" invoke "$obs_dir/sched.schema" "$addr" Get_Program Monet > /dev/null
+wait "$daemon_pid"
+daemon_pid=""
+[ -f "$store_dir/solve_cache.axsc" ] || { echo "graceful shutdown left no snapshot"; exit 1; }
+
+serve_store > "$obs_dir/serve-warm.out" 2> "$obs_dir/serve-warm.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$obs_dir/serve-warm.out")"
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "warm store daemon never printed its banner"; exit 1; }
+timeout --kill-after=10 60 \
+    "$axml_bin" invoke "$obs_dir/sched.schema" "$addr" Get_Program Monet > /dev/null
+timeout --kill-after=10 60 "$axml_bin" stats "$addr" > "$obs_dir/stats-warm.json"
+kill "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+grep -q "^warm start: " "$obs_dir/serve-warm.err" \
+    || { echo "restarted daemon never reported its warm start"; exit 1; }
+
+python3 - "$obs_dir/stats-cold.json" "$obs_dir/stats-warm.json" <<'EOF'
+import json, sys
+cold = json.loads(open(sys.argv[1]).read())["counters"]
+warm = json.loads(open(sys.argv[2]).read())["counters"]
+# The cold daemon really solved games for this traffic...
+assert cold["solve_cache.misses_total"] >= 1, "cold daemon never solved a game"
+# ...and the restarted daemon resumed warm: snapshot loaded, first
+# request answered entirely from it.
+assert warm["store.load_total"] >= 1, "restarted daemon never consulted the store"
+assert warm["store.entries_loaded_total"] >= 1, "snapshot loaded no entries"
+assert warm["store.corrupt_discarded_total"] == 0, "snapshot discarded as corrupt"
+assert warm["solve_cache.hits_total"] >= 1, "first post-restart request missed the warm cache"
+assert warm["solve_cache.misses_total"] == 0, (
+    f"restart was not warm: {warm['solve_cache.misses_total']} misses")
+print(f"restart scrape ok: cold misses={cold['solve_cache.misses_total']}, "
+      f"warm loaded={warm['store.entries_loaded_total']} "
+      f"hits={warm['solve_cache.hits_total']} misses=0")
+EOF
+
 echo "== tier-1: sim gate (seeded fault injection, DESIGN.md §10) =="
 # The deterministic simulator suites: ≥1000 fresh seeds plus the full
 # regression corpus (regressions/sim/*.seeds replays automatically via

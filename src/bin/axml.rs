@@ -7,9 +7,17 @@
 //! axml plan     <schema> <doc.xml> [--k N]
 //! axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]...
 //!               [--export FUNC=DOC]... [--workers N] [--requests N]
+//!               [--builtin-services] [--store-dir DIR] [--snapshot-every N]
 //! axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]
+//! axml invoke   <schema> <addr> <method> [param]... [--k N]
 //! axml stats    <addr>
 //! ```
+//!
+//! `serve --store-dir DIR` gives the daemon persistent warm state
+//! (DESIGN.md §11): the solver cache is loaded from `DIR` before the
+//! socket opens and snapshotted back on graceful shutdown (and every N
+//! answered requests with `--snapshot-every N`), so a restarted daemon
+//! resumes at warm hit-rates.
 //!
 //! Schemas are loaded from XML Schema_int when the file starts with `<`,
 //! from the textual DSL otherwise (see `axml_schema::dsl`). Exit code 0
@@ -33,7 +41,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N] [--cache-capacity N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N]\n  axml stats    <addr>"
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N] [--cache-capacity N] [--builtin-services] [--store-dir DIR] [--snapshot-every N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N]\n  axml invoke   <schema> <addr> <method> [param]... [--k N]\n  axml stats    <addr>"
     );
     ExitCode::from(2)
 }
@@ -103,6 +111,7 @@ fn main() -> ExitCode {
         "compat" => cmd_compat(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "send" => cmd_send(&args[1..]),
+        "invoke" => cmd_invoke(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         _ => usage(),
     }
@@ -167,11 +176,45 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         );
         exports.push((def, Query::Document(doc)));
     }
+    // With --builtin-services the daemon can *materialize* embedded
+    // calls itself: every schema function with a simulated built-in
+    // implementation (Get_Temp, TimeOut, Get_Date) is plugged into the
+    // peer's registry, so output enforcement can invoke rather than
+    // fault when a stored document is more intensional than its
+    // declared type.
+    let registry = Registry::new();
+    if args.iter().any(|a| a == "--builtin-services") {
+        use axml::services::builtin::{GetDate, GetTemp, TimeOutGuide};
+        use axml::services::ServiceImpl;
+        let builtins: Vec<(&str, std::sync::Arc<dyn ServiceImpl>)> = vec![
+            ("Get_Temp", std::sync::Arc::new(GetTemp::with_defaults())),
+            ("TimeOut", std::sync::Arc::new(TimeOutGuide::exhibits_only())),
+            (
+                "Get_Date",
+                std::sync::Arc::new(GetDate {
+                    table: vec![
+                        ("Monet".to_owned(), "Mon".to_owned()),
+                        ("Rodin".to_owned(), "Tue".to_owned()),
+                    ],
+                }),
+            ),
+        ];
+        for (func, service) in builtins {
+            if let Some(fd) = schema.functions.get(func) {
+                let def = ServiceDef::new(
+                    func,
+                    &fd.input.display(&schema.alphabet).to_string(),
+                    &fd.output.display(&schema.alphabet).to_string(),
+                );
+                registry.register(def, service);
+            }
+        }
+    }
     let compiled = match Compiled::new(schema, &NoOracle) {
         Ok(c) => std::sync::Arc::new(c),
         Err(e) => return fail(&e.to_string()),
     };
-    let mut peer = Peer::new(&name, compiled, std::sync::Arc::new(Registry::new()));
+    let mut peer = Peer::new(&name, compiled, std::sync::Arc::new(registry));
     if let Some(c) = flag_value(args, "--cache-capacity") {
         match c.parse::<usize>() {
             Ok(n) if n > 0 => {
@@ -198,6 +241,43 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     for (def, query) in exports {
         peer.declare(def, query);
     }
+    // Persistent warm state (DESIGN.md §11): load the solver-cache
+    // snapshot before serving, persist it on graceful shutdown and
+    // (with --snapshot-every N) every N answered requests.
+    let store = match flag_value(args, "--store-dir") {
+        Some(dir) => match axml::store::Store::open(&dir) {
+            Ok(s) => Some(s),
+            Err(e) => return fail(&format!("--store-dir {dir}: {e}")),
+        },
+        None => None,
+    };
+    let snapshot_every = match flag_value(args, "--snapshot-every") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                return fail(&format!(
+                    "--snapshot-every expects a positive integer, got '{v}'"
+                ))
+            }
+        },
+    };
+    if snapshot_every.is_some() && store.is_none() {
+        return fail("--snapshot-every requires --store-dir");
+    }
+    if let Some(store) = &store {
+        let report = peer.warm_start(store);
+        eprintln!(
+            "warm start: {} cached solves loaded ({} bytes{})",
+            report.entries,
+            report.bytes,
+            if report.discarded {
+                ", corrupt snapshot discarded"
+            } else {
+                ""
+            }
+        );
+    }
     let daemon = match NetPeer::serve(peer, addr.as_str(), config) {
         Ok(d) => d,
         Err(e) => return fail(&e.to_string()),
@@ -206,13 +286,27 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let quota = flag_value(args, "--requests").and_then(|v| v.parse::<u64>().ok());
+    let mut last_snapshot_at: u64 = 0;
     loop {
         std::thread::sleep(std::time::Duration::from_millis(20));
+        let stats = daemon.stats();
+        let answered = stats.served.load(std::sync::atomic::Ordering::Relaxed)
+            + stats.faulted.load(std::sync::atomic::Ordering::Relaxed);
+        if let (Some(store), Some(every)) = (&store, snapshot_every) {
+            if answered >= last_snapshot_at + every {
+                if let Err(e) = daemon.peer().persist_warm_state(store) {
+                    eprintln!("axml: snapshot failed: {e}");
+                }
+                last_snapshot_at = answered;
+            }
+        }
         if let Some(n) = quota {
-            let stats = daemon.stats();
-            let answered = stats.served.load(std::sync::atomic::Ordering::Relaxed)
-                + stats.faulted.load(std::sync::atomic::Ordering::Relaxed);
             if answered >= n {
+                if let Some(store) = &store {
+                    if let Err(e) = daemon.peer().persist_warm_state(store) {
+                        eprintln!("axml: snapshot failed: {e}");
+                    }
+                }
                 let served = stats.served.load(std::sync::atomic::Ordering::Relaxed);
                 return match daemon.shutdown() {
                     Ok(()) => {
@@ -261,10 +355,10 @@ fn cmd_send(args: &[String]) -> ExitCode {
             .unwrap_or_else(|| "document".to_owned())
     });
     let mut sender = Peer::new("axml-send", std::sync::Arc::clone(&compiled), std::sync::Arc::new(Registry::new()));
-    sender.k = k;
+    sender.enforce.k = k;
     if let Some(w) = flag_value(args, "--enforce-workers") {
         match w.parse::<usize>() {
-            Ok(n) if n > 0 => sender.enforce_workers = n,
+            Ok(n) if n > 0 => sender.enforce.workers = n,
             _ => {
                 return fail(&format!(
                     "--enforce-workers expects a positive integer, got '{w}'"
@@ -288,6 +382,77 @@ fn cmd_send(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             println!("send failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// Invokes a declared service on a running daemon, with client-side
+/// input enforcement and receiver-side screening — the request path
+/// that exercises the *daemon's* enforcement module (its input/output
+/// rewriting and solver cache), unlike `send`, which enforces on the
+/// sender. Positional parameters are text, or inline XML when they
+/// start with `<`.
+fn cmd_invoke(args: &[String]) -> ExitCode {
+    use axml::peer::{Peer, RemotePeer};
+    use axml::services::Registry;
+
+    let (Some(schema_path), Some(addr), Some(method)) = (args.first(), args.get(1), args.get(2))
+    else {
+        return usage();
+    };
+    let k = match parse_k(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
+    let schema = match load_schema(schema_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let compiled = match Compiled::new(schema, &NoOracle) {
+        Ok(c) => std::sync::Arc::new(c),
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut params = Vec::new();
+    let mut i = 3;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            i += 2; // skip the flag and its value
+            continue;
+        }
+        if a.trim_start().starts_with('<') {
+            let tree = axml::xml::parse_document(a)
+                .map_err(|e| e.to_string())
+                .and_then(|d| ITree::from_xml(&d.root).map_err(|e| e.to_string()));
+            match tree {
+                Ok(t) => params.push(t),
+                Err(e) => return fail(&format!("parameter {}: {e}", i - 2)),
+            }
+        } else {
+            params.push(ITree::text(a));
+        }
+        i += 1;
+    }
+    let mut caller = Peer::new(
+        "axml-invoke",
+        std::sync::Arc::clone(&compiled),
+        std::sync::Arc::new(Registry::new()),
+    );
+    caller.enforce.k = k;
+    let remote = match RemotePeer::connect(addr.as_str(), axml::net::ClientConfig::default()) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    match remote.invoke_service(&caller, method, &params) {
+        Ok(result) => {
+            for tree in &result {
+                println!("{}", tree.to_xml().to_pretty_xml());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("invoke failed: {e}");
             ExitCode::from(1)
         }
     }

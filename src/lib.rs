@@ -14,6 +14,8 @@
 //! * [`peer`] — Active XML peers and the Schema Enforcement module.
 //! * [`net`] — the TCP wire protocol and daemon substrate.
 //! * [`obs`] — metrics registry, spans and deterministic JSON snapshots.
+//! * [`store`] — persistent warm state: disk-backed solver-cache
+//!   snapshots and the precomputed schema compatibility matrix.
 //! * [`sim`] — deterministic discrete-event simulator for seeded
 //!   fault-injection testing of multi-peer exchange.
 //!
@@ -28,4 +30,5 @@ pub use axml_peer as peer;
 pub use axml_schema as schema;
 pub use axml_services as services;
 pub use axml_sim as sim;
+pub use axml_store as store;
 pub use axml_xml as xml;

@@ -19,8 +19,8 @@
 
 use axml::schema::ITree;
 use axml::sim::{
-    exhibit, offer, run_marketplace, run_scenario, FaultPlan, MarketplaceConfig, Mode, Outcome,
-    ScenarioConfig, StrategyKind,
+    exhibit, offer, run_marketplace, run_scenario, run_upgrade, FaultPlan, MarketplaceConfig,
+    Mode, Outcome, ScenarioConfig, StrategyKind, UpgradeConfig,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -159,4 +159,19 @@ fn strategic_adversary_transcript_is_stable() {
         Outcome::Delivered { .. } => panic!("strategic opponent must force a typed failure"),
     }
     check_golden("strategic.txt", &report.transcript);
+}
+
+/// The rolling-schema-upgrade fleet (DESIGN.md §11): the persisted
+/// compatibility matrix vetoes the incompatible version while daemons
+/// upgrade one by one, and a mid-run sender restart resumes from the
+/// on-disk cache snapshot with zero misses. The transcript pins the
+/// upgrade schedule, every matrix verdict, the restart reload counts,
+/// both cache-counter phases, the store counters, and a digest of the
+/// full event log.
+#[test]
+fn rolling_upgrade_transcript_is_stable() {
+    let report = run_upgrade(&UpgradeConfig::from_seed(0x0f16_0011));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.delivered > 0 && report.vetoed > 0);
+    check_golden("upgrade.txt", &report.transcript);
 }

@@ -1,0 +1,204 @@
+//! Restart fidelity (DESIGN.md §11): a peer that persists its warm
+//! state, dies, and comes back must be *indistinguishable* from one
+//! that never restarted — the first post-restart request is answered
+//! entirely from the reloaded cache (zero solver misses), enforcement
+//! output is byte-identical, and the two peers' caches re-export to
+//! the same snapshot bytes after identical traffic.
+
+use axml::core::invoke::{InvokeError, Invoker};
+use axml::core::rewrite::{RewriteReport, Rewriter};
+use axml::core::solve_cache::SolveCache;
+use axml::schema::{
+    generate_output_instance, validate, Compiled, GenConfig, ITree, NoOracle, Schema,
+};
+use axml::services::Registry as ServiceRegistry;
+use axml::store::{encode_entries, Store};
+use axml::peer::Peer;
+use axml_support::hash::fx_hash_one;
+use axml_support::rng::SeedableRng;
+use std::sync::Arc;
+
+struct PureInvoker<'c> {
+    compiled: &'c Compiled,
+    salt: u64,
+}
+
+impl Invoker for PureInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let seed = fx_hash_one(&(self.salt, function, format!("{params:?}")));
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
+        let output = self.compiled.sig_of(function).output.clone();
+        generate_output_instance(self.compiled, &output, &mut rng, &GenConfig::default()).map_err(
+            |e| InvokeError {
+                function: function.to_owned(),
+                message: e.to_string(),
+            },
+        )
+    }
+}
+
+fn exchange_compiled() -> Arc<Compiled> {
+    Arc::new(
+        Compiled::new(
+            Schema::builder()
+                .element("r", "exhibit*")
+                .element("exhibit", "title.date")
+                .data_element("title")
+                .data_element("date")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap(),
+    )
+}
+
+fn exhibit(title: &str, intensional: bool) -> ITree {
+    let date = if intensional {
+        ITree::func("Get_Date", vec![ITree::data("title", title)])
+    } else {
+        ITree::data("date", "mon")
+    };
+    ITree::elem("exhibit", vec![ITree::data("title", title), date])
+}
+
+/// Enforces `doc` through the peer's own solver cache (exactly what
+/// `Peer::handle` and `Peer::send_document` do internally).
+fn enforce(peer: &Peer, compiled: &Compiled, doc: &ITree, salt: u64) -> (String, RewriteReport) {
+    let mut inv = PureInvoker { compiled, salt };
+    let (out, report) = Rewriter::new(compiled)
+        .with_k(peer.enforce.k)
+        .with_cache(peer.solve_cache())
+        .rewrite_safe(doc, &mut inv)
+        .unwrap();
+    validate(&out, compiled).unwrap();
+    (out.to_xml().to_xml(), report)
+}
+
+#[test]
+fn restarted_peer_is_indistinguishable_from_uninterrupted() {
+    let c = exchange_compiled();
+    let dir = std::env::temp_dir().join(format!("axml-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let salt = 11;
+
+    let warmup = vec![
+        ITree::elem("r", vec![exhibit("monet", true)]),
+        ITree::elem("r", vec![exhibit("rodin", false), exhibit("redon", true)]),
+    ];
+
+    // The uninterrupted daemon: serves the warm-up traffic, persists
+    // its warm state (a periodic snapshot), and keeps running.
+    let original = Peer::new(
+        "gallery",
+        Arc::clone(&c),
+        Arc::new(ServiceRegistry::new()),
+    )
+    .with_solve_cache(SolveCache::unpublished(256));
+    let warm_outputs: Vec<_> = warmup
+        .iter()
+        .map(|d| enforce(&original, &c, d, salt))
+        .collect();
+    assert!(original.solve_cache().stats().misses > 0);
+    let written = original.persist_warm_state(&store).unwrap();
+    assert!(written > 0);
+
+    // The restarted daemon: a brand-new process image, warm-started
+    // from the snapshot the old one left behind.
+    let restarted = Peer::new(
+        "gallery",
+        Arc::clone(&c),
+        Arc::new(ServiceRegistry::new()),
+    )
+    .with_solve_cache(SolveCache::unpublished(256));
+    let report = restarted.warm_start(&store);
+    assert!(!report.discarded);
+    assert!(report.entries > 0, "restart must find the snapshot");
+    assert_eq!(
+        encode_entries(&restarted.solve_cache().export_entries()),
+        encode_entries(&original.solve_cache().export_entries()),
+        "reloaded warm state must match the running daemon's bit-for-bit"
+    );
+
+    // The FIRST post-restart request is answered from warm state:
+    // identical bytes, identical report, not one solver miss.
+    let (xml, rep) = enforce(&restarted, &c, &warmup[0], salt);
+    assert_eq!((&xml, &rep), (&warm_outputs[0].0, &warm_outputs[0].1));
+    let stats = restarted.solve_cache().stats();
+    assert_eq!(stats.misses, 0, "first post-restart request must be warm");
+    assert!(stats.hits > 0);
+
+    // From here on the two daemons stay in lock-step: fresh traffic
+    // (same shapes, new data) gets byte-identical treatment, and the
+    // caches keep re-exporting identical snapshots.
+    let fresh = vec![
+        ITree::elem("r", vec![exhibit("klimt", true)]),
+        ITree::elem(
+            "r",
+            vec![exhibit("goya", false), exhibit("miro", true)],
+        ),
+    ];
+    // Replay the rest of the warm-up on the restarted daemon so both
+    // have seen identical traffic before comparing exports.
+    for d in &warmup[1..] {
+        enforce(&restarted, &c, d, salt);
+    }
+    for d in &fresh {
+        let a = enforce(&original, &c, d, salt);
+        let b = enforce(&restarted, &c, d, salt);
+        assert_eq!(a, b, "uninterrupted and restarted daemons diverged");
+    }
+    assert_eq!(
+        encode_entries(&original.solve_cache().export_entries()),
+        encode_entries(&restarted.solve_cache().export_entries()),
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshots compose across restarts: state persisted by a restarted
+/// daemon (warm-loaded + new work) reloads into a third generation
+/// with everything both ancestors learned.
+#[test]
+fn warm_state_survives_generations()  {
+    let c = exchange_compiled();
+    let dir = std::env::temp_dir().join(format!("axml-restart-gen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+
+    let gen1 = Peer::new("g", Arc::clone(&c), Arc::new(ServiceRegistry::new()))
+        .with_solve_cache(SolveCache::unpublished(256));
+    enforce(&gen1, &c, &ITree::elem("r", vec![exhibit("a", true)]), 1);
+    gen1.persist_warm_state(&store).unwrap();
+
+    let gen2 = Peer::new("g", Arc::clone(&c), Arc::new(ServiceRegistry::new()))
+        .with_solve_cache(SolveCache::unpublished(256));
+    gen2.warm_start(&store);
+    // New shape: two exhibits — more games, learned on top of gen1's.
+    enforce(
+        &gen2,
+        &c,
+        &ITree::elem("r", vec![exhibit("b", true), exhibit("c", true)]),
+        1,
+    );
+    gen2.persist_warm_state(&store).unwrap();
+
+    let gen3 = Peer::new("g", Arc::clone(&c), Arc::new(ServiceRegistry::new()))
+        .with_solve_cache(SolveCache::unpublished(256));
+    let report = gen3.warm_start(&store);
+    assert_eq!(report.entries, gen2.solve_cache().export_entries().len());
+
+    // Both ancestors' traffic is warm for generation 3.
+    enforce(&gen3, &c, &ITree::elem("r", vec![exhibit("a", true)]), 1);
+    enforce(
+        &gen3,
+        &c,
+        &ITree::elem("r", vec![exhibit("b", true), exhibit("c", true)]),
+        1,
+    );
+    assert_eq!(gen3.solve_cache().stats().misses, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

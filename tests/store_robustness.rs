@@ -1,0 +1,222 @@
+//! Robustness of the warm-state store against every way a snapshot
+//! can rot on disk (DESIGN.md §11): truncation at any offset, a bit
+//! flipped at any offset, a version skew, a foreign-schema
+//! fingerprint — all must load as a *cold miss* with
+//! `store.corrupt_discarded_total` incremented and the corpse
+//! deleted. Never a panic, never a partially-loaded cache, never a
+//! stale answer. The offsets are property-driven so the checksum and
+//! header validation are exercised across the whole file, not at a
+//! few hand-picked positions.
+
+use axml::core::invoke::{InvokeError, Invoker};
+use axml::core::rewrite::Rewriter;
+use axml::core::solve_cache::SolveCache;
+use axml::schema::{generate_output_instance, Compiled, GenConfig, ITree, NoOracle, Schema};
+use axml::store::{CompatMatrix, Store, CACHE_SNAPSHOT_FILE, MATRIX_FILE};
+use axml_support::hash::fx_hash_one;
+use axml_support::prelude::*;
+use axml_support::rng::SeedableRng;
+use std::path::Path;
+use std::sync::Arc;
+
+struct PureInvoker<'c> {
+    compiled: &'c Compiled,
+    salt: u64,
+}
+
+impl Invoker for PureInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let seed = fx_hash_one(&(self.salt, function, format!("{params:?}")));
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
+        let output = self.compiled.sig_of(function).output.clone();
+        generate_output_instance(self.compiled, &output, &mut rng, &GenConfig::default()).map_err(
+            |e| InvokeError {
+                function: function.to_owned(),
+                message: e.to_string(),
+            },
+        )
+    }
+}
+
+fn exchange_compiled() -> Arc<Compiled> {
+    Arc::new(
+        Compiled::new(
+            Schema::builder()
+                .element("r", "exhibit*")
+                .element("exhibit", "title.date")
+                .data_element("title")
+                .data_element("date")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap(),
+    )
+}
+
+/// A store directory holding one real snapshot (and its pristine
+/// bytes), plus the registry its counters publish into.
+fn seeded_store(tag: &str) -> (Store, axml::obs::Registry, std::path::PathBuf, Vec<u8>, u64) {
+    let c = exchange_compiled();
+    let dir = std::env::temp_dir().join(format!("axml-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = axml::obs::Registry::new();
+    let store = Store::open_with(&dir, &registry).unwrap();
+
+    let cache = SolveCache::unpublished(64);
+    let doc = ITree::elem(
+        "r",
+        vec![ITree::elem(
+            "exhibit",
+            vec![
+                ITree::data("title", "monet"),
+                ITree::func("Get_Date", vec![ITree::data("title", "monet")]),
+            ],
+        )],
+    );
+    let mut inv = PureInvoker { compiled: &c, salt: 1 };
+    Rewriter::new(&c)
+        .with_k(1)
+        .with_cache(&cache)
+        .rewrite_safe(&doc, &mut inv)
+        .unwrap();
+    store.persist_cache(&cache, c.fingerprint()).unwrap();
+    let pristine = std::fs::read(dir.join(CACHE_SNAPSHOT_FILE)).unwrap();
+    assert!(pristine.len() > axml::store::format::HEADER_LEN);
+    (store, registry, dir, pristine, c.fingerprint())
+}
+
+fn counter(registry: &axml::obs::Registry, name: &str) -> u64 {
+    registry.snapshot().counter(name)
+}
+
+/// Asserts one mutated snapshot loads as a counted cold miss: zero
+/// entries installed, `discarded` reported, the corrupt counter
+/// bumped, and the corpse removed so the *next* load is a plain
+/// missing-file cold start that is NOT counted as corruption.
+fn assert_counted_cold_miss(
+    store: &Store,
+    registry: &axml::obs::Registry,
+    dir: &Path,
+    fingerprint: u64,
+) -> Result<(), TestCaseError> {
+    let before = counter(registry, "store.corrupt_discarded_total");
+    let cache = SolveCache::unpublished(64);
+    let report = store.load_cache(&cache, fingerprint);
+    prop_assert_eq!(report.entries, 0, "no entry may survive corruption");
+    prop_assert!(report.discarded);
+    prop_assert!(cache.export_entries().is_empty());
+    prop_assert_eq!(counter(registry, "store.corrupt_discarded_total"), before + 1);
+    prop_assert!(
+        !dir.join(CACHE_SNAPSHOT_FILE).exists(),
+        "corrupt snapshot must be deleted"
+    );
+    let again = store.load_cache(&cache, fingerprint);
+    prop_assert_eq!(again.entries, 0);
+    prop_assert!(!again.discarded, "a missing file is a clean cold start");
+    prop_assert_eq!(counter(registry, "store.corrupt_discarded_total"), before + 1);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating the snapshot at *any* offset — inside the header,
+    /// inside the payload, one byte short — loads as a counted cold
+    /// miss, never a panic.
+    #[test]
+    fn truncated_snapshot_is_a_counted_cold_miss(offset in 0usize..1_000_000) {
+        let (store, registry, dir, pristine, fp) = seeded_store("trunc");
+        let cut = offset % pristine.len();
+        std::fs::write(dir.join(CACHE_SNAPSHOT_FILE), &pristine[..cut]).unwrap();
+        assert_counted_cold_miss(&store, &registry, &dir, fp)?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping a single bit *anywhere* — magic, version, fingerprint,
+    /// length, checksum, payload — loads as a counted cold miss.
+    #[test]
+    fn bit_flipped_snapshot_is_a_counted_cold_miss(offset in 0usize..1_000_000, bit in 0u8..8) {
+        let (store, registry, dir, pristine, fp) = seeded_store("flip");
+        let mut bytes = pristine.clone();
+        let at = offset % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(dir.join(CACHE_SNAPSHOT_FILE), &bytes).unwrap();
+        assert_counted_cold_miss(&store, &registry, &dir, fp)?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A snapshot from any *other* format version — older or newer —
+    /// is discarded, not misinterpreted.
+    #[test]
+    fn version_skewed_snapshot_is_discarded(version in 0u32..1000) {
+        prop_assume!(version != axml::store::format::FORMAT_VERSION);
+        let (store, registry, dir, pristine, fp) = seeded_store("ver");
+        let mut bytes = pristine.clone();
+        bytes[4..8].copy_from_slice(&version.to_le_bytes());
+        std::fs::write(dir.join(CACHE_SNAPSHOT_FILE), &bytes).unwrap();
+        assert_counted_cold_miss(&store, &registry, &dir, fp)?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Loading under any fingerprint other than the one the snapshot
+    /// was captured for is a counted cold miss: warm state never
+    /// crosses schemas.
+    #[test]
+    fn foreign_fingerprint_is_a_counted_cold_miss(other in 0u64..u64::MAX) {
+        let (store, registry, dir, _pristine, fp) = seeded_store("fp");
+        prop_assume!(other != fp);
+        assert_counted_cold_miss(&store, &registry, &dir, other)?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The matrix file gets the same treatment: a flipped bit means
+    /// `load_matrix` returns `None` (negotiation falls back to live
+    /// Sec. 6 checks) with the corruption counted.
+    #[test]
+    fn corrupt_matrix_falls_back_to_live_checks(offset in 0usize..1_000_000, bit in 0u8..8) {
+        let dir = std::env::temp_dir().join(format!("axml-robust-mx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = axml::obs::Registry::new();
+        let store = Store::open_with(&dir, &registry).unwrap();
+        let schema = Schema::builder()
+            .element("r", "title")
+            .data_element("title")
+            .build()
+            .unwrap();
+        let matrix =
+            CompatMatrix::build(&[("only".to_owned(), schema)], "r", 1, &NoOracle).unwrap();
+        store.persist_matrix(&matrix).unwrap();
+        let mut bytes = std::fs::read(dir.join(MATRIX_FILE)).unwrap();
+        let at = offset % bytes.len();
+        // The matrix header's fingerprint field is documented as unused
+        // (schemas are pinned per-entry in the payload), so flips there
+        // are semantically invisible — every other byte must be caught.
+        prop_assume!(!(8..16).contains(&at));
+        bytes[at] ^= 1 << bit;
+        std::fs::write(dir.join(MATRIX_FILE), &bytes).unwrap();
+
+        let before = counter(&registry, "store.corrupt_discarded_total");
+        prop_assert!(store.load_matrix().is_none());
+        prop_assert_eq!(counter(&registry, "store.corrupt_discarded_total"), before + 1);
+        prop_assert!(!dir.join(MATRIX_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// An empty directory is a plain cold start: no corruption counted,
+/// nothing loaded, nothing created.
+#[test]
+fn missing_snapshot_is_a_clean_cold_start() {
+    let dir = std::env::temp_dir().join(format!("axml-robust-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = axml::obs::Registry::new();
+    let store = Store::open_with(&dir, &registry).unwrap();
+    let cache = SolveCache::unpublished(8);
+    let report = store.load_cache(&cache, 42);
+    assert_eq!(report, axml::store::LoadReport::default());
+    assert!(store.load_matrix().is_none());
+    assert_eq!(counter(&registry, "store.corrupt_discarded_total"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,212 @@
+//! Round-trip fidelity of the warm-state store (DESIGN.md §11): a
+//! solver cache populated by *real* enforcement work, persisted to
+//! disk, and reloaded into a fresh cache must be indistinguishable
+//! from the original — byte-identical snapshot re-encoding, zero
+//! misses on the traffic that populated it, and byte-identical
+//! enforcement output. The compatibility matrix round-trips the same
+//! way: every verdict and reason survives persistence.
+
+use axml::core::invoke::{InvokeError, Invoker};
+use axml::core::rewrite::Rewriter;
+use axml::core::solve_cache::SolveCache;
+use axml::schema::{
+    generate_output_instance, validate, Compiled, GenConfig, ITree, NoOracle, Schema,
+};
+use axml::store::{encode_entries, CompatMatrix, Store};
+use axml_support::hash::fx_hash_one;
+use axml_support::rng::SeedableRng;
+use std::sync::Arc;
+
+/// Pure invoker: the answer is a function of `(salt, function, params)`
+/// alone, so warm and cold runs face identical service behavior.
+struct PureInvoker<'c> {
+    compiled: &'c Compiled,
+    salt: u64,
+}
+
+impl Invoker for PureInvoker<'_> {
+    fn invoke(&mut self, function: &str, params: &[ITree]) -> Result<Vec<ITree>, InvokeError> {
+        let seed = fx_hash_one(&(self.salt, function, format!("{params:?}")));
+        let mut rng = axml_support::rng::StdRng::seed_from_u64(seed);
+        let output = self.compiled.sig_of(function).output.clone();
+        generate_output_instance(self.compiled, &output, &mut rng, &GenConfig::default()).map_err(
+            |e| InvokeError {
+                function: function.to_owned(),
+                message: e.to_string(),
+            },
+        )
+    }
+}
+
+fn exchange_compiled() -> Arc<Compiled> {
+    Arc::new(
+        Compiled::new(
+            Schema::builder()
+                .element("r", "exhibit*")
+                .element("exhibit", "title.date")
+                .data_element("title")
+                .data_element("date")
+                .function("Get_Date", "title", "date")
+                .build()
+                .unwrap(),
+            &NoOracle,
+        )
+        .unwrap(),
+    )
+}
+
+fn exhibit(title: &str, intensional: bool) -> ITree {
+    let date = if intensional {
+        ITree::func("Get_Date", vec![ITree::data("title", title)])
+    } else {
+        ITree::data("date", "mon")
+    };
+    ITree::elem("exhibit", vec![ITree::data("title", title), date])
+}
+
+fn docs() -> Vec<ITree> {
+    vec![
+        ITree::elem("r", vec![exhibit("monet", true)]),
+        ITree::elem("r", vec![exhibit("rodin", false), exhibit("redon", true)]),
+        ITree::elem(
+            "r",
+            vec![
+                exhibit("klimt", true),
+                exhibit("goya", true),
+                exhibit("miro", false),
+            ],
+        ),
+    ]
+}
+
+fn tmp_store(tag: &str) -> (Store, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("axml-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Store::open(&dir).unwrap(), dir)
+}
+
+/// Persist → load → the snapshot re-encodes byte-for-byte, and the
+/// reloaded cache answers the original traffic without a single miss,
+/// producing byte-identical enforcement output.
+#[test]
+fn snapshot_roundtrip_is_exact() {
+    let c = exchange_compiled();
+    let (store, dir) = tmp_store("exact");
+
+    // Populate with real solves.
+    let cache = SolveCache::unpublished(128);
+    let mut cold_outputs = Vec::new();
+    for doc in docs() {
+        let mut inv = PureInvoker { compiled: &c, salt: 7 };
+        let (out, report) = Rewriter::new(&c)
+            .with_k(1)
+            .with_cache(&cache)
+            .rewrite_safe(&doc, &mut inv)
+            .unwrap();
+        validate(&out, &c).unwrap();
+        cold_outputs.push((out.to_xml().to_xml(), report));
+    }
+    assert!(cache.stats().misses > 0, "traffic must exercise the solver");
+
+    let written = store.persist_cache(&cache, c.fingerprint()).unwrap();
+    assert!(written > 0);
+
+    // Reload into a fresh cache: the exported entry stream must
+    // re-encode to the exact same bytes.
+    let fresh = SolveCache::unpublished(128);
+    let report = store.load_cache(&fresh, c.fingerprint());
+    assert!(!report.discarded);
+    assert_eq!(report.entries, cache.export_entries().len());
+    assert_eq!(
+        encode_entries(&fresh.export_entries()),
+        encode_entries(&cache.export_entries()),
+        "loaded entries must re-encode byte-identically"
+    );
+
+    // The warm-from-disk cache replays the traffic with zero misses
+    // and byte-identical output.
+    for (doc, (cold_xml, cold_report)) in docs().into_iter().zip(&cold_outputs) {
+        let mut inv = PureInvoker { compiled: &c, salt: 7 };
+        let (out, report) = Rewriter::new(&c)
+            .with_k(1)
+            .with_cache(&fresh)
+            .rewrite_safe(&doc, &mut inv)
+            .unwrap();
+        assert_eq!(&out.to_xml().to_xml(), cold_xml);
+        assert_eq!(&report, cold_report);
+    }
+    assert_eq!(
+        fresh.stats().misses,
+        0,
+        "a snapshot-warmed cache must not re-solve anything"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot captured under one schema never leaks into another: a
+/// load under a different fingerprint is a clean cold start.
+#[test]
+fn snapshot_is_pinned_to_its_schema() {
+    let c = exchange_compiled();
+    let (store, dir) = tmp_store("pinned");
+    let cache = SolveCache::unpublished(64);
+    let mut inv = PureInvoker { compiled: &c, salt: 3 };
+    Rewriter::new(&c)
+        .with_k(1)
+        .with_cache(&cache)
+        .rewrite_safe(&ITree::elem("r", vec![exhibit("monet", true)]), &mut inv)
+        .unwrap();
+    store.persist_cache(&cache, c.fingerprint()).unwrap();
+
+    let fresh = SolveCache::unpublished(64);
+    let report = store.load_cache(&fresh, c.fingerprint() ^ 1);
+    assert_eq!(report.entries, 0);
+    assert!(report.discarded, "foreign-schema snapshot must be discarded");
+    assert!(fresh.export_entries().is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The compatibility matrix survives persistence verdict-for-verdict,
+/// reason-for-reason.
+#[test]
+fn matrix_roundtrip_preserves_every_verdict() {
+    let version = |exhibit_model: &str| -> Schema {
+        Schema::builder()
+            .element("r", "exhibit*")
+            .element("exhibit", exhibit_model)
+            .data_element("title")
+            .data_element("date")
+            .data_element("room")
+            .function("Get_Date", "title", "date")
+            .build()
+            .unwrap()
+    };
+    let portfolio = vec![
+        ("v1".to_owned(), version("title.(Get_Date|date)")),
+        ("v2".to_owned(), version("title.date")),
+        ("v3".to_owned(), version("title.date.room")),
+    ];
+    let matrix = CompatMatrix::build(&portfolio, "r", 2, &NoOracle).unwrap();
+
+    let (store, dir) = tmp_store("matrix");
+    store.persist_matrix(&matrix).unwrap();
+    let loaded = store.load_matrix().expect("persisted matrix reloads");
+
+    assert_eq!(loaded.k(), matrix.k());
+    assert_eq!(loaded.root(), matrix.root());
+    assert_eq!(
+        loaded.names().collect::<Vec<_>>(),
+        matrix.names().collect::<Vec<_>>()
+    );
+    for from in matrix.names() {
+        for to in matrix.names() {
+            assert_eq!(loaded.can_send(from, to), matrix.can_send(from, to));
+            assert_eq!(loaded.reason(from, to), matrix.reason(from, to));
+        }
+    }
+    assert_eq!(loaded.encode(), matrix.encode(), "byte-identical re-encode");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

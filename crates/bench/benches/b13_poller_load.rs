@@ -1,0 +1,177 @@
+//! B13: poll-engine load generation — per-request latency percentiles
+//! (p50/p99/p999) under a closed-loop generator, the connections ×
+//! throughput saturation curve for the readiness-loop daemon, and the
+//! single-connection round-trip comparison against the blocking-reader
+//! engine. The curve and the daemon's own metric snapshot (accounting
+//! identity included) ride along in the JSON report (EXPERIMENTS.md B13).
+
+use axml_net::{wire, IoMode, NetServer, ServerConfig};
+use axml_obs::LATENCY_NS_BOUNDS;
+use axml_support::bench::{criterion_group, criterion_main, smoke_mode, Criterion};
+use std::hint::black_box;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn echo_daemon(io: IoMode, metrics: axml_obs::Registry) -> NetServer {
+    NetServer::bind(
+        "127.0.0.1:0",
+        Arc::new(|_id: u64, envelope: &str| Ok(envelope.to_owned())),
+        ServerConfig {
+            io,
+            metrics,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn fresh_registry() -> axml_obs::Registry {
+    let r = axml_obs::Registry::new();
+    axml_obs::register_catalogue(&r);
+    r
+}
+
+/// Opens `n` handshaken connections in listener-backlog-sized batches.
+fn open_conns(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let mut conns = Vec::with_capacity(n);
+    for batch in 0..n.div_ceil(128) {
+        for _ in 0..128.min(n - batch * 128) {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            stream
+                .set_write_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            stream.set_nodelay(true).unwrap();
+            wire::write_frame(&mut stream, &wire::hello("b13-load")).unwrap();
+            conns.push(stream);
+        }
+    }
+    for stream in &mut conns {
+        let back = wire::read_frame(stream, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, wire::FrameType::Welcome);
+    }
+    conns
+}
+
+/// Exact percentile from a sorted sample (nearest-rank interpolation).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One saturation point: `conns` connections, each round writes one
+/// request per connection then collects every reply, so in-flight
+/// concurrency equals the connection count. Latencies are closed-loop
+/// (write → matching reply), observed into the shared histogram.
+fn run_point(
+    addr: SocketAddr,
+    conns: usize,
+    rounds: usize,
+    latency: &axml_obs::Histogram,
+) -> String {
+    let mut fleet = open_conns(addr, conns);
+    let mut samples: Vec<u64> = Vec::with_capacity(conns * rounds);
+    let mut stamps: Vec<Instant> = Vec::with_capacity(conns);
+    let mut busy = 0u64;
+    let mut id = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        stamps.clear();
+        for stream in &mut fleet {
+            id += 1;
+            wire::write_frame(stream, &wire::request(id, "<env>load</env>")).unwrap();
+            stamps.push(Instant::now());
+        }
+        for (stream, stamp) in fleet.iter_mut().zip(&stamps) {
+            let reply = wire::read_frame(stream, wire::DEFAULT_MAX_FRAME).unwrap();
+            match reply.kind {
+                wire::FrameType::Response => {
+                    let ns = stamp.elapsed().as_nanos() as u64;
+                    latency.observe(ns);
+                    samples.push(ns);
+                }
+                // Past the queue's capacity the daemon sheds load with
+                // retryable Busy faults — the saturation knee itself.
+                wire::FrameType::Fault => {
+                    let fault = wire::decode_fault(&reply.payload).unwrap();
+                    assert_eq!(fault.code, axml_net::FaultCode::Busy, "{fault}");
+                    busy += 1;
+                }
+                other => panic!("unexpected reply kind {other:?}"),
+            }
+        }
+    }
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    samples.sort_unstable();
+    let requests = samples.len() as u64 + busy;
+    let rps = samples.len() as f64 / (elapsed_ns as f64 / 1e9);
+    format!(
+        r#"{{"conns":{conns},"requests":{requests},"busy":{busy},"elapsed_ns":{elapsed_ns},"rps":{rps:.1},"p50_ns":{},"p99_ns":{},"p999_ns":{}}}"#,
+        percentile(&samples, 0.50),
+        percentile(&samples, 0.99),
+        percentile(&samples, 0.999),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b13_poller_load");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    // Single-connection round trip, both engines: the readiness loop must
+    // not tax the uncontended path to win the contended one.
+    for (name, io) in [
+        ("round_trip_threads_1conn", IoMode::Threads),
+        ("round_trip_poll_1conn", IoMode::Poll),
+    ] {
+        let daemon = echo_daemon(io, fresh_registry());
+        let mut conn = open_conns(daemon.local_addr(), 1).pop().unwrap();
+        let mut id = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                id += 1;
+                wire::write_frame(&mut conn, &wire::request(id, "<env>load</env>")).unwrap();
+                let reply = wire::read_frame(&mut conn, wire::DEFAULT_MAX_FRAME).unwrap();
+                black_box(reply.payload.len())
+            })
+        });
+        drop(conn);
+        daemon.shutdown().unwrap();
+    }
+
+    // The saturation curve: one poll daemon, rising connection counts,
+    // fixed per-point request budget. Smoke mode keeps CI fast; the full
+    // run walks into the thousand-connection regime.
+    let points: &[usize] = if smoke_mode() {
+        &[1, 8]
+    } else {
+        &[1, 8, 64, 256, 1024]
+    };
+    let budget = if smoke_mode() { 64 } else { 6144 };
+    let metrics = fresh_registry();
+    let latency = metrics.histogram("poller.request_ns", LATENCY_NS_BOUNDS);
+    let daemon = echo_daemon(IoMode::Poll, metrics.clone());
+    let curve: Vec<String> = points
+        .iter()
+        .map(|&conns| {
+            let rounds = (budget / conns).clamp(2, 512);
+            run_point(daemon.local_addr(), conns, rounds, &latency)
+        })
+        .collect();
+    group.attach_json("saturation", format!("[{}]", curve.join(",")));
+    // The daemon's own registry: poll gauges, frame histogram, and the
+    // requests = ok + faults identity, asserted by the CI gate.
+    group.attach_json("daemon_obs", metrics.snapshot().to_json());
+    group.finish();
+    daemon.shutdown().unwrap();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Incremental frame reassembly for the non-blocking poll engine.
+//!
+//! [`read_frame`](crate::wire::read_frame) owns a blocking stream and can
+//! simply loop until a frame is complete. The readiness loop cannot: a
+//! socket hands it arbitrary byte slivers — half a header now, three
+//! frames and a fragment later — and the loop must bank them and move on.
+//! [`FrameDecoder`] is that bank: feed it whatever `read` returned, then
+//! drain complete frames.
+//!
+//! The decoder is **error-equivalent** to `read_frame` by construction
+//! (property-tested in `tests/poller_frames.rs` across arbitrary split
+//! points):
+//!
+//! * the type byte is judged only once the *full* 13-byte header has
+//!   arrived — a lone garbage byte followed by silence is a stall, not an
+//!   `UnknownFrameType`, exactly as with the blocking reader;
+//! * an oversized length is rejected (`TooLarge {len, max}`) before one
+//!   byte of payload is buffered or allocated;
+//! * errors are sticky — after a protocol error the connection is dead
+//!   and further feeding keeps returning the same error.
+//!
+//! Memory stays bounded per connection: the buffer never holds more than
+//! one maximum-size frame plus one read's worth of spillover, consumed
+//! prefixes are compacted, and an idle decoder releases any oversized
+//! scratch back to the allocator.
+
+use crate::wire::{Frame, FrameType, WireError, HEADER_LEN};
+
+/// Buffer capacity above which an *empty* decoder gives memory back.
+/// Idle connections (the 10k-scale case) should cost tens of bytes, not
+/// the high-water mark of their largest historic frame.
+const SHRINK_THRESHOLD: usize = 16 * 1024;
+
+/// An incremental, non-blocking decoder of the 13-byte-header wire frames.
+///
+/// One per connection. Feed raw socket bytes with [`FrameDecoder::feed`],
+/// then call [`FrameDecoder::poll_frame`] until it yields `Ok(None)`.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    pos: usize,
+    max_payload: usize,
+    /// A protocol error, once hit, is permanent for the connection.
+    dead: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_payload` exactly like `read_frame`.
+    pub fn new(max_payload: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_payload,
+            dead: None,
+        }
+    }
+
+    /// Banks bytes read off the socket. Cheap; parsing happens in
+    /// [`FrameDecoder::poll_frame`].
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.dead.is_some() {
+            return;
+        }
+        // Compact before growing, not after draining: one memmove per
+        // read instead of one per frame.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or the connection-killing protocol error.
+    pub fn poll_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(err) = &self.dead {
+            return Err(err.clone());
+        }
+        let pending = &self.buf[self.pos..];
+        if pending.len() < HEADER_LEN {
+            self.maybe_shrink();
+            return Ok(None);
+        }
+        let kind = match FrameType::from_byte(pending[0]) {
+            Ok(kind) => kind,
+            Err(err) => return Err(self.kill(err)),
+        };
+        let id = u64::from_be_bytes(pending[1..9].try_into().expect("8 header bytes"));
+        let len = u32::from_be_bytes(pending[9..13].try_into().expect("4 header bytes")) as usize;
+        if len > self.max_payload {
+            return Err(self.kill(WireError::TooLarge {
+                len,
+                max: self.max_payload,
+            }));
+        }
+        if pending.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = pending[HEADER_LEN..HEADER_LEN + len].to_vec();
+        self.pos += HEADER_LEN + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.maybe_shrink();
+        }
+        Ok(Some(Frame { kind, id, payload }))
+    }
+
+    /// Whether bytes of an incomplete frame are pending — the line
+    /// between a benign [`WireError::Idle`] and a [`WireError::Stalled`]
+    /// peer when a read deadline passes.
+    pub fn mid_frame(&self) -> bool {
+        self.dead.is_none() && self.pos < self.buf.len()
+    }
+
+    /// Bytes currently buffered (unconsumed); feeds the poll engine's
+    /// `server.poll.buffer_bytes` gauge.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The scratch buffer's current allocation in bytes. Bounded while a
+    /// connection idles (see `maybe_shrink`), so 10k parked connections
+    /// cost kilobytes each, not the size of their largest past frame.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    fn kill(&mut self, err: WireError) -> WireError {
+        self.dead = Some(err.clone());
+        self.buf = Vec::new();
+        self.pos = 0;
+        err
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.buf.is_empty() && self.buf.capacity() > SHRINK_THRESHOLD {
+            self.buf = Vec::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{self, DEFAULT_MAX_FRAME};
+
+    fn encode(frame: &Frame) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, frame).unwrap();
+        buf
+    }
+
+    #[test]
+    fn whole_frame_in_one_feed() {
+        let frame = wire::request(42, "<env>hello</env>");
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.feed(&encode(&frame));
+        assert_eq!(dec.poll_frame().unwrap(), Some(frame));
+        assert_eq!(dec.poll_frame().unwrap(), None);
+        assert!(!dec.mid_frame());
+        assert_eq!(dec.buffered_len(), 0);
+    }
+
+    #[test]
+    fn one_byte_dribble() {
+        let frame = wire::response(7, "<env>drip</env>");
+        let bytes = encode(&frame);
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        for (i, b) in bytes.iter().enumerate() {
+            assert_eq!(dec.poll_frame().unwrap(), None, "early frame at byte {i}");
+            // Any banked byte short of a full frame counts as mid-frame.
+            assert_eq!(dec.mid_frame(), i > 0);
+            dec.feed(&[*b]);
+        }
+        assert_eq!(dec.poll_frame().unwrap(), Some(frame));
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn many_frames_one_feed() {
+        let frames = [
+            wire::hello("alice"),
+            wire::request(1, "<a/>"),
+            wire::request(2, "<b/>"),
+            wire::stats_request(3),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode(f));
+        }
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.feed(&bytes);
+        for f in &frames {
+            assert_eq!(dec.poll_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(dec.poll_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_type_only_after_full_header() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.feed(&[0x7f]);
+        // Blocking-reader parity: a bad first byte alone is not yet an
+        // error — the header hasn't arrived.
+        assert_eq!(dec.poll_frame().unwrap(), None);
+        assert!(dec.mid_frame());
+        dec.feed(&[0u8; HEADER_LEN - 1]);
+        assert_eq!(dec.poll_frame(), Err(WireError::UnknownFrameType(0x7f)));
+        // Sticky.
+        dec.feed(&encode(&wire::request(1, "x")));
+        assert_eq!(dec.poll_frame(), Err(WireError::UnknownFrameType(0x7f)));
+    }
+
+    #[test]
+    fn too_large_rejected_at_header() {
+        let frame = wire::request(1, &"y".repeat(100));
+        let bytes = encode(&frame);
+        let mut dec = FrameDecoder::new(10);
+        // Header only — the payload never needs to arrive to be refused.
+        dec.feed(&bytes[..HEADER_LEN]);
+        assert_eq!(
+            dec.poll_frame(),
+            Err(WireError::TooLarge { len: 100, max: 10 })
+        );
+    }
+
+    #[test]
+    fn idle_decoder_releases_large_buffers() {
+        let frame = wire::request(1, &"z".repeat(64 * 1024));
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.feed(&encode(&frame));
+        assert!(dec.poll_frame().unwrap().is_some());
+        assert_eq!(dec.poll_frame().unwrap(), None);
+        assert!(
+            dec.buf.capacity() <= SHRINK_THRESHOLD,
+            "idle decoder retained {} bytes",
+            dec.buf.capacity()
+        );
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`server`] — an accept loop feeding a fixed-size worker pool over a
 //!   bounded in-flight queue (backpressure by retryable `Busy` faults),
 //!   per-connection read/write timeouts, graceful panic-reporting
-//!   shutdown;
+//!   shutdown; two engines behind one [`server::IoMode`] knob: blocking
+//!   reader threads (any transport) or sharded epoll/kqueue readiness
+//!   loops ([`frames`] does the partial-read reassembly) for 10k+
+//!   connections over TCP;
 //! * [`client`] — a pooled connection client with connect/read timeouts,
 //!   a total per-call deadline spanning retries, and bounded
 //!   retry-with-backoff driven by deterministic jitter from
@@ -28,11 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frames;
+mod poll_server;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, NetClient};
-pub use server::{Handler, NetServer, ServerConfig, ServerError, ServerStats};
+pub use frames::FrameDecoder;
+pub use server::{Handler, IoMode, NetServer, ServerConfig, ServerError, ServerStats};
 pub use transport::{Acceptor, Duplex, TcpTransport, Transport};
 pub use wire::{FaultCode, WireError, WireFault, VERSION};

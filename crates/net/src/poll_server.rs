@@ -1,0 +1,776 @@
+//! The event-driven connection engine ([`IoMode::Poll`]): sharded
+//! epoll/kqueue readiness loops multiplexing thousands of non-blocking
+//! TCP connections. DESIGN.md §12 is the architecture document.
+//!
+//! Shape:
+//!
+//! * **Shards** — `ServerConfig::shards` threads, each owning one
+//!   `axml_support::poll::Poller`, its own connection table, and its own
+//!   bounded request queue. The listening socket is registered in *every*
+//!   shard's poller (level-triggered), so accepts self-balance: whichever
+//!   shard wakes first wins the connection, the rest see `WouldBlock`.
+//! * **Connections** — a non-blocking `TcpStream`, a
+//!   [`FrameDecoder`](crate::frames::FrameDecoder) reassembling frames
+//!   across arbitrary partial reads, and a pending-write buffer. All
+//!   socket I/O for a connection happens on its shard thread; workers
+//!   never touch sockets.
+//! * **Workers** — the ordinary [`worker_loop`] from the threads engine,
+//!   partitioned across shards (at least one each). Replies travel back
+//!   via the shard's outbox + waker ([`ReplyTo::Shard`]) and are flushed
+//!   by the shard loop.
+//! * **Fairness** — level-triggered readiness plus a per-event read
+//!   budget ([`MAX_READS_PER_EVENT`] × 64 KiB): a fire-hosing connection
+//!   yields the shard after its budget, and undrained sockets are simply
+//!   re-reported on the next `wait`. No connection can park the shard.
+//! * **Deadlines** — the poller wakes at least every ~`read_timeout`/4
+//!   (capped to 50 ms) and sweeps: a connection that never completed its
+//!   handshake within `read_timeout` is dropped silently (the blocking
+//!   reader's `Idle` semantics), one that stalls *mid-frame* gets the
+//!   `Timeout` fault and is closed (`Stalled` semantics), and one whose
+//!   pending writes make no progress for `write_timeout` is dropped.
+//!
+//! Fault taxonomy, reply bytes, and the
+//! `requests_total = responses_ok_total + faults_total` accounting
+//! identity are kept byte-for-byte identical to the threads engine —
+//! `tests/net_exchange.rs` runs every scenario over both engines and
+//! asserts exactly that. Two extra gauges are poll-specific:
+//! `server.poll.connections` and `server.poll.buffer_bytes` (the
+//! bounded-memory witness for the 10k-connection smoke test).
+
+use crate::frames::FrameDecoder;
+use crate::server::{worker_loop, Job, ReplyTo, ServerError, Shared};
+use crate::wire::{self, FaultCode, Frame, FrameType, WireError, WireFault};
+use axml_support::poll::{Event, Interest, Poller, Waker};
+use axml_support::sync::channel::{bounded, TrySendError};
+use axml_support::sync::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The token every shard registers the shared listener under.
+/// (`u64::MAX` itself is the poller's reserved waker token.)
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// How many 64 KiB reads one readiness event may consume before the
+/// connection yields the shard to its neighbours.
+const MAX_READS_PER_EVENT: usize = 16;
+
+/// Shard-level read scratch. One per shard, not per connection — idle
+/// connections cost only their (shrunk) decoder and `Conn` bookkeeping.
+const SCRATCH_LEN: usize = 64 * 1024;
+
+/// Retained-capacity bound for a drained write buffer.
+const OUT_SHRINK: usize = 64 * 1024;
+
+/// A shard's cross-thread face: where workers post finished replies.
+pub(crate) struct ShardHandle {
+    outbox: Mutex<Vec<(u64, Frame)>>,
+    waker: Waker,
+}
+
+impl ShardHandle {
+    /// Posts `frame` for connection `conn` and wakes the shard loop. If
+    /// the connection has closed meanwhile the shard drops the frame —
+    /// same outcome as the threads engine writing to a gone client.
+    pub(crate) fn deliver(&self, conn: u64, frame: Frame) {
+        self.outbox.lock().push((conn, frame));
+        self.waker.wake();
+    }
+}
+
+/// The running poll engine: shard threads + their worker pools.
+pub(crate) struct PollEngine {
+    shard_handles: Vec<Arc<ShardHandle>>,
+    shards: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_txs: Vec<axml_support::sync::channel::Sender<Job>>,
+}
+
+impl PollEngine {
+    /// Binds `addr`, spins up the shards and their workers.
+    pub(crate) fn bind(
+        addr: SocketAddr,
+        shared: &Arc<Shared>,
+    ) -> Result<(PollEngine, SocketAddr), ServerError> {
+        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+        listener.set_nonblocking(true).map_err(ServerError::Io)?;
+        let local = listener.local_addr().map_err(ServerError::Io)?;
+        let listener = Arc::new(listener);
+        let nshards = shared.config.shards.max(1);
+        let total_workers = shared.config.workers.max(1);
+        let queue = shared.config.queue.max(1);
+        let mut engine = PollEngine {
+            shard_handles: Vec::with_capacity(nshards),
+            shards: Vec::with_capacity(nshards),
+            workers: Vec::new(),
+            job_txs: Vec::with_capacity(nshards),
+        };
+        for s in 0..nshards {
+            let poller = Poller::new().map_err(ServerError::Io)?;
+            let handle = Arc::new(ShardHandle {
+                outbox: Mutex::new(Vec::new()),
+                waker: poller.waker(),
+            });
+            let (job_tx, job_rx) = bounded::<Job>(queue);
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            // Spread the worker pool across shards, at least one each.
+            let per = (total_workers / nshards + usize::from(s < total_workers % nshards)).max(1);
+            for w in 0..per {
+                let shared = Arc::clone(shared);
+                let job_rx = Arc::clone(&job_rx);
+                engine.workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("axml-poll-worker-{s}-{w}"))
+                        .spawn(move || worker_loop(&shared, &job_rx))
+                        .expect("spawn worker thread"),
+                );
+            }
+            let shard_thread = {
+                let listener = Arc::clone(&listener);
+                let handle = Arc::clone(&handle);
+                let shared = Arc::clone(shared);
+                let job_tx = job_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("axml-poll-shard-{s}"))
+                    .spawn(move || shard_loop(&listener, &poller, &handle, &shared, &job_tx))
+                    .expect("spawn shard thread")
+            };
+            engine.shard_handles.push(handle);
+            engine.shards.push(shard_thread);
+            engine.job_txs.push(job_tx);
+        }
+        Ok((engine, local))
+    }
+
+    /// Deterministic shutdown: wake + join every shard (their sockets
+    /// close with them), then close the queues and join every worker.
+    /// The caller has already raised the shared stop flag.
+    pub(crate) fn stop(&mut self, note: &mut dyn FnMut(std::thread::Result<()>)) {
+        for h in &self.shard_handles {
+            h.waker.wake();
+        }
+        for s in self.shards.drain(..) {
+            note(s.join());
+        }
+        // The shards' sender clones died with their threads; dropping
+        // ours closes each queue, ending the workers once drained.
+        self.job_txs.clear();
+        for w in self.workers.drain(..) {
+            note(w.join());
+        }
+    }
+}
+
+/// One connection's state machine. All fields are owned by the shard
+/// thread; nothing here is shared.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded frames awaiting the socket; `out_pos` is the flushed
+    /// prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    handshaken: bool,
+    /// Close once `out` is flushed (fault-then-close paths).
+    close_after_flush: bool,
+    /// Whether the poller registration currently includes write interest.
+    want_write: bool,
+    /// Marked for removal; swept at the end of the loop iteration.
+    dead: bool,
+    /// Last byte received — the idle/stall deadline anchor, matching the
+    /// blocking reader's per-`read` timeout semantics (a slow dribbler
+    /// that keeps sending is never a stall).
+    last_activity: Instant,
+    /// Last write progress — anchors the `write_timeout` deadline.
+    last_write_progress: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize, now: Instant) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            out: Vec::new(),
+            out_pos: 0,
+            handshaken: false,
+            close_after_flush: false,
+            want_write: false,
+            dead: false,
+            last_activity: now,
+            last_write_progress: now,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+fn shard_loop(
+    listener: &Arc<TcpListener>,
+    poller: &Poller,
+    handle: &Arc<ShardHandle>,
+    shared: &Arc<Shared>,
+    job_tx: &axml_support::sync::channel::Sender<Job>,
+) {
+    let metrics = &shared.metrics;
+    let read_timeout = shared.config.read_timeout;
+    let write_timeout = shared.config.write_timeout;
+    // The wait timeout doubles as the deadline-sweep tick: fine enough
+    // that a stall is detected within ~1.25 × read_timeout, coarse
+    // enough that 10k idle connections cost one sweep per 50 ms.
+    let tick = (read_timeout / 4)
+        .min(Duration::from_millis(50))
+        .max(Duration::from_millis(5));
+    if poller
+        .register(listener.as_fd(), LISTEN_TOKEN, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_LEN];
+    let mut next_token: u64 = 0;
+    let mut reported_bytes: i64 = 0;
+
+    while !shared.stop.load(Ordering::SeqCst) {
+        let _ = poller.wait(&mut events, Some(tick));
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        for i in 0..events.len() {
+            let ev = events[i];
+            if ev.token == LISTEN_TOKEN {
+                accept_ready(listener, poller, shared, &mut conns, &mut next_token, now);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if ev.readable && !conn.dead {
+                on_readable(conn, ev.token, shared, job_tx, handle, &mut scratch, now);
+            }
+            if !conn.dead {
+                try_flush(conn, now);
+            }
+            if !conn.dead {
+                update_interest(conn, ev.token, poller);
+            }
+        }
+        // Worker replies: append to the owning connection's buffer.
+        let pending = std::mem::take(&mut *handle.outbox.lock());
+        for (token, frame) in pending {
+            if let Some(conn) = conns.get_mut(&token) {
+                if !conn.dead {
+                    enqueue(conn, &frame);
+                    try_flush(conn, now);
+                    if !conn.dead {
+                        update_interest(conn, token, poller);
+                    }
+                }
+            }
+        }
+        // Deadline sweep.
+        for (token, conn) in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            if conn.pending_out() > 0
+                && now.duration_since(conn.last_write_progress) > write_timeout
+            {
+                // The peer stopped draining its socket; drop it.
+                conn.dead = true;
+                continue;
+            }
+            if conn.close_after_flush {
+                continue; // already fated, just waiting on the flush
+            }
+            if !conn.handshaken {
+                if now.duration_since(conn.last_activity) > read_timeout {
+                    // Never sent its handshake: silent drop, exactly the
+                    // blocking reader's Idle path.
+                    conn.dead = true;
+                }
+                continue;
+            }
+            if conn.decoder.mid_frame()
+                && now.duration_since(conn.last_activity) > read_timeout
+            {
+                // Stalled mid-frame: Timeout fault, then close — the
+                // stream is no longer framed.
+                shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                metrics.timeouts.inc();
+                let f = WireFault::new(FaultCode::Timeout, "read timed out mid-frame");
+                enqueue(conn, &wire::fault(0, &f));
+                conn.close_after_flush = true;
+                try_flush(conn, now);
+                if !conn.dead {
+                    update_interest(conn, *token, poller);
+                }
+            }
+        }
+        // Sweep the dead and republish the bounded-memory gauges.
+        conns.retain(|_, conn| {
+            if conn.dead {
+                let _ = poller.deregister(conn.stream.as_fd());
+                metrics.poll_connections.sub(1);
+                false
+            } else {
+                true
+            }
+        });
+        let total: i64 = conns
+            .values()
+            .map(|c| (c.decoder.buffered_len() + c.pending_out()) as i64)
+            .sum();
+        metrics.poll_buffer_bytes.add(total - reported_bytes);
+        reported_bytes = total;
+    }
+
+    // Shutdown: connections die with the shard. Idle peers see a plain
+    // close (threads-engine parity: readers return silently on stop).
+    metrics.poll_buffer_bytes.add(-reported_bytes);
+    for (_, conn) in conns.drain() {
+        let _ = poller.deregister(conn.stream.as_fd());
+        metrics.poll_connections.sub(1);
+    }
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    now: Instant,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue; // stream drops, connection resets
+                }
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections.inc();
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(stream.as_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                shared.metrics.poll_connections.add(1);
+                conns.insert(token, Conn::new(stream, shared.config.max_frame, now));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn on_readable(
+    conn: &mut Conn,
+    token: u64,
+    shared: &Arc<Shared>,
+    job_tx: &axml_support::sync::channel::Sender<Job>,
+    handle: &Arc<ShardHandle>,
+    scratch: &mut [u8],
+    now: Instant,
+) {
+    for _ in 0..MAX_READS_PER_EVENT {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // EOF. Clean close between frames is silent (`Closed`
+                // parity); mid-frame it is the blocking reader's
+                // UnexpectedEof → BadFrame fault path. Either way the
+                // connection is done.
+                if conn.handshaken
+                    && conn.decoder.mid_frame()
+                    && !shared.stop.load(Ordering::SeqCst)
+                {
+                    shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.fault();
+                    let e = WireError::Io(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame".to_owned(),
+                    );
+                    let f = WireFault::new(FaultCode::BadFrame, e.to_string());
+                    enqueue(conn, &wire::fault(0, &f));
+                    try_flush(conn, now);
+                }
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.last_activity = now;
+                conn.decoder.feed(&scratch[..n]);
+                drain_frames(conn, shared, job_tx, handle, token);
+                if conn.dead || conn.close_after_flush {
+                    return;
+                }
+                if n < scratch.len() {
+                    return; // socket drained
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    // Budget exhausted: leftover socket bytes re-report on the next
+    // wait (level-triggered), after the other connections get a turn.
+}
+
+/// The post-read state machine — the poll engine's `serve_frames`. Every
+/// branch mirrors the threads engine's metric and fault sequence
+/// exactly; divergence here breaks the transport-matrix suite.
+fn drain_frames(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    job_tx: &axml_support::sync::channel::Sender<Job>,
+    handle: &Arc<ShardHandle>,
+    token: u64,
+) {
+    let metrics = &shared.metrics;
+    loop {
+        let frame = match conn.decoder.poll_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(e) => {
+                if !conn.handshaken {
+                    // The blocking reader drops pre-handshake protocol
+                    // errors silently.
+                    conn.dead = true;
+                    return;
+                }
+                match e {
+                    WireError::TooLarge { len, max } => {
+                        shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                        metrics.fault();
+                        metrics.too_large.inc();
+                        metrics.frame_bytes.observe(len as u64);
+                        let f = WireFault::new(
+                            FaultCode::TooLarge,
+                            format!("{len}-byte payload exceeds the {max}-byte cap"),
+                        );
+                        enqueue(conn, &wire::fault(0, &f));
+                    }
+                    other => {
+                        if !shared.stop.load(Ordering::SeqCst) {
+                            shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                            metrics.fault();
+                            let f = WireFault::new(FaultCode::BadFrame, other.to_string());
+                            enqueue(conn, &wire::fault(0, &f));
+                        }
+                    }
+                }
+                conn.close_after_flush = true;
+                return;
+            }
+        };
+        if !conn.handshaken {
+            handshake_frame(conn, &frame, shared);
+            if conn.dead || conn.close_after_flush {
+                return;
+            }
+            continue;
+        }
+        metrics.frame_bytes.observe(frame.payload.len() as u64);
+        if frame.kind == FrameType::StatsRequest {
+            // Answered inline from the shard loop: scrapes must work
+            // even when every worker queue is saturated, and they stay
+            // out of the request accounting.
+            let snapshot = shared.config.metrics.snapshot().to_json();
+            enqueue(conn, &wire::stats_response(frame.id, &snapshot));
+            continue;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            let f = WireFault::new(FaultCode::Shutdown, "server is shutting down").retryable();
+            enqueue(conn, &wire::fault(frame.id, &f));
+            conn.close_after_flush = true;
+            return;
+        }
+        if frame.kind != FrameType::Request {
+            shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+            metrics.fault();
+            let f = WireFault::new(FaultCode::BadFrame, "expected a Request frame");
+            enqueue(conn, &wire::fault(frame.id, &f));
+            continue;
+        }
+        let envelope = match wire::decode_envelope(&frame.payload) {
+            Ok(e) => e,
+            Err(e) => {
+                shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                let f = WireFault::new(FaultCode::Client, e.to_string());
+                enqueue(conn, &wire::fault(frame.id, &f));
+                continue;
+            }
+        };
+        let job = Job {
+            reply: ReplyTo::Shard {
+                shard: Arc::clone(handle),
+                conn: token,
+            },
+            id: frame.id,
+            envelope,
+        };
+        // Count the slot before the job becomes visible to workers (see
+        // the threads engine for why the order matters).
+        metrics.queue_depth.add(1);
+        match job_tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                // Backpressure: reject retryably instead of queueing.
+                metrics.queue_depth.sub(1);
+                shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                metrics.busy.inc();
+                let f = WireFault::new(FaultCode::Busy, "in-flight request queue is full")
+                    .retryable();
+                enqueue(conn, &wire::fault(job.id, &f));
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                metrics.queue_depth.sub(1);
+                shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                metrics.fault();
+                let f = WireFault::new(FaultCode::Shutdown, "server is shutting down").retryable();
+                enqueue(conn, &wire::fault(job.id, &f));
+                conn.close_after_flush = true;
+                return;
+            }
+        }
+    }
+}
+
+/// First-frame handling: the versioned handshake, byte-identical to the
+/// threads engine's `handshake`.
+fn handshake_frame(conn: &mut Conn, frame: &Frame, shared: &Arc<Shared>) {
+    if frame.kind != FrameType::Hello {
+        let f = WireFault::new(FaultCode::BadFrame, "expected Hello to open the connection");
+        enqueue(conn, &wire::fault(frame.id, &f));
+        conn.close_after_flush = true;
+        return;
+    }
+    match wire::decode_hello(&frame.payload) {
+        Ok((version, _peer)) if version == wire::VERSION => {
+            enqueue(conn, &wire::welcome(&shared.config.name));
+            conn.handshaken = true;
+        }
+        Ok((version, _)) => {
+            let f = WireFault::new(
+                FaultCode::Version,
+                format!("server speaks version {}, client {version}", wire::VERSION),
+            );
+            enqueue(conn, &wire::fault(0, &f));
+            conn.close_after_flush = true;
+        }
+        Err(e) => {
+            let f = WireFault::new(FaultCode::BadFrame, format!("bad Hello: {e}"));
+            enqueue(conn, &wire::fault(0, &f));
+            conn.close_after_flush = true;
+        }
+    }
+}
+
+fn enqueue(conn: &mut Conn, frame: &Frame) {
+    // Writing to a Vec only fails for >u32 payloads, which the server
+    // never produces.
+    let _ = wire::write_frame(&mut conn.out, frame);
+}
+
+fn try_flush(conn: &mut Conn, now: Instant) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_write_progress = now;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.out.capacity() > OUT_SHRINK {
+            conn.out = Vec::new();
+        }
+        if conn.close_after_flush {
+            conn.dead = true;
+        }
+    }
+}
+
+/// Syncs the poller registration with whether the connection has bytes
+/// to write. Level-triggered write interest on an idle socket would
+/// busy-spin the shard, so it is armed only while `out` is non-empty.
+fn update_interest(conn: &mut Conn, token: u64, poller: &Poller) {
+    let want = conn.pending_out() > 0;
+    if want != conn.want_write
+        && poller
+            .modify(
+                conn.stream.as_fd(),
+                token,
+                if want {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                },
+            )
+            .is_ok()
+    {
+        conn.want_write = want;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::server::{Handler, IoMode, NetServer, ServerConfig};
+    use crate::wire::{self, FaultCode, FrameType, WireFault};
+    use std::io::{BufReader, Write as _};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn poll_config() -> ServerConfig {
+        ServerConfig {
+            io: IoMode::Poll,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn echo_server(config: ServerConfig) -> NetServer {
+        let handler: Arc<dyn Handler> = Arc::new(|_id: u64, envelope: &str| {
+            if envelope == "boom" {
+                Err(WireFault::new(FaultCode::Server, "boom requested"))
+            } else {
+                Ok(format!("echo:{envelope}"))
+            }
+        });
+        NetServer::bind("127.0.0.1:0", handler, config).unwrap()
+    }
+
+    fn dial(server: &NetServer) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        wire::set_stream_timeouts(
+            &stream,
+            Some(Duration::from_secs(5)),
+            Some(Duration::from_secs(5)),
+        )
+        .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (reader, stream)
+    }
+
+    fn shake(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream) {
+        wire::write_frame(stream, &wire::hello("test-client")).unwrap();
+        let back = wire::read_frame(reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Welcome);
+        let (v, name) = wire::decode_welcome(&back.payload).unwrap();
+        assert_eq!(v, wire::VERSION);
+        assert_eq!(name, "axml-peer");
+    }
+
+    #[test]
+    fn poll_engine_serves_requests_and_faults() {
+        let server = echo_server(poll_config());
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        wire::write_frame(&mut stream, &wire::request(1, "hi")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 1);
+        assert_eq!(wire::decode_envelope(&back.payload).unwrap(), "echo:hi");
+        wire::write_frame(&mut stream, &wire::request(2, "boom")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Server);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poll_engine_stalled_writer_gets_timeout_fault() {
+        let server = echo_server(ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            ..poll_config()
+        });
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        // Half a header, then silence.
+        stream.write_all(&[0x03, 0, 0, 0]).unwrap();
+        stream.flush().unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Timeout);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poll_engine_single_shard_and_many_shards_both_serve() {
+        for shards in [1, 4] {
+            let server = echo_server(ServerConfig {
+                shards,
+                ..poll_config()
+            });
+            let (mut reader, mut stream) = dial(&server);
+            shake(&mut reader, &mut stream);
+            for i in 0..5 {
+                wire::write_frame(&mut stream, &wire::request(i, "ping")).unwrap();
+                let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+                assert_eq!(back.id, i);
+                assert_eq!(back.kind, FrameType::Response);
+            }
+            assert_eq!(
+                server
+                    .stats()
+                    .served
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                5
+            );
+            server.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn poll_engine_pipelines_requests_from_one_connection() {
+        let server = echo_server(poll_config());
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        // Fire a burst without reading, then collect: replies may be
+        // reordered across workers but every id must come back once.
+        for i in 0..16u64 {
+            wire::write_frame(&mut stream, &wire::request(i, &format!("m{i}"))).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(back.kind, FrameType::Response);
+            assert!(seen.insert(back.id));
+        }
+        server.shutdown().unwrap();
+    }
+}

@@ -1,6 +1,19 @@
 //! The peer daemon: a concurrent server for the wire protocol.
 //!
-//! Architecture (all plain `std` threads):
+//! The daemon ships with **two connection engines** behind one config
+//! knob ([`ServerConfig::io`]); both speak the same wire protocol, emit
+//! the same fault taxonomy, and publish the same metrics:
+//!
+//! * [`IoMode::Threads`] (the default, and this module) — one blocking
+//!   reader thread per connection over a fixed worker pool. Simple, and
+//!   works over any [`Transport`] including the simulator's in-memory
+//!   network.
+//! * [`IoMode::Poll`] (`poll_server`, DESIGN.md §12) — an event-driven
+//!   readiness loop (epoll/kqueue via `axml_support::poll`): a few shard
+//!   threads multiplex thousands of non-blocking TCP connections. The
+//!   scaling engine; TCP only.
+//!
+//! Threads-engine architecture (all plain `std` threads):
 //!
 //! * one **accept thread** polls the (non-blocking) [`Acceptor`] and
 //!   spawns a lightweight **reader thread** per connection;
@@ -15,14 +28,15 @@
 //!   connection's shared writer — so one connection can have several
 //!   requests in flight and replies may be pipelined out of order;
 //! * [`NetServer::shutdown`] is **graceful and deterministic**: it stops
-//!   accepting, unblocks and joins every reader, drains-and-joins every
-//!   worker (bounded wait), and reports any worker panic as an error
-//!   instead of leaking threads.
+//!   accepting, unblocks and joins every reader (or poller shard),
+//!   drains-and-joins every worker (bounded wait), and reports any
+//!   worker panic as an error instead of leaking threads.
 //!
-//! The server is generic over [`Transport`]: [`NetServer::bind`] listens
-//! on real TCP, [`NetServer::bind_with`] on anything implementing the
-//! trait — the connection handling, backpressure and shutdown logic are
-//! identical either way.
+//! The threads engine is generic over [`Transport`]: [`NetServer::bind`]
+//! listens on real TCP, [`NetServer::bind_with`] on anything implementing
+//! the trait — the connection handling, backpressure and shutdown logic
+//! are identical either way. (`bind_with` always runs the threads engine:
+//! simulated transports hand out opaque byte streams, not pollable fds.)
 //!
 //! Per-connection read/write timeouts bound every blocking read or write:
 //! an idle connection is kept (pooled clients stay connected), but a peer
@@ -60,14 +74,60 @@ where
     }
 }
 
+/// Connection-engine selector: how the daemon turns socket bytes into
+/// requests. See the module docs for the trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One blocking reader thread per connection (works on any
+    /// transport; a wall at thousands of peers).
+    #[default]
+    Threads,
+    /// Event-driven readiness loop: sharded epoll/kqueue, bounded
+    /// memory, 10k+ connections. TCP only.
+    Poll,
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "poll" => Ok(IoMode::Poll),
+            other => Err(format!(
+                "unknown io mode '{other}' (expected 'threads' or 'poll')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoMode::Threads => "threads",
+            IoMode::Poll => "poll",
+        })
+    }
+}
+
 /// Tuning knobs for a [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Name announced in the `Welcome` handshake frame.
     pub name: String,
-    /// Fixed number of worker threads processing requests.
+    /// Connection engine ([`IoMode::Threads`] or [`IoMode::Poll`]).
+    pub io: IoMode,
+    /// Poll engine only: number of readiness-loop shard threads, each
+    /// owning its own poller, connections and bounded request queue.
+    /// More shards spread accept and read work across cores.
+    pub shards: usize,
+    /// Fixed number of worker threads processing requests. In poll mode
+    /// the pool is partitioned across shards (at least one per shard).
     pub workers: usize,
     /// Capacity of the in-flight request queue (backpressure bound).
+    /// In poll mode this is the capacity of *each* shard's queue, so
+    /// `shards = 1` reproduces the threads engine's Busy semantics
+    /// exactly.
     pub queue: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
@@ -85,6 +145,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             name: "axml-peer".to_owned(),
+            io: IoMode::Threads,
+            shards: 2,
             workers: 4,
             queue: 64,
             read_timeout: Duration::from_millis(200),
@@ -110,25 +172,44 @@ pub struct ServerStats {
 
 type SharedWriter = Arc<Mutex<Box<dyn Duplex>>>;
 
-struct Job {
-    writer: SharedWriter,
-    id: u64,
-    envelope: String,
+/// Where a worker delivers a finished reply. The threads engine hands
+/// workers the connection's locked writer; the poll engine cannot (its
+/// sockets are non-blocking and owned by a shard loop), so workers post
+/// the frame to the shard's outbox and wake its poller instead.
+pub(crate) enum ReplyTo {
+    /// Write the frame directly through the connection's shared writer.
+    Stream(SharedWriter),
+    /// Post the frame to a poll shard's outbox for connection `conn`.
+    Shard {
+        shard: Arc<crate::poll_server::ShardHandle>,
+        conn: u64,
+    },
+}
+
+pub(crate) struct Job {
+    pub(crate) reply: ReplyTo,
+    pub(crate) id: u64,
+    pub(crate) envelope: String,
 }
 
 /// Pre-resolved handles onto the `server.*` catalogue entries, so hot
 /// paths never touch the registry's name map.
-struct Metrics {
-    connections: axml_obs::Counter,
+pub(crate) struct Metrics {
+    pub(crate) connections: axml_obs::Counter,
     requests: axml_obs::Counter,
     responses_ok: axml_obs::Counter,
     faults: axml_obs::Counter,
-    busy: axml_obs::Counter,
-    timeouts: axml_obs::Counter,
-    too_large: axml_obs::Counter,
-    panics: axml_obs::Counter,
-    queue_depth: axml_obs::Gauge,
-    frame_bytes: axml_obs::Histogram,
+    pub(crate) busy: axml_obs::Counter,
+    pub(crate) timeouts: axml_obs::Counter,
+    pub(crate) too_large: axml_obs::Counter,
+    pub(crate) panics: axml_obs::Counter,
+    pub(crate) queue_depth: axml_obs::Gauge,
+    pub(crate) frame_bytes: axml_obs::Histogram,
+    /// Poll engine only: live connections across all shards.
+    pub(crate) poll_connections: axml_obs::Gauge,
+    /// Poll engine only: bytes held in per-connection read/write buffers
+    /// across all shards (the bounded-memory witness).
+    pub(crate) poll_buffer_bytes: axml_obs::Gauge,
 }
 
 impl Metrics {
@@ -144,35 +225,58 @@ impl Metrics {
             panics: r.counter("server.panics_total"),
             queue_depth: r.gauge("server.queue_depth"),
             frame_bytes: r.histogram("server.frame_bytes", axml_obs::BYTES_BOUNDS),
+            poll_connections: r.gauge("server.poll.connections"),
+            poll_buffer_bytes: r.gauge("server.poll.buffer_bytes"),
         }
     }
 
     /// Accounts one faulted request. Every accepted request ends in
     /// exactly one `ok()` or `fault()` call, so
     /// `requests_total = responses_ok_total + faults_total` holds.
-    fn fault(&self) {
+    pub(crate) fn fault(&self) {
         self.requests.inc();
         self.faults.inc();
     }
 
     /// Accounts one successfully answered request.
-    fn ok(&self) {
+    pub(crate) fn ok(&self) {
         self.requests.inc();
         self.responses_ok.inc();
     }
 }
 
-struct Shared {
-    handler: Arc<dyn Handler>,
-    config: ServerConfig,
-    clock: Arc<dyn Clock>,
-    stats: Arc<ServerStats>,
-    metrics: Metrics,
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) handler: Arc<dyn Handler>,
+    pub(crate) config: ServerConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) metrics: Metrics,
+    pub(crate) stop: AtomicBool,
     /// Live connection streams, keyed by a connection id, so shutdown can
-    /// unblock readers stuck in a read.
+    /// unblock readers stuck in a read. (Threads engine only; the poll
+    /// engine's shards own their connections outright.)
     conns: Mutex<HashMap<u64, SharedWriter>>,
     next_conn: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn new(
+        handler: Arc<dyn Handler>,
+        clock: Arc<dyn Clock>,
+        config: ServerConfig,
+    ) -> Arc<Shared> {
+        let metrics = Metrics::new(&config.metrics);
+        Arc::new(Shared {
+            handler,
+            config,
+            clock,
+            stats: Arc::new(ServerStats::default()),
+            metrics,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        })
+    }
 }
 
 /// A running daemon; dropping it without [`NetServer::shutdown`] still
@@ -181,9 +285,18 @@ pub struct NetServer {
     shared: Arc<Shared>,
     endpoint: String,
     local_addr: Option<std::net::SocketAddr>,
-    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
-    workers: Vec<JoinHandle<()>>,
-    job_tx: Option<Sender<Job>>,
+    engine: Engine,
+}
+
+/// The running engine behind a [`NetServer`] — which one is decided once
+/// at bind time by [`ServerConfig::io`].
+enum Engine {
+    Threads {
+        accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+        workers: Vec<JoinHandle<()>>,
+        job_tx: Option<Sender<Job>>,
+    },
+    Poll(crate::poll_server::PollEngine),
 }
 
 /// Errors from server lifecycle operations.
@@ -217,8 +330,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 impl NetServer {
-    /// Binds `addr` over TCP and starts the accept loop, readers and
-    /// worker pool.
+    /// Binds `addr` over TCP and starts whichever engine
+    /// [`ServerConfig::io`] selects.
     pub fn bind(
         addr: impl ToSocketAddrs,
         handler: Arc<dyn Handler>,
@@ -234,6 +347,16 @@ impl NetServer {
                     "address resolved to nothing",
                 ))
             })?;
+        if config.io == IoMode::Poll {
+            let shared = Shared::new(handler, axml_support::clock::system(), config);
+            let (engine, local) = crate::poll_server::PollEngine::bind(addr, &shared)?;
+            return Ok(NetServer {
+                shared,
+                endpoint: local.to_string(),
+                local_addr: Some(local),
+                engine: Engine::Poll(engine),
+            });
+        }
         NetServer::bind_with(
             &TcpTransport,
             &addr.to_string(),
@@ -244,7 +367,9 @@ impl NetServer {
     }
 
     /// Binds `endpoint` on an explicit transport and clock — how tests
-    /// run this exact server over an in-memory network.
+    /// run this exact server over an in-memory network. Always runs the
+    /// threads engine regardless of [`ServerConfig::io`]: simulated
+    /// transports hand out opaque byte streams, not pollable fds.
     pub fn bind_with(
         transport: &dyn Transport,
         endpoint: &str,
@@ -257,17 +382,7 @@ impl NetServer {
         let local_addr = acceptor.local_addr();
         let workers = config.workers.max(1);
         let queue = config.queue.max(1);
-        let metrics = Metrics::new(&config.metrics);
-        let shared = Arc::new(Shared {
-            handler,
-            config,
-            clock,
-            stats: Arc::new(ServerStats::default()),
-            metrics,
-            stop: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
-        });
+        let shared = Shared::new(handler, clock, config);
 
         let (job_tx, job_rx) = bounded::<Job>(queue);
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -296,9 +411,11 @@ impl NetServer {
             shared,
             endpoint,
             local_addr,
-            accept: Some(accept),
-            workers: worker_handles,
-            job_tx: Some(job_tx),
+            engine: Engine::Threads {
+                accept: Some(accept),
+                workers: worker_handles,
+                job_tx: Some(job_tx),
+            },
         })
     }
 
@@ -327,34 +444,45 @@ impl NetServer {
 
     fn stop_all(&mut self) -> Result<(), ServerError> {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock readers parked in reads.
-        for conn in self.shared.conns.lock().values() {
-            let _ = conn.lock().shutdown();
-        }
         let mut first_panic: Option<String> = None;
-        let panics = &self.shared.metrics.panics;
-        let mut note = |r: std::thread::Result<()>| {
-            if let Err(p) = r {
-                let msg = panic_message(p);
-                panics.inc();
-                axml_obs::span("server.panic").fail(&msg);
-                first_panic.get_or_insert(msg);
-            }
-        };
-        if let Some(accept) = self.accept.take() {
-            match accept.join() {
-                Ok(readers) => {
-                    for r in readers {
-                        note(r.join());
+        {
+            let panics = &self.shared.metrics.panics;
+            let mut note = |r: std::thread::Result<()>| {
+                if let Err(p) = r {
+                    let msg = panic_message(p);
+                    panics.inc();
+                    axml_obs::span("server.panic").fail(&msg);
+                    first_panic.get_or_insert(msg);
+                }
+            };
+            match &mut self.engine {
+                Engine::Threads {
+                    accept,
+                    workers,
+                    job_tx,
+                } => {
+                    // Unblock readers parked in reads.
+                    for conn in self.shared.conns.lock().values() {
+                        let _ = conn.lock().shutdown();
+                    }
+                    if let Some(accept) = accept.take() {
+                        match accept.join() {
+                            Ok(readers) => {
+                                for r in readers {
+                                    note(r.join());
+                                }
+                            }
+                            Err(p) => note(Err(p)),
+                        }
+                    }
+                    // Closing the queue ends the worker loops once drained.
+                    drop(job_tx.take());
+                    for w in workers.drain(..) {
+                        note(w.join());
                     }
                 }
-                Err(p) => note(Err(p)),
+                Engine::Poll(engine) => engine.stop(&mut note),
             }
-        }
-        // Closing the queue ends the worker loops once drained.
-        drop(self.job_tx.take());
-        for w in self.workers.drain(..) {
-            note(w.join());
         }
         match first_panic {
             Some(m) => Err(ServerError::WorkerPanic(m)),
@@ -555,7 +683,7 @@ fn serve_frames(
             }
         };
         let job = Job {
-            writer: Arc::clone(writer),
+            reply: ReplyTo::Stream(Arc::clone(writer)),
             id: frame.id,
             envelope,
         };
@@ -587,7 +715,7 @@ fn serve_frames(
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>>>) {
+pub(crate) fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>>>) {
     loop {
         // Hold the lock only while dequeueing, never while handling.
         let job = match job_rx.lock().recv() {
@@ -607,8 +735,15 @@ fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>>>) {
                 wire::fault(job.id, &fault)
             }
         };
-        // A gone client is not the server's problem.
-        let _ = send_reply(&job.writer, &reply);
+        // A gone client is not the server's problem — in either engine:
+        // the direct write may fail, or the shard may find the
+        // connection already closed and drop the frame.
+        match &job.reply {
+            ReplyTo::Stream(writer) => {
+                let _ = send_reply(writer, &reply);
+            }
+            ReplyTo::Shard { shard, conn } => shard.deliver(*conn, reply),
+        }
     }
 }
 

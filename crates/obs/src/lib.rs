@@ -88,6 +88,8 @@ pub fn register_catalogue(registry: &Registry) {
         registry.counter(name);
     }
     registry.gauge("server.queue_depth");
+    registry.gauge("server.poll.connections");
+    registry.gauge("server.poll.buffer_bytes");
     registry.gauge("store.bytes");
     registry.histogram("solver.safe.solve_ns", LATENCY_NS_BOUNDS);
     registry.histogram("solver.possible.solve_ns", LATENCY_NS_BOUNDS);

@@ -29,6 +29,10 @@
 //! * [`clock`] — time as a capability: the [`clock::Clock`] trait with a
 //!   wall-clock default, so the deterministic simulator can substitute
 //!   virtual time everywhere code sleeps or timestamps.
+//! * [`poll`] — a minimal level-triggered OS readiness poller (epoll on
+//!   Linux, kqueue on macOS/BSD) over `std::os::fd` with in-repo
+//!   `extern "C"` bindings, the substrate of the event-driven network
+//!   core (`axml-net`'s `--io poll` engine).
 //!
 //! Everything here is plain `std`; adding a dependency to this crate
 //! defeats its purpose.
@@ -39,6 +43,8 @@ pub mod bench;
 pub mod clock;
 pub mod hash;
 mod macros;
+#[cfg(unix)]
+pub mod poll;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -119,6 +119,79 @@ print(f"stats scrape ok: {len(counters)} counters, "
       f"requests={counters['server.requests_total']}")
 EOF
 
+echo "== tier-1: net-poller gate (readiness loop, DESIGN.md §12) =="
+# The poll engine's own suites: decoder split-fuzz parity and the
+# 5k-connection scale smoke — both under one wall-clock budget (the
+# transport matrix in net_exchange already ran above, both engines).
+poller_started=$(date +%s)
+timeout --kill-after=10 60 cargo test -q --offline --test poller_frames
+timeout --kill-after=10 60 cargo test -q --offline --test poller_scale
+poller_elapsed=$(( $(date +%s) - poller_started ))
+if [ "$poller_elapsed" -ge 60 ]; then
+    echo "poller suites blew their wall-clock budget: ${poller_elapsed}s >= 60s"
+    exit 1
+fi
+echo "poller suites ok in ${poller_elapsed}s (budget 60s)"
+
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    timeout --kill-after=10 300 \
+    cargo bench --offline -p axml-bench --bench b13_poller_load
+python3 - "$json_dir" <<'EOF'
+import json, pathlib, sys
+b13 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b13_poller_load.json").read_text())
+ids = {b["id"] for b in b13["benchmarks"]}
+want = {"round_trip_threads_1conn", "round_trip_poll_1conn"}
+assert want <= ids, f"B13 variants missing: {want - ids}"
+curve = b13["saturation"]
+assert curve, "B13 emitted an empty saturation curve"
+for point in curve:
+    for key in ("conns", "requests", "rps", "p50_ns", "p99_ns", "p999_ns"):
+        assert key in point, f"saturation point missing {key}: {point}"
+    assert point["p50_ns"] <= point["p99_ns"] <= point["p999_ns"], \
+        f"percentiles disordered: {point}"
+obs = b13["daemon_obs"]["counters"]
+assert obs["server.requests_total"] == (
+    obs["server.responses_ok_total"] + obs["server.faults_total"]
+), "B13 accounting identity violated"
+assert obs["server.requests_total"] == sum(p["requests"] for p in curve), \
+    "saturation-curve requests not all accounted by the daemon"
+print(f"B13 smoke ok: {len(curve)} points, "
+      f"requests={obs['server.requests_total']}")
+EOF
+
+# The live-daemon scrape again, poll engine this time: the readiness
+# loop must be indistinguishable to ops tooling as well — same
+# catalogue, same identity, plus its own fleet gauges.
+"$axml_bin" serve "$obs_dir/star.schema" 127.0.0.1:0 --name obs-gate-poll \
+    --io poll --shards 2 > "$obs_dir/serve-poll.out" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$obs_dir/serve-poll.out")"
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "poll-mode daemon never printed its banner"; exit 1; }
+timeout --kill-after=10 60 \
+    "$axml_bin" send "$obs_dir/star.schema" "$addr" "$obs_dir/plain.xml" --name front
+timeout --kill-after=10 60 "$axml_bin" stats "$addr" > "$obs_dir/stats-poll.json"
+kill "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+python3 - "$obs_dir/stats-poll.json" <<'EOF'
+import json, sys
+snap = json.loads(open(sys.argv[1]).read())
+counters, gauges = snap["counters"], snap["gauges"]
+assert counters["server.requests_total"] >= 1, "poll-mode exchange not accounted"
+assert counters["server.requests_total"] == (
+    counters["server.responses_ok_total"] + counters["server.faults_total"]
+), "poll-mode accounting identity violated"
+for name in ("server.poll.connections", "server.poll.buffer_bytes"):
+    assert name in gauges, f"poll-mode scrape missing gauge {name}"
+assert gauges["server.poll.connections"] >= 1, "scraping connection not gauged"
+print(f"poll-mode scrape ok: requests={counters['server.requests_total']}, "
+      f"live conns={gauges['server.poll.connections']}")
+EOF
+
 echo "== tier-1: solver-cache gate (determinism suite + B11 smoke) =="
 timeout --kill-after=10 180 cargo test -q --offline --test cache_determinism
 AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \

@@ -7,6 +7,7 @@
 //! axml plan     <schema> <doc.xml> [--k N]
 //! axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]...
 //!               [--export FUNC=DOC]... [--workers N] [--requests N]
+//!               [--io threads|poll] [--shards N]
 //!               [--builtin-services] [--store-dir DIR] [--snapshot-every N]
 //! axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]
 //! axml invoke   <schema> <addr> <method> [param]... [--k N]
@@ -18,6 +19,11 @@
 //! socket opens and snapshotted back on graceful shutdown (and every N
 //! answered requests with `--snapshot-every N`), so a restarted daemon
 //! resumes at warm hit-rates.
+//!
+//! `serve --io poll` swaps the blocking reader threads for the sharded
+//! epoll/kqueue readiness loop (DESIGN.md §12): same wire protocol,
+//! fault taxonomy and metrics, but thousands of concurrent connections
+//! on a fixed thread count. `--shards N` sets the poller shard count.
 //!
 //! Schemas are loaded from XML Schema_int when the file starts with `<`,
 //! from the textual DSL otherwise (see `axml_schema::dsl`). Exit code 0
@@ -41,7 +47,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--requests N] [--cache-capacity N] [--builtin-services] [--store-dir DIR] [--snapshot-every N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N]\n  axml invoke   <schema> <addr> <method> [param]... [--k N]\n  axml stats    <addr>"
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--io threads|poll] [--shards N] [--requests N] [--cache-capacity N] [--builtin-services] [--store-dir DIR] [--snapshot-every N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N]\n  axml invoke   <schema> <addr> <method> [param]... [--k N]\n  axml stats    <addr>"
     );
     ExitCode::from(2)
 }
@@ -156,6 +162,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         match w.parse::<usize>() {
             Ok(n) if n > 0 => config.workers = n,
             _ => return fail(&format!("--workers expects a positive integer, got '{w}'")),
+        }
+    }
+    if let Some(io) = flag_value(args, "--io") {
+        match io.parse::<axml::net::IoMode>() {
+            Ok(mode) => config.io = mode,
+            Err(e) => return fail(&format!("--io: {e}")),
+        }
+    }
+    if let Some(s) = flag_value(args, "--shards") {
+        match s.parse::<usize>() {
+            Ok(n) if n > 0 => config.shards = n,
+            _ => return fail(&format!("--shards expects a positive integer, got '{s}'")),
         }
     }
     // Service declarations are advertised with the schema's own WSDL_int

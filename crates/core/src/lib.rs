@@ -12,6 +12,9 @@
 //! * [`rewrite`] — the three-stage document rewriter of Sec. 4 (parameters
 //!   bottom-up, traversal top-down, per-node word games) with execution
 //!   against live services, including the backtracking executor of Sec. 5.
+//! * [`stream`] — streaming bounded-memory enforcement: the same rewrite
+//!   driven incrementally off the pull parser, materializing only the
+//!   subtrees that contain function calls.
 //! * [`mixed`] — the mixed approach of Sec. 5 (eager invocation of cheap
 //!   calls, then safe analysis on actual results).
 //! * [`adversary`] — strategic opponents extracted from the solved games:
@@ -60,3 +63,4 @@ pub mod rewrite;
 pub mod safe;
 pub mod schema_rw;
 pub mod solve_cache;
+pub mod stream;

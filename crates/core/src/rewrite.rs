@@ -215,8 +215,12 @@ fn substitute_markers(tree: &ITree, subs: &mut [Option<ITree>]) -> Result<ITree,
 
 /// Which rewriting notion drives execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Strategy {
+pub enum Strategy {
+    /// Safe rewriting (Sec. 4): succeeds for *every* type-correct service
+    /// answer, decided before any call is made; never backtracks.
     Safe,
+    /// Possible rewriting (Sec. 5): invokes speculatively and backtracks
+    /// when the services' actual answers rule a branch out.
     Possible,
 }
 
@@ -351,7 +355,7 @@ impl<'c> Rewriter<'c> {
     }
 
     /// The compiled schema this rewriter targets.
-    pub fn compiled(&self) -> &Compiled {
+    pub fn compiled(&self) -> &'c Compiled {
         self.compiled
     }
 
@@ -860,6 +864,89 @@ impl<'c> Rewriter<'c> {
         }
     }
 
+    /// Rewrites only the *tail* of a forest whose `prefix` symbols have
+    /// already been consumed (and emitted) by the streaming enforcer.
+    ///
+    /// The game is built over the full word `prefix · word(tail)` — the
+    /// same `A_w^k` the DOM path would build for the element — but the
+    /// prefix is advanced through forced letter moves without producing
+    /// output: the streamed prefix children are function-free and
+    /// individually valid, so the DOM rewriter would copy them verbatim.
+    /// Execution (forks, invocations, splices) starts at the reached
+    /// product node and consumes only the materialized `tail` items.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rewrite_suffix(
+        &mut self,
+        prefix: &[Symbol],
+        tail: &[ITree],
+        target: &Regex,
+        slot: TargetSlot,
+        context: &str,
+        strategy: Strategy,
+        invoker: &mut dyn Invoker,
+        report: &mut RewriteReport,
+    ) -> Result<Vec<ITree>, RewriteError> {
+        // Stage 1 on the materialized tail only: the streamed prefix is
+        // function-free by construction.
+        let mut pre = Analysis::default();
+        for t in tail {
+            match strategy {
+                Strategy::Safe => self.analyze_params(t, &mut pre)?,
+                Strategy::Possible => self.analyze_params_possible(t, &mut pre)?,
+            }
+        }
+        let mut word = prefix.to_vec();
+        word.extend(self.word_of(tail));
+        let game = match strategy {
+            Strategy::Safe => {
+                let g = self.safe_game_word(&word, target, slot)?;
+                if !g.is_safe() {
+                    return Err(RewriteError::NotSafe {
+                        context: context.to_owned(),
+                        word: self.compiled.alphabet().format_word(&word),
+                    });
+                }
+                Game::Safe(g)
+            }
+            Strategy::Possible => {
+                let g = self.possible_game_word(&word, target, slot)?;
+                if !g.is_possible() {
+                    return Err(RewriteError::NotPossible {
+                        context: context.to_owned(),
+                        word: self.compiled.alphabet().format_word(&word),
+                    });
+                }
+                Game::Possible(g)
+            }
+        };
+        report.games += 1;
+        let mut cur = game.start();
+        for &sym in prefix {
+            cur = match self.step_symbol(&game, cur, sym, context) {
+                Ok(Some(n)) => n,
+                Ok(None) => {
+                    return Err(RewriteError::Exhausted {
+                        context: context.to_owned(),
+                    })
+                }
+                Err(Fail::Fatal(e)) => return Err(*e),
+                Err(Fail::Dead) => {
+                    return Err(RewriteError::Exhausted {
+                        context: context.to_owned(),
+                    })
+                }
+            };
+        }
+        let pending: Vec<Item> = tail.iter().map(|t| Item::Tree(t.clone(), true)).collect();
+        match self.exec(&game, &pending, cur, strategy, invoker, report, context) {
+            Ok(out) => Ok(out),
+            Err(Fail::Fatal(e)) => Err(*e),
+            Err(Fail::Dead) => Err(RewriteError::Exhausted {
+                context: context.to_owned(),
+            }),
+        }
+    }
+
     // ------------------------------------------------------------------
     // The word executor (shared by safe and possible strategies)
     // ------------------------------------------------------------------
@@ -1144,6 +1231,17 @@ impl<'c> Rewriter<'c> {
         slot: TargetSlot,
     ) -> Result<Arc<SolvedSafe>, RewriteError> {
         let w = self.word_of(items);
+        self.safe_game_word(&w, target, slot)
+    }
+
+    /// [`Rewriter::safe_game`] over an explicit word — the streaming
+    /// enforcer supplies `prefix · word(tail)` instead of a full forest.
+    fn safe_game_word(
+        &mut self,
+        w: &[Symbol],
+        target: &Regex,
+        slot: TargetSlot,
+    ) -> Result<Arc<SolvedSafe>, RewriteError> {
         let schema = self.compiled.fingerprint();
         let n = self.compiled.alphabet().len();
         let (compiled, k, limits, mode) = (self.compiled, self.k, self.limits, self.mode);
@@ -1163,6 +1261,16 @@ impl<'c> Rewriter<'c> {
         slot: TargetSlot,
     ) -> Result<Arc<SolvedPossible>, RewriteError> {
         let w = self.word_of(items);
+        self.possible_game_word(&w, target, slot)
+    }
+
+    /// [`Rewriter::possible_game`] over an explicit word.
+    fn possible_game_word(
+        &mut self,
+        w: &[Symbol],
+        target: &Regex,
+        slot: TargetSlot,
+    ) -> Result<Arc<SolvedPossible>, RewriteError> {
         let schema = self.compiled.fingerprint();
         let n = self.compiled.alphabet().len();
         let (compiled, k, limits) = (self.compiled, self.k, self.limits);
@@ -1230,6 +1338,25 @@ pub fn enforce_with<'i>(
         let mut invoker = make_invoker();
         rw.rewrite_safe(tree, &mut *invoker)
     }
+}
+
+/// [`enforce`] under the *possible* notion: returns `tree` unchanged when
+/// it already conforms, otherwise attempts a possible rewriting (which may
+/// invoke speculatively and backtrack) through the shared [`SolveCache`].
+pub fn enforce_possible_with(
+    compiled: &Compiled,
+    tree: &ITree,
+    k: u32,
+    cache: &SolveCache,
+    invoker: &mut dyn Invoker,
+) -> Result<(ITree, RewriteReport), RewriteError> {
+    if axml_schema::validate(tree, compiled).is_ok() {
+        return Ok((tree.clone(), RewriteReport::default()));
+    }
+    Rewriter::new(compiled)
+        .with_k(k)
+        .with_cache(cache)
+        .rewrite_possible(tree, invoker)
 }
 
 #[cfg(test)]

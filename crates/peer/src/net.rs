@@ -20,9 +20,10 @@
 //! [`soap_fault`] give the 1:1 mapping between [`soap::Fault`] envelopes
 //! and `axml-net` fault frames.
 
-use crate::peer::{Peer, PeerError};
-use axml_core::invoke::{InvokeError, Invoker};
+use crate::peer::{EnforceMode, Peer, PeerError};
+use axml_core::invoke::{InvokeError, Invoker, RefusingInvoker};
 use axml_core::rewrite::RewriteReport;
+use axml_core::stream::{enforce_stream_with, StreamOptions};
 use axml_net::wire::{FaultCode, WireFault};
 use axml_net::{
     ClientConfig, ClientError, Handler, NetClient, NetServer, ServerConfig, ServerStats, Transport,
@@ -228,8 +229,27 @@ fn receive_document(peer: &Peer, params: &[ITree]) -> Result<String, PeerError> 
     }
     // Receiver-side Schema Enforcement (verify step): the document must
     // already be an instance of the receiver's schema — rewriting is the
-    // *sender's* burden under the agreed exchange schema.
-    validate(doc, &peer.compiled).map_err(|e| PeerError::Enforcement(e.to_string()))?;
+    // *sender's* burden under the agreed exchange schema. In streaming
+    // mode the verify is the streaming enforcer with a refusing invoker:
+    // a rewrite with zero invocations is the identity, so it succeeds
+    // exactly on valid documents, while keeping the daemon's memory
+    // bounded and its `enforce.stream.*` metrics live.
+    match (peer.enforce.mode, doc) {
+        (EnforceMode::Streaming, ITree::Elem { .. }) => {
+            let text = axml_xml::element_to_string(
+                &doc.to_xml(),
+                &axml_xml::WriteOptions::compact(),
+            );
+            let opts = StreamOptions {
+                k: peer.enforce.k,
+                cache: Some(peer.enforce.cache.clone()),
+                ..StreamOptions::default()
+            };
+            enforce_stream_with(&peer.compiled, &text, &opts, &mut RefusingInvoker)
+                .map_err(|e| PeerError::Enforcement(e.to_string()))?;
+        }
+        _ => validate(doc, &peer.compiled).map_err(|e| PeerError::Enforcement(e.to_string()))?,
+    }
     peer.inbound.check(std::slice::from_ref(doc))?;
     peer.repository.store(name, doc.clone());
     axml_obs::global().counter("peer.received_total").inc();
@@ -358,6 +378,39 @@ impl RemotePeer {
         result
     }
 
+    /// Sender-side whole-document enforcement, honoring the caller's
+    /// [`EnforceMode`]: element documents stream through
+    /// [`enforce_stream_with`] (warming the caller's solver cache and its
+    /// `enforce.stream.*` metrics), everything else — and
+    /// [`EnforceMode::Dom`] — takes the DOM pipeline. Both produce the
+    /// same document.
+    fn enforce_outbound(
+        caller: &Peer,
+        exchange: &Compiled,
+        doc: &ITree,
+        invoker: &mut dyn Invoker,
+    ) -> Result<(ITree, RewriteReport), PeerError> {
+        if caller.enforce.mode == EnforceMode::Streaming && matches!(doc, ITree::Elem { .. }) {
+            let text = axml_xml::element_to_string(
+                &doc.to_xml(),
+                &axml_xml::WriteOptions::compact(),
+            );
+            let opts = StreamOptions {
+                k: caller.enforce.k,
+                cache: Some(caller.enforce.cache.clone()),
+                ..StreamOptions::default()
+            };
+            let (out, rep) = enforce_stream_with(exchange, &text, &opts, invoker)
+                .map_err(PeerError::from)?;
+            let sent = axml_xml::parse_document(&out)
+                .map_err(|e| PeerError::Enforcement(format!("re-parsing enforced output: {e}")))
+                .and_then(|d| ITree::from_xml(&d.root).map_err(PeerError::Enforcement))?;
+            return Ok((sent, rep.rewrite));
+        }
+        axml_core::rewrite::enforce(exchange, doc, caller.enforce.k, invoker)
+            .map_err(PeerError::from)
+    }
+
     fn ship_document(
         &self,
         caller: &Peer,
@@ -370,11 +423,11 @@ impl RemotePeer {
         let (sent, report) = {
             let mut sp = axml_obs::span("enforce");
             sp.set("rid", rid);
-            match axml_core::rewrite::enforce(exchange, doc, caller.enforce.k, invoker) {
+            match Self::enforce_outbound(caller, exchange, doc, invoker) {
                 Ok(v) => v,
                 Err(e) => {
                     sp.fail(&e);
-                    return Err(e.into());
+                    return Err(e);
                 }
             }
         };

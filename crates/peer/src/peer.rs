@@ -149,6 +149,19 @@ struct Exported {
     query: Query,
 }
 
+/// Which pipeline the enforcement module drives over a whole document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforceMode {
+    /// Drive enforcement off the pull parser: conforming regions stream
+    /// straight to the output and only call-bearing subtrees are
+    /// materialized (`axml_core::stream`). Falls back to the DOM pipeline
+    /// on any anomaly, with byte-identical results — safe as a default.
+    #[default]
+    Streaming,
+    /// Materialize the whole document before rewriting.
+    Dom,
+}
+
 /// The Schema Enforcement module's tuning knobs, grouped in one struct
 /// so a new knob extends this type instead of growing [`Peer`] another
 /// parallel field (rewriting depth, subtree workers, solver cache).
@@ -159,6 +172,8 @@ pub struct EnforceOptions {
     /// Worker threads used by [`Peer::send_document`] to rewrite
     /// independent root subtrees concurrently (1 = sequential).
     pub workers: usize,
+    /// Streaming or DOM whole-document enforcement.
+    pub mode: EnforceMode,
     /// The solver cache shared by every rewriter the peer creates.
     /// Cloning an [`EnforceOptions`] shares the cache (it is `Arc`ed).
     pub cache: SolveCache,
@@ -169,6 +184,7 @@ impl Default for EnforceOptions {
         EnforceOptions {
             k: 2,
             workers: 1,
+            mode: EnforceMode::default(),
             cache: SolveCache::default(),
         }
     }
@@ -179,6 +195,7 @@ impl std::fmt::Debug for EnforceOptions {
         f.debug_struct("EnforceOptions")
             .field("k", &self.k)
             .field("workers", &self.workers)
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -238,6 +255,12 @@ impl Peer {
     /// Sets the [`Peer::send_document`] worker count.
     pub fn with_enforce_workers(mut self, workers: usize) -> Self {
         self.enforce.workers = workers.max(1);
+        self
+    }
+
+    /// Selects streaming or DOM whole-document enforcement.
+    pub fn with_enforce_mode(mut self, mode: EnforceMode) -> Self {
+        self.enforce.mode = mode;
         self
     }
 

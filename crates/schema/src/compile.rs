@@ -84,6 +84,7 @@ pub struct Compiled {
     kinds: Vec<SymKind>,
     content: Vec<Option<CompiledContent>>,
     sigs: Vec<Option<SigInfo>>,
+    admits_fun: Vec<bool>,
     anyelem: Symbol,
     anyfun: Symbol,
     data: Symbol,
@@ -281,12 +282,30 @@ impl Compiled {
                 invocable: false,
             });
         }
+        // Which labels' content models can contain a function symbol at all —
+        // the streaming enforcer's lookahead: an `int:fun` child under a label
+        // that admits none is necessarily a rewrite site, and a valid-as-is
+        // splice is only worth checking where one is admitted.
+        let admits_fun: Vec<bool> = content
+            .iter()
+            .map(|slot| match slot {
+                Some(CompiledContent::Any) => true,
+                Some(CompiledContent::Model { regex, .. }) => regex.symbols().iter().any(|&s| {
+                    matches!(
+                        kinds[s as usize],
+                        SymKind::Function | SymKind::Class | SymKind::AnyFun
+                    )
+                }),
+                Some(CompiledContent::Data) | None => false,
+            })
+            .collect();
         Ok(Compiled {
             schema,
             alphabet,
             kinds,
             content,
             sigs,
+            admits_fun,
             anyelem,
             anyfun,
             data,
@@ -406,6 +425,20 @@ impl Compiled {
     /// True if calls classified to `sym` may be invoked by rewritings.
     pub fn invocable(&self, sym: Symbol) -> bool {
         self.sig(sym).is_some_and(|s| s.invocable)
+    }
+
+    /// True if the content model of label symbol `sym` admits function
+    /// symbols directly among its children (wildcard content admits
+    /// anything). The streaming enforcer uses this lookahead to decide
+    /// whether an element that turned out to contain `int:fun` children can
+    /// possibly be valid as-is, or is necessarily a rewrite site.
+    pub fn admits_functions(&self, sym: Symbol) -> bool {
+        self.admits_fun.get(sym as usize).copied().unwrap_or(false)
+    }
+
+    /// [`Compiled::admits_functions`] by label name.
+    pub fn admits_functions_of(&self, label: &str) -> bool {
+        self.admits_functions(self.classify_label(label))
     }
 
     /// All label symbols.

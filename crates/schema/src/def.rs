@@ -225,6 +225,17 @@ pub enum SchemaError {
         /// Description of the mismatch.
         message: String,
     },
+    /// The document text is not well-formed XML. Unlike [`SchemaError::Invalid`]
+    /// this keeps the parser's position fields, so streaming-path errors are
+    /// as diagnosable as DOM-path ones.
+    Malformed {
+        /// Parser message (without position prefix).
+        message: String,
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Byte offset where parsing failed.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -245,6 +256,16 @@ impl fmt::Display for SchemaError {
                 write!(f, "{count} patterns declared, at most {max} supported")
             }
             SchemaError::Invalid { message } => write!(f, "invalid document: {message}"),
+            // Same rendering the flattened form produced, so messages stay
+            // stable while the fields remain matchable.
+            SchemaError::Malformed {
+                message,
+                line,
+                offset,
+            } => write!(
+                f,
+                "invalid document: XML parse error at line {line} (byte {offset}): {message}"
+            ),
         }
     }
 }

@@ -163,24 +163,33 @@ impl ITree {
         if e.name.matches(INT_NS, "fun") {
             return Ok(ITree::Func(func_from_xml(e)?));
         }
-        let mut children = Vec::new();
-        for c in &e.children {
-            match c {
-                Node::Element(el) => children.push(ITree::from_xml(el)?),
-                Node::Text(t) => {
-                    let trimmed = t.trim();
-                    if !trimmed.is_empty() {
-                        children.push(ITree::text(trimmed));
-                    }
-                }
-                Node::Comment(_) | Node::Pi { .. } => {}
-            }
-        }
         Ok(ITree::Elem {
             label: e.name.local.clone(),
-            children,
+            children: forest_from_nodes(&e.children)?,
         })
     }
+}
+
+/// Decodes a DOM child list the way [`ITree::from_xml`] treats element
+/// content: elements recurse (recognizing `int:fun`), text is trimmed and
+/// dropped when whitespace-only, comments and PIs vanish. Exposed so the
+/// streaming enforcer can materialize a tail forest with identical
+/// normalization to the DOM path.
+pub fn forest_from_nodes(nodes: &[Node]) -> Result<Vec<ITree>, String> {
+    let mut children = Vec::new();
+    for c in nodes {
+        match c {
+            Node::Element(el) => children.push(ITree::from_xml(el)?),
+            Node::Text(t) => {
+                let trimmed = t.trim();
+                if !trimmed.is_empty() {
+                    children.push(ITree::text(trimmed));
+                }
+            }
+            Node::Comment(_) | Node::Pi { .. } => {}
+        }
+    }
+    Ok(children)
 }
 
 impl fmt::Display for ITree {

@@ -41,8 +41,10 @@ pub fn validate_xml_stream(text: &str, compiled: &Compiled) -> Result<(), Schema
     let mut reader = Reader::new(text);
     let mut v = StreamValidator::new(compiled);
     loop {
-        let event = reader.next_event().map_err(|e| SchemaError::Invalid {
-            message: e.to_string(),
+        let event = reader.next_event().map_err(|e| SchemaError::Malformed {
+            message: e.message,
+            line: e.line,
+            offset: e.offset,
         })?;
         if !v.feed(&event)? {
             return Ok(());

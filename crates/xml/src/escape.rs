@@ -12,22 +12,68 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
     escape(s, true)
 }
 
-fn escape(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs = s
-        .bytes()
-        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\'')));
-    if !needs {
-        return Cow::Borrowed(s);
+/// Finds the first byte at or after `from` that needs escaping, scanning a
+/// word at a time (memchr-style: all special characters are ASCII, so plain
+/// byte positions are always valid UTF-8 boundaries).
+fn find_special(bytes: &[u8], from: usize, attr: bool) -> Option<usize> {
+    const CHUNK: usize = 8;
+    let is_special = |b: u8| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\''));
+    let mut i = from;
+    while i + CHUNK <= bytes.len() {
+        let w = u64::from_ne_bytes(bytes[i..i + CHUNK].try_into().expect("chunk is 8 bytes"));
+        // A zero byte in `x ^ splat(c)` marks an occurrence of `c`; the
+        // classic SWAR has-zero test flags the chunk for the precise scan.
+        let mut hit = has_zero_byte(w ^ splat(b'&'))
+            | has_zero_byte(w ^ splat(b'<'))
+            | has_zero_byte(w ^ splat(b'>'));
+        if attr {
+            hit |= has_zero_byte(w ^ splat(b'"')) | has_zero_byte(w ^ splat(b'\''));
+        }
+        if hit {
+            for (j, &b) in bytes[i..i + CHUNK].iter().enumerate() {
+                if is_special(b) {
+                    return Some(i + j);
+                }
+            }
+        }
+        i += CHUNK;
     }
+    bytes[i..].iter().position(|&b| is_special(b)).map(|j| i + j)
+}
+
+fn splat(b: u8) -> u64 {
+    u64::from_ne_bytes([b; 8])
+}
+
+fn has_zero_byte(w: u64) -> bool {
+    w.wrapping_sub(0x0101_0101_0101_0101) & !w & 0x8080_8080_8080_8080 != 0
+}
+
+fn escape(s: &str, attr: bool) -> Cow<'_, str> {
+    let bytes = s.as_bytes();
+    let Some(first) = find_special(bytes, 0, attr) else {
+        return Cow::Borrowed(s);
+    };
     let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' if attr => out.push_str("&quot;"),
-            '\'' if attr => out.push_str("&apos;"),
-            other => out.push(other),
+    let mut start = 0;
+    let mut i = first;
+    loop {
+        out.push_str(&s[start..i]);
+        match bytes[i] {
+            b'&' => out.push_str("&amp;"),
+            b'<' => out.push_str("&lt;"),
+            b'>' => out.push_str("&gt;"),
+            b'"' => out.push_str("&quot;"),
+            b'\'' => out.push_str("&apos;"),
+            other => unreachable!("find_special returned non-special byte {other}"),
+        }
+        start = i + 1;
+        match find_special(bytes, start, attr) {
+            Some(j) => i = j,
+            None => {
+                out.push_str(&s[start..]);
+                break;
+            }
         }
     }
     Cow::Owned(out)
@@ -120,6 +166,26 @@ mod tests {
         assert!(unescape("&#xZZ;").is_err());
         assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
         assert!(unescape("&unterminated").is_err());
+    }
+
+    #[test]
+    fn byte_scan_chunk_boundaries() {
+        // Specials at every offset relative to the 8-byte SWAR chunks.
+        for n in 0..40 {
+            let mut s = "x".repeat(n);
+            s.push('<');
+            s.push_str(&"y".repeat(40 - n));
+            let escaped = escape_text(&s);
+            assert_eq!(escaped, s.replace('<', "&lt;"));
+        }
+        // Multi-byte UTF-8 around specials survives the byte-level scan.
+        let s = "héllo <wörld> & “quotes”";
+        assert_eq!(
+            escape_text(s),
+            "héllo &lt;wörld&gt; &amp; “quotes”"
+        );
+        let clean = "ünïcodé only, no specials, long enough to cross chunks……";
+        assert!(matches!(escape_text(clean), Cow::Borrowed(_)));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::escape::unescape;
 use crate::model::{Attribute, Document, Element, Node, NsScope, QName};
+use std::borrow::Cow;
 use std::fmt;
 
 /// A parse error with position information.
@@ -28,8 +29,12 @@ impl fmt::Display for XmlError {
 impl std::error::Error for XmlError {}
 
 /// A pull-parser event.
+///
+/// Character data, comments, and PI payloads borrow from the reader's input
+/// where possible (`Cow::Borrowed` when no entity resolution was needed), so
+/// the hot loop allocates nothing for extensional text runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Event {
+pub enum Event<'a> {
     /// `<name attr="v">`; `self_closing` is true for `<name/>`.
     StartElement {
         /// Resolved element name.
@@ -46,16 +51,17 @@ pub enum Event {
         /// Resolved element name.
         name: QName,
     },
-    /// Character data (unescaped, including CDATA content).
-    Text(String),
+    /// Character data (unescaped, including CDATA content). Borrowed from
+    /// the input unless entities forced a rebuild.
+    Text(Cow<'a, str>),
     /// `<!-- … -->`.
-    Comment(String),
+    Comment(&'a str),
     /// `<?target data?>`.
     Pi {
         /// PI target.
-        target: String,
+        target: &'a str,
         /// PI data.
-        data: String,
+        data: &'a str,
     },
     /// End of input.
     Eof,
@@ -88,6 +94,19 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Current byte offset into the input (the start of the next event).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The full input slice the reader was created over; together with
+    /// [`Reader::pos`] this gives callers raw-span access to the original
+    /// bytes of already-consumed regions (used by the streaming enforcer
+    /// for zero-copy splicing and buffer accounting).
+    pub fn input(&self) -> &'a str {
+        self.input
+    }
+
     fn err(&self, message: impl Into<String>) -> XmlError {
         let line = 1 + self.input[..self.pos.min(self.input.len())]
             .bytes()
@@ -114,7 +133,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Pulls the next event.
-    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+    pub fn next_event(&mut self) -> Result<Event<'a>, XmlError> {
         if let Some(name) = self.pending_end.take() {
             self.scope.pop();
             if self.stack.is_empty() {
@@ -167,7 +186,7 @@ impl<'a> Reader<'a> {
         self.parse_text()
     }
 
-    fn parse_pi(&mut self) -> Result<Event, XmlError> {
+    fn parse_pi(&mut self) -> Result<Event<'a>, XmlError> {
         self.pos += 2; // <?
         let end = self
             .rest()
@@ -186,24 +205,21 @@ impl<'a> Reader<'a> {
             // XML declaration: swallow it, it carries no tree content.
             return self.next_event();
         }
-        Ok(Event::Pi {
-            target: target.to_owned(),
-            data: data.to_owned(),
-        })
+        Ok(Event::Pi { target, data })
     }
 
-    fn parse_comment(&mut self) -> Result<Event, XmlError> {
+    fn parse_comment(&mut self) -> Result<Event<'a>, XmlError> {
         self.pos += 4; // <!--
         let end = self
             .rest()
             .find("-->")
             .ok_or_else(|| self.err("unterminated comment"))?;
-        let text = self.rest()[..end].to_owned();
+        let text = &self.rest()[..end];
         self.pos += end + 3;
         Ok(Event::Comment(text))
     }
 
-    fn parse_cdata(&mut self) -> Result<Event, XmlError> {
+    fn parse_cdata(&mut self) -> Result<Event<'a>, XmlError> {
         if self.stack.is_empty() {
             return Err(self.err("CDATA section outside the root element"));
         }
@@ -212,12 +228,12 @@ impl<'a> Reader<'a> {
             .rest()
             .find("]]>")
             .ok_or_else(|| self.err("unterminated CDATA section"))?;
-        let text = self.rest()[..end].to_owned();
+        let text = &self.rest()[..end];
         self.pos += end + 3;
-        Ok(Event::Text(text))
+        Ok(Event::Text(Cow::Borrowed(text)))
     }
 
-    fn parse_text(&mut self) -> Result<Event, XmlError> {
+    fn parse_text(&mut self) -> Result<Event<'a>, XmlError> {
         let end = self.rest().find('<').unwrap_or(self.rest().len());
         let raw = &self.rest()[..end];
         let start = self.pos;
@@ -226,7 +242,7 @@ impl<'a> Reader<'a> {
             self.pos = start;
             self.err(m)
         })?;
-        Ok(Event::Text(text.into_owned()))
+        Ok(Event::Text(text))
     }
 
     fn read_name(&mut self) -> Result<&'a str, XmlError> {
@@ -240,13 +256,13 @@ impl<'a> Reader<'a> {
         Ok(name)
     }
 
-    fn parse_start_tag(&mut self) -> Result<Event, XmlError> {
+    fn parse_start_tag(&mut self) -> Result<Event<'a>, XmlError> {
         if self.finished_root {
             return Err(self.err("multiple root elements"));
         }
         self.pos += 1; // <
-        let raw_name = self.read_name()?.to_owned();
-        let mut attributes_raw: Vec<(String, String)> = Vec::new();
+        let raw_name = self.read_name()?;
+        let mut attributes_raw: Vec<(&'a str, String)> = Vec::new();
         let mut ns_decls: Vec<(String, String)> = Vec::new();
         let self_closing;
         loop {
@@ -264,7 +280,7 @@ impl<'a> Reader<'a> {
             if self.pos >= self.input.len() {
                 return Err(self.err(format!("unterminated start tag <{raw_name}>")));
             }
-            let attr_name = self.read_name()?.to_owned();
+            let attr_name = self.read_name()?;
             self.skip_ws();
             if !self.starts_with("=") {
                 return Err(self.err(format!("attribute '{attr_name}' is missing '='")));
@@ -299,14 +315,14 @@ impl<'a> Reader<'a> {
         }
         // Resolve namespaces with the new declarations in scope.
         self.scope.push(&ns_decls);
-        let name = self.resolve_name(&raw_name, true)?;
+        let name = self.resolve_name(raw_name, true)?;
         let mut attributes = Vec::with_capacity(attributes_raw.len());
         for (n, v) in attributes_raw {
             // Unprefixed attributes are in no namespace, per the spec.
             let qn = if n.contains(':') {
-                self.resolve_name(&n, false)?
+                self.resolve_name(n, false)?
             } else {
-                QName::local(&n)
+                QName::local(n)
             };
             attributes.push(Attribute { name: qn, value: v });
         }
@@ -351,9 +367,9 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn parse_end_tag(&mut self) -> Result<Event, XmlError> {
+    fn parse_end_tag(&mut self) -> Result<Event<'a>, XmlError> {
         self.pos += 2; // </
-        let raw_name = self.read_name()?.to_owned();
+        let raw_name = self.read_name()?;
         self.skip_ws();
         if !self.starts_with(">") {
             return Err(self.err(format!("malformed end tag </{raw_name}>")));
@@ -363,7 +379,15 @@ impl<'a> Reader<'a> {
             .stack
             .pop()
             .ok_or_else(|| self.err(format!("unexpected end tag </{raw_name}>")))?;
-        if open.as_written() != raw_name {
+        // Compare against the written form without allocating it.
+        let matches = match open.prefix.as_str() {
+            "" => raw_name == open.local,
+            p => raw_name
+                .strip_prefix(p)
+                .and_then(|r| r.strip_prefix(':'))
+                .is_some_and(|l| l == open.local),
+        };
+        if !matches {
             return Err(self.err(format!(
                 "mismatched end tag: expected </{}>, found </{raw_name}>",
                 open.as_written()
@@ -425,23 +449,29 @@ pub fn parse_document(input: &str) -> Result<Document, XmlError> {
                         if let Some(Node::Text(prev)) = parent.children.last_mut() {
                             prev.push_str(&t);
                         } else if !t.trim().is_empty() {
-                            parent.children.push(Node::Text(t));
+                            parent.children.push(Node::Text(t.into_owned()));
                         }
                     }
                 }
             }
             Event::Comment(c) => {
                 if let Some(parent) = stack.last_mut() {
-                    parent.children.push(Node::Comment(c));
+                    parent.children.push(Node::Comment(c.to_owned()));
                 } else if root.is_none() {
-                    prolog.push(Node::Comment(c));
+                    prolog.push(Node::Comment(c.to_owned()));
                 }
             }
             Event::Pi { target, data } => {
                 if let Some(parent) = stack.last_mut() {
-                    parent.children.push(Node::Pi { target, data });
+                    parent.children.push(Node::Pi {
+                        target: target.to_owned(),
+                        data: data.to_owned(),
+                    });
                 } else if root.is_none() {
-                    prolog.push(Node::Pi { target, data });
+                    prolog.push(Node::Pi {
+                        target: target.to_owned(),
+                        data: data.to_owned(),
+                    });
                 }
             }
             Event::Eof => break,

@@ -350,4 +350,101 @@ if [ "$sim_elapsed" -ge 60 ]; then
 fi
 echo "sim gate ok in ${sim_elapsed}s (budget 60s)"
 
+echo "== tier-1: streaming-enforcement gate (parity + bounded memory, DESIGN.md §13) =="
+# The streaming enforcer's contract is byte-parity with the DOM pipeline
+# and bounded buffering. Three checks: the parity/error-taxonomy suites
+# under one wall-clock budget, the B14 smoke numbers (peak buffer flat
+# across a 16x document-size sweep), and a live daemon scrape showing the
+# enforce.stream.* catalogue with its accounting identity.
+stream_started=$(date +%s)
+timeout --kill-after=10 60 cargo test -q --offline --test stream_parity
+timeout --kill-after=10 60 cargo test -q --offline -p axml-core stream::
+stream_elapsed=$(( $(date +%s) - stream_started ))
+if [ "$stream_elapsed" -ge 60 ]; then
+    echo "streaming suites blew their wall-clock budget: ${stream_elapsed}s >= 60s"
+    exit 1
+fi
+echo "streaming suites ok in ${stream_elapsed}s (budget 60s)"
+
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    timeout --kill-after=10 300 \
+    cargo bench --offline -p axml-bench --bench b14_stream_enforce
+python3 - "$json_dir" <<'EOF'
+import json, pathlib, sys
+b14 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b14_stream_enforce.json").read_text())
+ids = {b["id"] for b in b14["benchmarks"]}
+want = {"stream_1mib_16calls", "dom_1mib_16calls",
+        "stream_16mib_16calls", "dom_16mib_16calls"}
+assert want <= ids, f"B14 variants missing: {want - ids}"
+reports = b14["stream_reports"]
+assert reports, "B14 emitted no stream reports"
+by_calls = {}
+for r in reports:
+    assert not r["fell_back"], f"streaming fell back in the bench: {r}"
+    assert r["bytes_copied"] + r["bytes_rewritten"] == r["bytes_out"], \
+        f"byte accounting identity violated: {r}"
+    by_calls.setdefault(r["call_sites"], []).append(r)
+# Bounded memory: peak buffering must stay flat (within 2x) while the
+# document grows 16x — it tracks the call-bearing subtree, not the doc.
+for calls, rs in sorted(by_calls.items()):
+    rs.sort(key=lambda r: r["size_bytes"])
+    growth = rs[-1]["size_bytes"] / rs[0]["size_bytes"]
+    assert growth >= 16, f"B14 sweep too narrow for {calls} calls: {growth:.1f}x"
+    peaks = [r["peak_buffer_bytes"] for r in rs]
+    if calls == 0:
+        assert all(p == 0 for p in peaks), f"extensional docs buffered: {peaks}"
+    else:
+        assert min(peaks) > 0, f"{calls}-call docs never buffered: {peaks}"
+        assert max(peaks) <= 2 * min(peaks), (
+            f"peak buffer not flat for {calls} calls across {growth:.0f}x "
+            f"size growth: {peaks}")
+    print(f"B14 {calls:>2} calls: sizes {rs[0]['size_bytes']}→{rs[-1]['size_bytes']} "
+          f"({growth:.0f}x), peaks {peaks}")
+obs = b14["obs_snapshot"]["counters"]
+assert obs["enforce.stream.bytes_copied"] + obs["enforce.stream.bytes_rewritten"] \
+    == obs["enforce.stream.bytes_out"], "obs-level byte identity violated"
+print(f"B14 smoke ok: {len(reports)} configs, "
+      f"{obs['enforce.stream.bytes_copied']}/{obs['enforce.stream.bytes_out']} "
+      "bytes zero-copied")
+EOF
+
+# Live scrape: a daemon receiving a document under --enforce streaming
+# (the default, passed explicitly here) runs the streaming verifier
+# in-process, so its stats expose the enforce.stream.* catalogue.
+"$axml_bin" serve "$obs_dir/star.schema" 127.0.0.1:0 --name stream-gate \
+    --enforce streaming > "$obs_dir/serve-stream.out" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$obs_dir/serve-stream.out")"
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "streaming-mode daemon never printed its banner"; exit 1; }
+timeout --kill-after=10 60 \
+    "$axml_bin" send "$obs_dir/star.schema" "$addr" "$obs_dir/plain.xml" \
+    --name front --enforce streaming
+timeout --kill-after=10 60 "$axml_bin" stats "$addr" > "$obs_dir/stats-stream.json"
+kill "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+python3 - "$obs_dir/stats-stream.json" <<'EOF'
+import json, sys
+snap = json.loads(open(sys.argv[1]).read())
+counters, gauges = snap["counters"], snap["gauges"]
+for name in ["enforce.stream.runs", "enforce.stream.bytes_out",
+             "enforce.stream.bytes_copied", "enforce.stream.bytes_rewritten",
+             "enforce.stream.subtrees_materialized", "enforce.stream.fallbacks"]:
+    assert name in counters, f"scrape missing counter {name}"
+assert "enforce.stream.peak_buffer_bytes" in gauges, \
+    "scrape missing enforce.stream.peak_buffer_bytes"
+assert counters["enforce.stream.runs"] >= 1, "receive never ran the streaming verifier"
+assert counters["enforce.stream.bytes_copied"] \
+    + counters["enforce.stream.bytes_rewritten"] \
+    == counters["enforce.stream.bytes_out"], \
+    "live daemon byte accounting identity violated"
+print(f"streaming scrape ok: runs={counters['enforce.stream.runs']}, "
+      f"{counters['enforce.stream.bytes_copied']}/"
+      f"{counters['enforce.stream.bytes_out']} bytes zero-copied")
+EOF
+
 echo "== tier-1: green =="

@@ -736,6 +736,26 @@ pub fn enforce_stream_with(
     enforce_stream_buffered(compiled, input, opts, &cache, &mut inv)
 }
 
+/// Like [`enforce_stream_with`], but streaming the enforced output into
+/// `sink` instead of buffering it — the convenience wrapper the network
+/// layer's chunked shipping path drives, so a document larger than RAM
+/// never exists in one allocation on the sender. Fallback semantics are
+/// [`Rewriter::rewrite_stream`]'s: a fallback after bytes were written
+/// surfaces the divergence error rather than corrupting `sink`.
+pub fn enforce_stream_to(
+    compiled: &Compiled,
+    input: &str,
+    opts: &StreamOptions,
+    invoker: &mut dyn Invoker,
+    sink: &mut dyn io::Write,
+) -> Result<StreamReport, RewriteError> {
+    let cache = resolve_cache(opts);
+    Rewriter::new(compiled)
+        .with_k(opts.k)
+        .with_cache(&cache)
+        .rewrite_stream(input, opts.strategy, invoker, sink)
+}
+
 fn enforce_stream_buffered(
     compiled: &Compiled,
     input: &str,

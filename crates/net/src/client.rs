@@ -29,6 +29,7 @@
 use crate::transport::{Duplex, TcpTransport, Transport};
 use crate::wire::{self, FrameType, WireError, WireFault};
 use axml_support::clock::Clock;
+use axml_support::hash::Fnv64;
 use axml_support::rng::{RngExt, SeedableRng, StdRng};
 use axml_support::sync::Mutex;
 use std::io::BufReader;
@@ -131,6 +132,9 @@ struct Conn {
     writer: Box<dyn Duplex>,
     /// Name the remote daemon announced in its `Welcome`.
     server_name: String,
+    /// Capability bits the remote daemon advertised (`CAP_*`). An old
+    /// peer's legacy `Welcome` decodes as zero.
+    server_caps: u8,
 }
 
 /// Pre-resolved handles onto the `client.*` catalogue entries.
@@ -247,15 +251,18 @@ impl NetClient {
             .try_clone()
             .map_err(|e| ClientError::Wire(e.into()))?;
         let mut reader = BufReader::new(stream);
-        wire::write_frame(&mut writer, &wire::hello(&self.config.name))
-            .map_err(ClientError::Wire)?;
+        wire::write_frame(
+            &mut writer,
+            &wire::hello_with(&self.config.name, wire::CAP_CHUNKED),
+        )
+        .map_err(ClientError::Wire)?;
         let frame = wire::read_frame(&mut reader, self.config.max_frame).map_err(|e| {
             ClientError::Handshake(format!("no Welcome from {}: {e}", self.endpoint))
         })?;
         match frame.kind {
             FrameType::Welcome => {
-                let (version, server_name) =
-                    wire::decode_welcome(&frame.payload).map_err(|e| {
+                let (version, server_name, server_caps) =
+                    wire::decode_welcome_caps(&frame.payload).map_err(|e| {
                         ClientError::Handshake(format!("bad Welcome payload: {e}"))
                     })?;
                 if version != wire::VERSION {
@@ -268,6 +275,7 @@ impl NetClient {
                     reader,
                     writer,
                     server_name,
+                    server_caps,
                 })
             }
             FrameType::Fault => {
@@ -304,6 +312,17 @@ impl NetClient {
         Ok(name)
     }
 
+    /// The capability bits the remote daemon advertised in its `Welcome`
+    /// (dials a connection if none is pooled). An old peer that predates
+    /// capabilities reports zero — callers fall back to single-frame
+    /// shipping when [`wire::CAP_CHUNKED`] is absent.
+    pub fn server_caps(&self) -> Result<u8, ClientError> {
+        let conn = self.checkout(self.config.deadline)?;
+        let caps = conn.server_caps;
+        self.checkin(conn);
+        Ok(caps)
+    }
+
     /// Backoff before retry `attempt` (1-based): `base * 2^(attempt-1)`
     /// plus a deterministic jitter of up to one base interval.
     fn backoff_for(&self, attempt: u32) -> Duration {
@@ -337,7 +356,88 @@ impl NetClient {
         self.call_impl(Some(id), envelope)
     }
 
+    /// Ships one document as a chunked transfer
+    /// (`DocChunkStart`/`DocChunk`/`DocChunkEnd`) and waits for the
+    /// server's reply, retrying like [`NetClient::call`].
+    ///
+    /// `produce` is invoked once per attempt with an [`std::io::Write`]
+    /// sink; whatever it writes is cut into `chunk_bytes`-sized frames as
+    /// it streams — the client never materializes the document, so peak
+    /// sender memory is O(`chunk_bytes`) plus whatever the producer
+    /// itself buffers. The server must advertise [`wire::CAP_CHUNKED`];
+    /// check [`NetClient::server_caps`] first to fall back to a
+    /// single-frame call against old peers.
+    pub fn send_document_chunked(
+        &self,
+        id: Option<u64>,
+        name: &str,
+        chunk_bytes: usize,
+        mut produce: impl FnMut(&mut dyn std::io::Write) -> std::io::Result<()>,
+    ) -> Result<String, ClientError> {
+        // A chunk frame carries a 4-byte sequence number before the data.
+        let chunk = chunk_bytes.clamp(1, self.config.max_frame.saturating_sub(4).max(1));
+        self.run_call(|started| self.chunked_once(id, name, chunk, &mut produce, started))
+    }
+
+    fn chunked_once(
+        &self,
+        id: Option<u64>,
+        name: &str,
+        chunk: usize,
+        produce: &mut impl FnMut(&mut dyn std::io::Write) -> std::io::Result<()>,
+        started: u64,
+    ) -> Result<String, ClientError> {
+        let mut conn = self.checkout(self.remaining(started))?;
+        if conn.server_caps & wire::CAP_CHUNKED == 0 {
+            // Non-retryable: the peer will not grow the capability
+            // between attempts. Callers use `server_caps` to pick the
+            // single-frame path instead.
+            return Err(ClientError::Handshake(format!(
+                "server '{}' does not support chunked transfers",
+                conn.server_name
+            )));
+        }
+        let id = id.unwrap_or_else(|| self.next_id.fetch_add(1, Ordering::Relaxed));
+        wire::write_frame(&mut conn.writer, &wire::doc_chunk_start(id, name))
+            .map_err(ClientError::Wire)?;
+        let (count, total, digest) = {
+            let mut sink = ChunkSink {
+                writer: &mut conn.writer,
+                id,
+                chunk,
+                buf: Vec::new(),
+                seq: 0,
+                total: 0,
+                digest: Fnv64::new(),
+            };
+            // A mid-stream producer failure leaves the transfer half-sent;
+            // the connection is dropped (never pooled), which the server
+            // accounts as an abort. The retry loop re-dials and re-invokes
+            // the producer from the top.
+            produce(&mut sink).map_err(|e| ClientError::Wire(e.into()))?;
+            sink.finish().map_err(ClientError::Wire)?
+        };
+        wire::write_frame(
+            &mut conn.writer,
+            &wire::doc_chunk_end(id, count, total, digest),
+        )
+        .map_err(ClientError::Wire)?;
+        self.read_reply(conn, id, started)
+    }
+
     fn call_impl(&self, id: Option<u64>, envelope: &str) -> Result<String, ClientError> {
+        self.run_call(|started| self.call_once(id, envelope, started))
+    }
+
+    /// The shared retry scaffold: counts the call, runs `attempt` under
+    /// the attempt budget and total deadline with backoff between tries,
+    /// and records the latency histogram. Both the single-frame and the
+    /// chunked paths go through here so their retry/deadline semantics
+    /// cannot drift.
+    fn run_call(
+        &self,
+        mut attempt_once: impl FnMut(u64) -> Result<String, ClientError>,
+    ) -> Result<String, ClientError> {
         let started = self.clock.now_ns();
         self.metrics.calls.inc();
         let deadline = |last: Option<ClientError>| ClientError::Deadline {
@@ -362,7 +462,7 @@ impl NetClient {
                     return Err(deadline(last));
                 }
                 self.metrics.attempts.inc();
-                match self.call_once(id, envelope, started) {
+                match attempt_once(started) {
                     Ok(reply) => return Ok(reply),
                     Err(e) => {
                         let retryable = match &e {
@@ -399,6 +499,14 @@ impl NetClient {
             // the retry loop will re-dial.
             return Err(ClientError::Wire(e));
         }
+        self.read_reply(conn, id, started)
+    }
+
+    /// Waits for the reply to request `id`, skipping frames other calls
+    /// own, within the call's remaining deadline. Consumes the connection
+    /// and pools it back only on a framed outcome (response, or a fault
+    /// addressed to this request).
+    fn read_reply(&self, mut conn: Conn, id: u64, started: u64) -> Result<String, ClientError> {
         loop {
             // Clamp every wait to the remaining call budget, so the total
             // deadline holds however many frames we must skip.
@@ -495,6 +603,59 @@ impl NetClient {
                 }
             }
         }
+    }
+}
+
+/// An [`std::io::Write`] that cuts its input into `DocChunk` frames as
+/// bytes arrive, tracking the sequence number, cumulative length, and
+/// running FNV-64 digest the closing `DocChunkEnd` must declare. Holds at
+/// most one chunk of data at a time.
+struct ChunkSink<'a> {
+    writer: &'a mut Box<dyn Duplex>,
+    id: u64,
+    chunk: usize,
+    buf: Vec<u8>,
+    seq: u32,
+    total: u64,
+    digest: Fnv64,
+}
+
+impl ChunkSink<'_> {
+    fn emit(&mut self, piece: &[u8]) -> Result<(), WireError> {
+        self.digest.update(piece);
+        self.total += piece.len() as u64;
+        wire::write_frame(self.writer, &wire::doc_chunk(self.id, self.seq, piece))?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk and returns what `DocChunkEnd`
+    /// must carry: `(count, total bytes, digest)`.
+    fn finish(mut self) -> Result<(u32, u64, u64), WireError> {
+        if !self.buf.is_empty() {
+            let piece = std::mem::take(&mut self.buf);
+            self.emit(&piece)?;
+        }
+        Ok((self.seq, self.total, self.digest.finish()))
+    }
+}
+
+impl std::io::Write for ChunkSink<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        while self.buf.len() >= self.chunk {
+            let rest = self.buf.split_off(self.chunk);
+            let piece = std::mem::replace(&mut self.buf, rest);
+            self.emit(&piece)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e.to_string()))?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        // Partial chunks are held until `finish`: flushing them early
+        // would change the chunk boundaries the peer observes.
+        Ok(())
     }
 }
 
@@ -634,6 +795,72 @@ mod tests {
             "call ran {elapsed:?} against a {deadline:?} deadline"
         );
         server.shutdown().unwrap();
+    }
+
+    struct StoreDoc;
+
+    impl Handler for StoreDoc {
+        fn handle(&self, _id: u64, envelope: &str) -> Result<String, WireFault> {
+            Ok(format!("echo:{envelope}"))
+        }
+        fn handle_document(
+            &self,
+            _id: u64,
+            name: &str,
+            text: &str,
+        ) -> Result<String, WireFault> {
+            Ok(format!("got:{name}:{}", text.len()))
+        }
+    }
+
+    #[test]
+    fn chunked_send_streams_the_document_and_gets_the_reply() {
+        let server =
+            NetServer::bind("127.0.0.1:0", Arc::new(StoreDoc), ServerConfig::default()).unwrap();
+        let client = NetClient::new(server.local_addr(), ClientConfig::default()).unwrap();
+        assert_ne!(client.server_caps().unwrap() & wire::CAP_CHUNKED, 0);
+        let doc = "<doc>".to_string() + &"payload ".repeat(20_000) + "</doc>";
+        let reply = client
+            .send_document_chunked(Some(42), "news.xml", 1024, |w| {
+                // Stream in odd-sized pieces so chunk boundaries never
+                // align with write boundaries.
+                for piece in doc.as_bytes().chunks(333) {
+                    w.write_all(piece)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(reply, format!("got:news.xml:{}", doc.len()));
+        assert_eq!(client.pooled(), 1, "the transfer connection was pooled back");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn chunked_send_against_a_legacy_peer_fails_fast() {
+        // A hand-rolled peer that answers with a pre-capability Welcome.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let legacy = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let hello = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(hello.kind, FrameType::Hello);
+            let mut writer = stream;
+            wire::write_frame(&mut writer, &wire::welcome("old-peer")).unwrap();
+            // Hold the socket open until the client has decided.
+            let _ = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME);
+        });
+        let client = NetClient::new(addr, ClientConfig::default()).unwrap();
+        assert_eq!(client.server_caps().unwrap(), 0);
+        let err = client
+            .send_document_chunked(None, "d.xml", 64, |w| w.write_all(b"<d/>"))
+            .unwrap_err();
+        assert!(
+            matches!(err, ClientError::Handshake(ref m) if m.contains("chunked")),
+            "expected a fast non-retryable refusal, got {err:?}"
+        );
+        drop(client);
+        legacy.join().unwrap();
     }
 
     #[test]

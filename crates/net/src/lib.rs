@@ -38,7 +38,7 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, NetClient};
-pub use frames::FrameDecoder;
+pub use frames::{ChunkAssembler, ChunkProgress, FrameDecoder};
 pub use server::{Handler, IoMode, NetServer, ServerConfig, ServerError, ServerStats};
 pub use transport::{Acceptor, Duplex, TcpTransport, Transport};
-pub use wire::{FaultCode, WireError, WireFault, VERSION};
+pub use wire::{FaultCode, WireError, WireFault, CAP_CHUNKED, VERSION};

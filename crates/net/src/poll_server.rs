@@ -37,8 +37,8 @@
 //! `server.poll.connections` and `server.poll.buffer_bytes` (the
 //! bounded-memory witness for the 10k-connection smoke test).
 
-use crate::frames::FrameDecoder;
-use crate::server::{worker_loop, Job, ReplyTo, ServerError, Shared};
+use crate::frames::{ChunkAssembler, ChunkProgress, FrameDecoder};
+use crate::server::{worker_loop, Job, ReplyTo, ServerError, Shared, Work};
 use crate::wire::{self, FaultCode, Frame, FrameType, WireError, WireFault};
 use axml_support::poll::{Event, Interest, Poller, Waker};
 use axml_support::sync::channel::{bounded, TrySendError};
@@ -171,6 +171,8 @@ impl PollEngine {
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Chunked-transfer reassembly state (one transfer in flight max).
+    assembler: ChunkAssembler,
     /// Encoded frames awaiting the socket; `out_pos` is the flushed
     /// prefix.
     out: Vec<u8>,
@@ -191,10 +193,11 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, max_frame: usize, now: Instant) -> Conn {
+    fn new(stream: TcpStream, max_frame: usize, max_doc: usize, now: Instant) -> Conn {
         Conn {
             stream,
             decoder: FrameDecoder::new(max_frame),
+            assembler: ChunkAssembler::new(max_doc),
             out: Vec::new(),
             out_pos: 0,
             handshaken: false,
@@ -238,6 +241,7 @@ fn shard_loop(
     let mut scratch = vec![0u8; SCRATCH_LEN];
     let mut next_token: u64 = 0;
     let mut reported_bytes: i64 = 0;
+    let mut reported_reassembly: i64 = 0;
 
     while !shared.stop.load(Ordering::SeqCst) {
         let _ = poller.wait(&mut events, Some(tick));
@@ -264,6 +268,14 @@ fn shard_loop(
                 update_interest(conn, ev.token, poller);
             }
         }
+        // Publish reassembly releases *before* any worker reply can
+        // flush: a sender observing its DocChunkEnd response must never
+        // see the gauge still holding the completed transfer. (The
+        // threads engine syncs per-frame ahead of dispatch; this is the
+        // readiness-loop equivalent of that ordering.)
+        let reassembly: i64 = conns.values().map(|c| c.assembler.buffered_len() as i64).sum();
+        metrics.chunk_reassembly.add(reassembly - reported_reassembly);
+        reported_reassembly = reassembly;
         // Worker replies: append to the owning connection's buffer.
         let pending = std::mem::take(&mut *handle.outbox.lock());
         for (token, frame) in pending {
@@ -300,15 +312,21 @@ fn shard_loop(
                 }
                 continue;
             }
-            if conn.decoder.mid_frame()
+            if (conn.decoder.mid_frame() || conn.assembler.active())
                 && now.duration_since(conn.last_activity) > read_timeout
             {
-                // Stalled mid-frame: Timeout fault, then close — the
-                // stream is no longer framed.
+                // Stalled mid-frame (the stream is no longer framed) or
+                // quiet inside an open chunk transfer: Timeout fault,
+                // then close — same taxonomy as the blocking reader.
                 shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
                 metrics.fault();
                 metrics.timeouts.inc();
-                let f = WireFault::new(FaultCode::Timeout, "read timed out mid-frame");
+                let msg = if conn.decoder.mid_frame() {
+                    "read timed out mid-frame"
+                } else {
+                    "read timed out mid-chunk-transfer"
+                };
+                let f = WireFault::new(FaultCode::Timeout, msg);
                 enqueue(conn, &wire::fault(0, &f));
                 conn.close_after_flush = true;
                 try_flush(conn, now);
@@ -322,6 +340,11 @@ fn shard_loop(
             if conn.dead {
                 let _ = poller.deregister(conn.stream.as_fd());
                 metrics.poll_connections.sub(1);
+                if conn.assembler.active() {
+                    // The connection died mid-transfer: account the
+                    // abandoned reassembly (threads-engine parity).
+                    metrics.chunk_aborts.inc();
+                }
                 false
             } else {
                 true
@@ -329,18 +352,27 @@ fn shard_loop(
         });
         let total: i64 = conns
             .values()
-            .map(|c| (c.decoder.buffered_len() + c.pending_out()) as i64)
+            .map(|c| {
+                (c.decoder.buffered_len() + c.assembler.buffered_len() + c.pending_out()) as i64
+            })
             .sum();
         metrics.poll_buffer_bytes.add(total - reported_bytes);
         reported_bytes = total;
+        let reassembly: i64 = conns.values().map(|c| c.assembler.buffered_len() as i64).sum();
+        metrics.chunk_reassembly.add(reassembly - reported_reassembly);
+        reported_reassembly = reassembly;
     }
 
     // Shutdown: connections die with the shard. Idle peers see a plain
     // close (threads-engine parity: readers return silently on stop).
     metrics.poll_buffer_bytes.add(-reported_bytes);
+    metrics.chunk_reassembly.add(-reported_reassembly);
     for (_, conn) in conns.drain() {
         let _ = poller.deregister(conn.stream.as_fd());
         metrics.poll_connections.sub(1);
+        if conn.assembler.active() {
+            metrics.chunk_aborts.inc();
+        }
     }
 }
 
@@ -369,7 +401,10 @@ fn accept_ready(
                     continue;
                 }
                 shared.metrics.poll_connections.add(1);
-                conns.insert(token, Conn::new(stream, shared.config.max_frame, now));
+                conns.insert(
+                    token,
+                    Conn::new(stream, shared.config.max_frame, shared.config.max_doc, now),
+                );
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -477,6 +512,13 @@ fn drain_frames(
                         }
                     }
                 }
+                if conn.assembler.active() {
+                    // The decoder error is sticky and the connection is
+                    // fated: release the partially-assembled document now
+                    // rather than holding it until the flush completes.
+                    conn.assembler.abort();
+                    metrics.chunk_aborts.inc();
+                }
                 conn.close_after_flush = true;
                 return;
             }
@@ -503,21 +545,74 @@ fn drain_frames(
             conn.close_after_flush = true;
             return;
         }
-        if frame.kind != FrameType::Request {
+        let work = if matches!(
+            frame.kind,
+            FrameType::DocChunkStart | FrameType::DocChunk | FrameType::DocChunkEnd
+        ) {
+            metrics.chunk_frames.inc();
+            if frame.kind == FrameType::DocChunk {
+                metrics
+                    .chunk_bytes
+                    .add(frame.payload.len().saturating_sub(4) as u64);
+            }
+            match conn.assembler.accept(&frame) {
+                Ok(ChunkProgress::Pending) | Ok(ChunkProgress::Drained) => continue,
+                Ok(ChunkProgress::Complete { name, bytes, .. }) => {
+                    match String::from_utf8(bytes) {
+                        Ok(text) => Work::Document { name, text },
+                        Err(_) => {
+                            shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                            metrics.fault();
+                            metrics.chunk_aborts.inc();
+                            let f = WireFault::new(
+                                FaultCode::Client,
+                                "chunked document is not UTF-8",
+                            );
+                            enqueue(conn, &wire::fault(frame.id, &f));
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The transfer is dead but the stream is still framed:
+                    // fault the transfer's request id and keep serving —
+                    // the assembler drains the pipelined remains itself.
+                    shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    metrics.fault();
+                    metrics.chunk_aborts.inc();
+                    let f = match e {
+                        WireError::TooLarge { len, max } => {
+                            metrics.too_large.inc();
+                            metrics.frame_bytes.observe(len as u64);
+                            WireFault::new(
+                                FaultCode::TooLarge,
+                                format!(
+                                    "chunked transfer of {len} cumulative bytes exceeds the {max}-byte cap"
+                                ),
+                            )
+                        }
+                        other => WireFault::new(FaultCode::BadFrame, other.to_string()),
+                    };
+                    enqueue(conn, &wire::fault(frame.id, &f));
+                    continue;
+                }
+            }
+        } else if frame.kind != FrameType::Request {
             shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
             metrics.fault();
             let f = WireFault::new(FaultCode::BadFrame, "expected a Request frame");
             enqueue(conn, &wire::fault(frame.id, &f));
             continue;
-        }
-        let envelope = match wire::decode_envelope(&frame.payload) {
-            Ok(e) => e,
-            Err(e) => {
-                shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
-                metrics.fault();
-                let f = WireFault::new(FaultCode::Client, e.to_string());
-                enqueue(conn, &wire::fault(frame.id, &f));
-                continue;
+        } else {
+            match wire::decode_envelope(&frame.payload) {
+                Ok(e) => Work::Envelope(e),
+                Err(e) => {
+                    shared.stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    metrics.fault();
+                    let f = WireFault::new(FaultCode::Client, e.to_string());
+                    enqueue(conn, &wire::fault(frame.id, &f));
+                    continue;
+                }
             }
         };
         let job = Job {
@@ -526,7 +621,7 @@ fn drain_frames(
                 conn: token,
             },
             id: frame.id,
-            envelope,
+            work,
         };
         // Count the slot before the job becomes visible to workers (see
         // the threads engine for why the order matters).
@@ -567,7 +662,10 @@ fn handshake_frame(conn: &mut Conn, frame: &Frame, shared: &Arc<Shared>) {
     }
     match wire::decode_hello(&frame.payload) {
         Ok((version, _peer)) if version == wire::VERSION => {
-            enqueue(conn, &wire::welcome(&shared.config.name));
+            enqueue(
+                conn,
+                &wire::welcome_with(&shared.config.name, wire::CAP_CHUNKED),
+            );
             conn.handshaken = true;
         }
         Ok((version, _)) => {
@@ -753,6 +851,112 @@ mod tests {
             );
             server.shutdown().unwrap();
         }
+    }
+
+    struct StoreDoc;
+
+    impl Handler for StoreDoc {
+        fn handle(&self, _id: u64, envelope: &str) -> Result<String, WireFault> {
+            Ok(format!("echo:{envelope}"))
+        }
+        fn handle_document(
+            &self,
+            _id: u64,
+            name: &str,
+            text: &str,
+        ) -> Result<String, WireFault> {
+            Ok(format!("stored:{name}:{}", text.len()))
+        }
+    }
+
+    fn chunk_frames(id: u64, name: &str, data: &[u8], chunk: usize) -> Vec<wire::Frame> {
+        let mut digest = axml_support::hash::Fnv64::new();
+        let mut frames = vec![wire::doc_chunk_start(id, name)];
+        let mut seq = 0u32;
+        for piece in data.chunks(chunk) {
+            digest.update(piece);
+            frames.push(wire::doc_chunk(id, seq, piece));
+            seq += 1;
+        }
+        frames.push(wire::doc_chunk_end(id, seq, data.len() as u64, digest.finish()));
+        frames
+    }
+
+    #[test]
+    fn poll_engine_serves_chunked_transfers() {
+        let server = NetServer::bind("127.0.0.1:0", Arc::new(StoreDoc), poll_config()).unwrap();
+        let (mut reader, mut stream) = dial(&server);
+        wire::write_frame(&mut stream, &wire::hello_with("test-client", wire::CAP_CHUNKED))
+            .unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Welcome);
+        let (_, _, caps) = wire::decode_welcome_caps(&back.payload).unwrap();
+        assert_ne!(caps & wire::CAP_CHUNKED, 0);
+        let doc = "<doc>".to_string() + &"x".repeat(2000) + "</doc>";
+        for f in chunk_frames(11, "big.xml", doc.as_bytes(), 97) {
+            wire::write_frame(&mut stream, &f).unwrap();
+        }
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 11);
+        assert_eq!(
+            wire::decode_envelope(&back.payload).unwrap(),
+            format!("stored:big.xml:{}", doc.len())
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poll_engine_chunk_fault_keeps_the_connection_serving() {
+        let server = NetServer::bind("127.0.0.1:0", Arc::new(StoreDoc), poll_config()).unwrap();
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        // Out-of-sequence chunk: typed BadFrame on the transfer's id.
+        wire::write_frame(&mut stream, &wire::doc_chunk_start(3, "d")).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(3, 5, b"zz")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        assert_eq!(back.id, 3);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::BadFrame);
+        assert!(f.message.contains("out of sequence"));
+        // Same connection still serves ordinary requests...
+        wire::write_frame(&mut stream, &wire::request(4, "hi")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 4);
+        // ...and a fresh transfer.
+        for f in chunk_frames(5, "ok.xml", b"<ok/>", 2) {
+            wire::write_frame(&mut stream, &f).unwrap();
+        }
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 5);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poll_engine_stall_inside_chunk_transfer_times_out() {
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::new(StoreDoc),
+            ServerConfig {
+                read_timeout: Duration::from_millis(50),
+                ..poll_config()
+            },
+        )
+        .unwrap();
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        wire::write_frame(&mut stream, &wire::doc_chunk_start(9, "stall")).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(9, 0, b"abc")).unwrap();
+        stream.flush().unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Timeout);
+        assert!(f.message.contains("mid-chunk-transfer"));
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -63,6 +63,19 @@ pub trait Handler: Send + Sync + 'static {
     /// id — handlers stamp it on their spans so a receiver-side trace can
     /// be correlated with the sender's.
     fn handle(&self, id: u64, envelope: &str) -> Result<String, WireFault>;
+
+    /// Handles one chunk-shipped document, already reassembled and
+    /// digest-verified by the engine: `name` is the repository name from
+    /// `DocChunkStart`, `text` the raw document XML. Returns the reply
+    /// envelope. The default refuses, so handlers that never opted in
+    /// simply do not serve chunked transfers.
+    fn handle_document(&self, id: u64, name: &str, text: &str) -> Result<String, WireFault> {
+        let _ = (id, text);
+        Err(WireFault::new(
+            FaultCode::BadFrame,
+            format!("chunked transfer of '{name}' is not supported by this handler"),
+        ))
+    }
 }
 
 impl<F> Handler for F
@@ -135,6 +148,10 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum accepted frame payload, in bytes.
     pub max_frame: usize,
+    /// Maximum *cumulative* size of one chunked document transfer, in
+    /// bytes — what a reassembling connection will buffer in total, as
+    /// opposed to the per-frame `max_frame` cap.
+    pub max_doc: usize,
     /// Metric registry the server publishes into (`server.*` catalogue
     /// entries) and serves back over `StatsRequest` frames. Defaults to
     /// the process-wide registry; tests inject a fresh one for isolation.
@@ -152,6 +169,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
             max_frame: wire::DEFAULT_MAX_FRAME,
+            max_doc: wire::DEFAULT_MAX_DOC,
             metrics: axml_obs::global(),
         }
     }
@@ -186,10 +204,17 @@ pub(crate) enum ReplyTo {
     },
 }
 
+/// What a queued job asks the worker to run: a plain request envelope,
+/// or a reassembled chunk-shipped document.
+pub(crate) enum Work {
+    Envelope(String),
+    Document { name: String, text: String },
+}
+
 pub(crate) struct Job {
     pub(crate) reply: ReplyTo,
     pub(crate) id: u64,
-    pub(crate) envelope: String,
+    pub(crate) work: Work,
 }
 
 /// Pre-resolved handles onto the `server.*` catalogue entries, so hot
@@ -210,6 +235,14 @@ pub(crate) struct Metrics {
     /// Poll engine only: bytes held in per-connection read/write buffers
     /// across all shards (the bounded-memory witness).
     pub(crate) poll_buffer_bytes: axml_obs::Gauge,
+    /// Chunk-family frames accepted (both engines).
+    pub(crate) chunk_frames: axml_obs::Counter,
+    /// Document bytes received via `DocChunk` frames.
+    pub(crate) chunk_bytes: axml_obs::Counter,
+    /// Chunked transfers aborted by a typed error before completion.
+    pub(crate) chunk_aborts: axml_obs::Counter,
+    /// Bytes currently buffered across all in-flight chunk reassemblies.
+    pub(crate) chunk_reassembly: axml_obs::Gauge,
 }
 
 impl Metrics {
@@ -227,6 +260,10 @@ impl Metrics {
             frame_bytes: r.histogram("server.frame_bytes", axml_obs::BYTES_BOUNDS),
             poll_connections: r.gauge("server.poll.connections"),
             poll_buffer_bytes: r.gauge("server.poll.buffer_bytes"),
+            chunk_frames: r.counter("net.chunk.frames_total"),
+            chunk_bytes: r.counter("net.chunk.bytes_total"),
+            chunk_aborts: r.counter("net.chunk.aborts_total"),
+            chunk_reassembly: r.gauge("net.chunk.reassembly_bytes"),
         }
     }
 
@@ -581,9 +618,11 @@ fn handshake(
         return Err(());
     }
     match wire::decode_hello(&frame.payload) {
-        Ok((version, _peer)) if version == wire::VERSION => {
-            send_reply(writer, &wire::welcome(&shared.config.name)).map_err(|_| ())
-        }
+        Ok((version, _peer)) if version == wire::VERSION => send_reply(
+            writer,
+            &wire::welcome_with(&shared.config.name, wire::CAP_CHUNKED),
+        )
+        .map_err(|_| ()),
         Ok((version, _)) => {
             let f = WireFault::new(
                 FaultCode::Version,
@@ -606,16 +645,59 @@ fn serve_frames(
     shared: &Arc<Shared>,
     job_tx: &Sender<Job>,
 ) {
+    let mut assembler = crate::frames::ChunkAssembler::new(shared.config.max_doc);
+    let mut reported = 0i64;
+    serve_frames_loop(reader, writer, shared, job_tx, &mut assembler, &mut reported);
+    // Whatever ended the connection, give back the reassembly bytes and
+    // account a partial transfer as aborted.
+    shared.metrics.chunk_reassembly.sub(reported);
+    if assembler.active() {
+        shared.metrics.chunk_aborts.inc();
+    }
+}
+
+/// Publishes the delta between the assembler's current buffer and what
+/// was last reported into the `net.chunk.reassembly_bytes` gauge.
+fn sync_reassembly_gauge(
+    metrics: &Metrics,
+    assembler: &crate::frames::ChunkAssembler,
+    reported: &mut i64,
+) {
+    let now = assembler.buffered_len() as i64;
+    metrics.chunk_reassembly.add(now - *reported);
+    *reported = now;
+}
+
+fn serve_frames_loop(
+    reader: &mut BufReader<Box<dyn Duplex>>,
+    writer: &SharedWriter,
+    shared: &Arc<Shared>,
+    job_tx: &Sender<Job>,
+    assembler: &mut crate::frames::ChunkAssembler,
+    reported: &mut i64,
+) {
     let stats = &shared.stats;
     let metrics = &shared.metrics;
     loop {
         let frame = match wire::read_frame(reader, shared.config.max_frame) {
             Ok(f) => f,
             Err(WireError::Idle) => {
-                // Idle pooled connections are kept until shutdown.
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                if assembler.active() {
+                    // A transfer is open but the peer went quiet between
+                    // chunk frames — the same stall as silence inside a
+                    // frame, and the same taxonomy.
+                    stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    metrics.fault();
+                    metrics.timeouts.inc();
+                    let f =
+                        WireFault::new(FaultCode::Timeout, "read timed out mid-chunk-transfer");
+                    let _ = send_reply(writer, &wire::fault(0, &f));
+                    return;
+                }
+                // Idle pooled connections are kept until shutdown.
                 continue;
             }
             Err(WireError::Stalled) => {
@@ -665,27 +747,83 @@ fn serve_frames(
             let _ = send_reply(writer, &wire::fault(frame.id, &f));
             return;
         }
-        if frame.kind != FrameType::Request {
+        let work = if matches!(
+            frame.kind,
+            FrameType::DocChunkStart | FrameType::DocChunk | FrameType::DocChunkEnd
+        ) {
+            metrics.chunk_frames.inc();
+            if frame.kind == FrameType::DocChunk {
+                metrics
+                    .chunk_bytes
+                    .add(frame.payload.len().saturating_sub(4) as u64);
+            }
+            let outcome = assembler.accept(&frame);
+            sync_reassembly_gauge(metrics, assembler, reported);
+            match outcome {
+                Ok(crate::frames::ChunkProgress::Pending)
+                | Ok(crate::frames::ChunkProgress::Drained) => continue,
+                Ok(crate::frames::ChunkProgress::Complete { name, bytes, .. }) => {
+                    match String::from_utf8(bytes) {
+                        Ok(text) => Work::Document { name, text },
+                        Err(_) => {
+                            stats.faulted.fetch_add(1, Ordering::Relaxed);
+                            metrics.fault();
+                            metrics.chunk_aborts.inc();
+                            let f = WireFault::new(
+                                FaultCode::Client,
+                                "chunked document is not UTF-8",
+                            );
+                            let _ = send_reply(writer, &wire::fault(frame.id, &f));
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The transfer is dead but the stream is still framed:
+                    // fault the transfer's request id and keep serving —
+                    // the assembler drains the pipelined remains itself.
+                    stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    metrics.fault();
+                    metrics.chunk_aborts.inc();
+                    let f = match e {
+                        WireError::TooLarge { len, max } => {
+                            metrics.too_large.inc();
+                            metrics.frame_bytes.observe(len as u64);
+                            WireFault::new(
+                                FaultCode::TooLarge,
+                                format!(
+                                    "chunked transfer of {len} cumulative bytes exceeds the {max}-byte cap"
+                                ),
+                            )
+                        }
+                        other => WireFault::new(FaultCode::BadFrame, other.to_string()),
+                    };
+                    let _ = send_reply(writer, &wire::fault(frame.id, &f));
+                    continue;
+                }
+            }
+        } else if frame.kind != FrameType::Request {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
             metrics.fault();
             let f = WireFault::new(FaultCode::BadFrame, "expected a Request frame");
             let _ = send_reply(writer, &wire::fault(frame.id, &f));
             continue;
-        }
-        let envelope = match wire::decode_envelope(&frame.payload) {
-            Ok(e) => e,
-            Err(e) => {
-                stats.faulted.fetch_add(1, Ordering::Relaxed);
-                metrics.fault();
-                let f = WireFault::new(FaultCode::Client, e.to_string());
-                let _ = send_reply(writer, &wire::fault(frame.id, &f));
-                continue;
+        } else {
+            match wire::decode_envelope(&frame.payload) {
+                Ok(e) => Work::Envelope(e),
+                Err(e) => {
+                    stats.faulted.fetch_add(1, Ordering::Relaxed);
+                    metrics.fault();
+                    let f = WireFault::new(FaultCode::Client, e.to_string());
+                    let _ = send_reply(writer, &wire::fault(frame.id, &f));
+                    continue;
+                }
             }
         };
         let job = Job {
             reply: ReplyTo::Stream(Arc::clone(writer)),
             id: frame.id,
-            envelope,
+            work,
         };
         // Count the slot before the job becomes visible to workers: the
         // worker's decrement must never be able to outrun our increment,
@@ -723,7 +861,11 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, job_rx: &Arc<Mutex<Receiver<Job>
             Err(_) => return, // queue closed: graceful shutdown
         };
         shared.metrics.queue_depth.sub(1);
-        let reply = match shared.handler.handle(job.id, &job.envelope) {
+        let outcome = match &job.work {
+            Work::Envelope(envelope) => shared.handler.handle(job.id, envelope),
+            Work::Document { name, text } => shared.handler.handle_document(job.id, name, text),
+        };
+        let reply = match outcome {
             Ok(envelope) => {
                 shared.stats.served.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.ok();
@@ -887,6 +1029,158 @@ mod tests {
             snap.counter("server.requests_total"),
             snap.counter("server.responses_ok_total") + snap.counter("server.faults_total")
         );
+        server.shutdown().unwrap();
+    }
+
+    struct StoreDoc {
+        docs: Mutex<HashMap<String, String>>,
+    }
+
+    impl Handler for StoreDoc {
+        fn handle(&self, _id: u64, envelope: &str) -> Result<String, WireFault> {
+            Ok(format!("echo:{envelope}"))
+        }
+
+        fn handle_document(&self, _id: u64, name: &str, text: &str) -> Result<String, WireFault> {
+            self.docs.lock().insert(name.to_owned(), text.to_owned());
+            Ok(format!("stored:{name}"))
+        }
+    }
+
+    fn chunk_frames(id: u64, name: &str, data: &[u8], chunk: usize) -> Vec<Frame> {
+        let mut digest = axml_support::hash::Fnv64::new();
+        let mut frames = vec![wire::doc_chunk_start(id, name)];
+        let mut seq = 0u32;
+        for piece in data.chunks(chunk) {
+            digest.update(piece);
+            frames.push(wire::doc_chunk(id, seq, piece));
+            seq += 1;
+        }
+        frames.push(wire::doc_chunk_end(id, seq, data.len() as u64, digest.finish()));
+        frames
+    }
+
+    #[test]
+    fn chunked_transfer_reaches_document_handler() {
+        let registry = axml_obs::Registry::new();
+        axml_obs::register_catalogue(&registry);
+        let handler = Arc::new(StoreDoc {
+            docs: Mutex::new(HashMap::new()),
+        });
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::<StoreDoc>::clone(&handler),
+            ServerConfig {
+                metrics: registry.clone(),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let (mut reader, mut stream) = dial(&server);
+        // The Welcome advertises the chunk capability.
+        wire::write_frame(&mut stream, &wire::hello_with("test-client", wire::CAP_CHUNKED))
+            .unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        let (_, name, caps) = wire::decode_welcome_caps(&back.payload).unwrap();
+        assert_eq!(name, "axml-peer");
+        assert_eq!(caps & wire::CAP_CHUNKED, wire::CAP_CHUNKED);
+
+        let doc = "<doc>".repeat(50) + &"</doc>".repeat(50);
+        for f in chunk_frames(7, "big.xml", doc.as_bytes(), 37) {
+            wire::write_frame(&mut stream, &f).unwrap();
+        }
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 7);
+        assert_eq!(wire::decode_envelope(&back.payload).unwrap(), "stored:big.xml");
+        assert_eq!(handler.docs.lock().get("big.xml"), Some(&doc));
+
+        let snap = registry.snapshot();
+        assert!(snap.counter("net.chunk.frames_total") >= 3);
+        assert_eq!(snap.counter("net.chunk.bytes_total"), doc.len() as u64);
+        assert_eq!(snap.counter("net.chunk.aborts_total"), 0);
+        assert_eq!(snap.gauge("net.chunk.reassembly_bytes"), 0);
+        assert_eq!(
+            snap.counter("server.requests_total"),
+            snap.counter("server.responses_ok_total") + snap.counter("server.faults_total")
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn chunk_faults_are_typed_and_the_connection_survives() {
+        let registry = axml_obs::Registry::new();
+        axml_obs::register_catalogue(&registry);
+        let handler = Arc::new(StoreDoc {
+            docs: Mutex::new(HashMap::new()),
+        });
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::<StoreDoc>::clone(&handler),
+            ServerConfig {
+                metrics: registry.clone(),
+                max_doc: 64,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+
+        // Out-of-sequence chunk: typed BadFrame on the transfer's id.
+        wire::write_frame(&mut stream, &wire::doc_chunk_start(3, "d")).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(3, 5, b"zz")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        assert_eq!(back.id, 3);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::BadFrame);
+        assert!(f.message.contains("out of sequence"));
+
+        // Cumulative cap: TooLarge reports the running total.
+        wire::write_frame(&mut stream, &wire::doc_chunk_start(4, "d")).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(4, 0, &[b'a'; 40])).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(4, 1, &[b'b'; 40])).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.id, 4);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::TooLarge);
+        assert!(f.message.contains("80 cumulative bytes"), "{}", f.message);
+
+        // Same connection still serves plain requests and fresh transfers.
+        wire::write_frame(&mut stream, &wire::request(5, "hi")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        for f in chunk_frames(6, "ok.xml", b"<ok/>", 2) {
+            wire::write_frame(&mut stream, &f).unwrap();
+        }
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Response);
+        assert_eq!(back.id, 6);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net.chunk.aborts_total"), 2);
+        assert_eq!(snap.gauge("net.chunk.reassembly_bytes"), 0);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn idle_inside_chunk_transfer_gets_timeout_fault() {
+        let server = echo_server(ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        });
+        let (mut reader, mut stream) = dial(&server);
+        shake(&mut reader, &mut stream);
+        // Open a transfer, send one whole chunk frame, then go quiet: the
+        // socket is between frames but the transfer is mid-flight.
+        wire::write_frame(&mut stream, &wire::doc_chunk_start(9, "stall")).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(9, 0, b"abc")).unwrap();
+        let back = wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back.kind, FrameType::Fault);
+        let f = wire::decode_fault(&back.payload).unwrap();
+        assert_eq!(f.code, FaultCode::Timeout);
+        assert!(f.message.contains("mid-chunk-transfer"));
         server.shutdown().unwrap();
     }
 

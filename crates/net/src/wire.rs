@@ -21,6 +21,9 @@
 //! | 0x05 | `Fault`    | code (u8) + retryable (u8) + message (UTF-8)     |
 //! | 0x06 | `StatsRequest`  | empty — asks the server for its metrics     |
 //! | 0x07 | `StatsResponse` | a JSON metric snapshot (`axml-obs` format)  |
+//! | 0x08 | `DocChunkStart` | name len (u16 BE) + document name (UTF-8)   |
+//! | 0x09 | `DocChunk`      | sequence number (u32 BE) + raw chunk bytes  |
+//! | 0x0A | `DocChunkEnd`   | chunk count (u32 BE) + total bytes (u64 BE) + FNV-64 digest (u64 BE) |
 //!
 //! A connection opens with a versioned handshake: the client sends
 //! `Hello` (request id 0); the server answers `Welcome`, or a `Fault`
@@ -29,6 +32,24 @@
 //! is answered by exactly one `Response` or `Fault` frame carrying the
 //! *same* request id (answers may arrive out of order when the server
 //! pipelines requests across its worker pool).
+//!
+//! **Capabilities.** Either handshake frame may append a NUL byte and a
+//! capability bitmask after the peer name ([`hello_with`] /
+//! [`welcome_with`]). Decoders split the name at the first NUL, so a
+//! suffix-aware peer sees a clean name plus the mask, while a peer
+//! predating the suffix merely logs a name with a trailing marker — the
+//! handshake itself still succeeds. A client uses chunked document
+//! transfer ([`CAP_CHUNKED`]) only when the server's `Welcome` advertises
+//! it, falling back to single-frame `Request` shipping otherwise.
+//!
+//! **Chunked transfers.** A document too large for one `Request` frame
+//! travels as `DocChunkStart`, then `DocChunk` frames with consecutive
+//! sequence numbers starting at 0, then `DocChunkEnd` carrying the chunk
+//! count, cumulative byte length, and a running FNV-64 digest of the
+//! chunk bytes. All frames of one transfer carry the same request id, and
+//! the transfer is answered by exactly one `Response` or `Fault` like a
+//! plain `Request`. Reassembly rules live in
+//! [`ChunkAssembler`](crate::frames::ChunkAssembler).
 //!
 //! Faults are **typed**: a [`FaultCode`] plus a `retryable` flag that
 //! tells the client whether backing off and retrying can help (queue
@@ -53,6 +74,15 @@ pub const HEADER_LEN: usize = 1 + 8 + 4;
 /// Default cap on payload size: 4 MiB.
 pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
 
+/// Default cap on the *cumulative* size of one chunked document transfer:
+/// 64 MiB. Per-chunk frames stay bounded by the frame cap; this bounds
+/// what a reassembling receiver will buffer in total.
+pub const DEFAULT_MAX_DOC: usize = 64 << 20;
+
+/// Handshake capability bit: the peer understands the
+/// `DocChunkStart`/`DocChunk`/`DocChunkEnd` frame family.
+pub const CAP_CHUNKED: u8 = 0x01;
+
 /// The kind of a frame, i.e. its `type` byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameType {
@@ -70,6 +100,12 @@ pub enum FrameType {
     StatsRequest,
     /// The JSON metric snapshot answering a `StatsRequest`.
     StatsResponse,
+    /// Opens a chunked document transfer (name + metadata).
+    DocChunkStart,
+    /// One chunk of a chunked transfer (sequence number + bytes).
+    DocChunk,
+    /// Closes a chunked transfer (count + total length + FNV-64 digest).
+    DocChunkEnd,
 }
 
 impl FrameType {
@@ -82,6 +118,9 @@ impl FrameType {
             FrameType::Fault => 0x05,
             FrameType::StatsRequest => 0x06,
             FrameType::StatsResponse => 0x07,
+            FrameType::DocChunkStart => 0x08,
+            FrameType::DocChunk => 0x09,
+            FrameType::DocChunkEnd => 0x0a,
         }
     }
 
@@ -95,6 +134,9 @@ impl FrameType {
             0x05 => Ok(FrameType::Fault),
             0x06 => Ok(FrameType::StatsRequest),
             0x07 => Ok(FrameType::StatsResponse),
+            0x08 => Ok(FrameType::DocChunkStart),
+            0x09 => Ok(FrameType::DocChunk),
+            0x0a => Ok(FrameType::DocChunkEnd),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }
@@ -370,12 +412,38 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
     Ok(())
 }
 
+/// Appends the NUL-delimited capability suffix to a handshake name
+/// field; a zero mask keeps the pre-capability byte layout.
+fn name_with_caps(buf: &mut Vec<u8>, peer_name: &str, caps: u8) {
+    buf.extend_from_slice(peer_name.as_bytes());
+    if caps != 0 {
+        buf.push(0);
+        buf.push(caps);
+    }
+}
+
+/// Splits a handshake name field into `(name bytes, capability mask)`:
+/// everything before the first NUL is the name, the byte after it (if
+/// any) is the mask. Fields without a NUL carry no capabilities.
+fn split_caps(field: &[u8]) -> (&[u8], u8) {
+    match field.iter().position(|&b| b == 0) {
+        Some(at) => (&field[..at], field.get(at + 1).copied().unwrap_or(0)),
+        None => (field, 0),
+    }
+}
+
 /// Builds the `Hello` frame a client opens the connection with.
 pub fn hello(peer_name: &str) -> Frame {
-    let mut payload = Vec::with_capacity(4 + 2 + peer_name.len());
+    hello_with(peer_name, 0)
+}
+
+/// Builds a `Hello` frame advertising a capability mask (see
+/// [`CAP_CHUNKED`]). `caps == 0` produces the legacy payload layout.
+pub fn hello_with(peer_name: &str, caps: u8) -> Frame {
+    let mut payload = Vec::with_capacity(4 + 2 + peer_name.len() + 2);
     payload.extend_from_slice(&MAGIC);
     payload.extend_from_slice(&VERSION.to_be_bytes());
-    payload.extend_from_slice(peer_name.as_bytes());
+    name_with_caps(&mut payload, peer_name, caps);
     Frame {
         kind: FrameType::Hello,
         id: 0,
@@ -385,6 +453,13 @@ pub fn hello(peer_name: &str) -> Frame {
 
 /// Decodes a `Hello` payload, returning `(version, peer name)`.
 pub fn decode_hello(payload: &[u8]) -> Result<(u16, String), WireError> {
+    decode_hello_caps(payload).map(|(v, name, _)| (v, name))
+}
+
+/// Decodes a `Hello` payload including the capability mask, returning
+/// `(version, peer name, caps)`. Payloads without the NUL suffix decode
+/// with `caps == 0`.
+pub fn decode_hello_caps(payload: &[u8]) -> Result<(u16, String, u8), WireError> {
     if payload.len() < 6 {
         return Err(WireError::Malformed("hello payload too short".to_owned()));
     }
@@ -392,16 +467,23 @@ pub fn decode_hello(payload: &[u8]) -> Result<(u16, String), WireError> {
         return Err(WireError::BadMagic);
     }
     let version = u16::from_be_bytes([payload[4], payload[5]]);
-    let name = String::from_utf8(payload[6..].to_vec())
+    let (name, caps) = split_caps(&payload[6..]);
+    let name = String::from_utf8(name.to_vec())
         .map_err(|_| WireError::Malformed("hello peer name is not UTF-8".to_owned()))?;
-    Ok((version, name))
+    Ok((version, name, caps))
 }
 
 /// Builds the `Welcome` frame a server answers the handshake with.
 pub fn welcome(peer_name: &str) -> Frame {
-    let mut payload = Vec::with_capacity(2 + peer_name.len());
+    welcome_with(peer_name, 0)
+}
+
+/// Builds a `Welcome` frame advertising a capability mask (see
+/// [`CAP_CHUNKED`]). `caps == 0` produces the legacy payload layout.
+pub fn welcome_with(peer_name: &str, caps: u8) -> Frame {
+    let mut payload = Vec::with_capacity(2 + peer_name.len() + 2);
     payload.extend_from_slice(&VERSION.to_be_bytes());
-    payload.extend_from_slice(peer_name.as_bytes());
+    name_with_caps(&mut payload, peer_name, caps);
     Frame {
         kind: FrameType::Welcome,
         id: 0,
@@ -411,13 +493,21 @@ pub fn welcome(peer_name: &str) -> Frame {
 
 /// Decodes a `Welcome` payload, returning `(version, peer name)`.
 pub fn decode_welcome(payload: &[u8]) -> Result<(u16, String), WireError> {
+    decode_welcome_caps(payload).map(|(v, name, _)| (v, name))
+}
+
+/// Decodes a `Welcome` payload including the capability mask, returning
+/// `(version, peer name, caps)`. Payloads without the NUL suffix decode
+/// with `caps == 0`.
+pub fn decode_welcome_caps(payload: &[u8]) -> Result<(u16, String, u8), WireError> {
     if payload.len() < 2 {
         return Err(WireError::Malformed("welcome payload too short".to_owned()));
     }
     let version = u16::from_be_bytes([payload[0], payload[1]]);
-    let name = String::from_utf8(payload[2..].to_vec())
+    let (name, caps) = split_caps(&payload[2..]);
+    let name = String::from_utf8(name.to_vec())
         .map_err(|_| WireError::Malformed("welcome peer name is not UTF-8".to_owned()))?;
-    Ok((version, name))
+    Ok((version, name, caps))
 }
 
 /// Builds a `Request` frame around a SOAP envelope.
@@ -482,6 +572,86 @@ pub fn stats_response(id: u64, snapshot_json: &str) -> Frame {
     }
 }
 
+/// Builds the `DocChunkStart` frame opening a chunked document transfer.
+pub fn doc_chunk_start(id: u64, doc_name: &str) -> Frame {
+    let name = doc_name.as_bytes();
+    let mut payload = Vec::with_capacity(2 + name.len());
+    payload.extend_from_slice(&(name.len().min(u16::MAX as usize) as u16).to_be_bytes());
+    payload.extend_from_slice(name);
+    Frame {
+        kind: FrameType::DocChunkStart,
+        id,
+        payload,
+    }
+}
+
+/// Decodes a `DocChunkStart` payload, returning the document name.
+pub fn decode_chunk_start(payload: &[u8]) -> Result<String, WireError> {
+    if payload.len() < 2 {
+        return Err(WireError::Malformed(
+            "chunk-start payload too short".to_owned(),
+        ));
+    }
+    let len = u16::from_be_bytes([payload[0], payload[1]]) as usize;
+    if payload.len() != 2 + len {
+        return Err(WireError::Malformed(format!(
+            "chunk-start name length {len} does not match payload ({} bytes left)",
+            payload.len() - 2
+        )));
+    }
+    String::from_utf8(payload[2..].to_vec())
+        .map_err(|_| WireError::Malformed("chunk-start document name is not UTF-8".to_owned()))
+}
+
+/// Builds one `DocChunk` frame: sequence number + raw bytes.
+pub fn doc_chunk(id: u64, seq: u32, data: &[u8]) -> Frame {
+    let mut payload = Vec::with_capacity(4 + data.len());
+    payload.extend_from_slice(&seq.to_be_bytes());
+    payload.extend_from_slice(data);
+    Frame {
+        kind: FrameType::DocChunk,
+        id,
+        payload,
+    }
+}
+
+/// Decodes a `DocChunk` payload, returning `(sequence number, bytes)`.
+pub fn decode_chunk(payload: &[u8]) -> Result<(u32, &[u8]), WireError> {
+    if payload.len() < 4 {
+        return Err(WireError::Malformed("chunk payload too short".to_owned()));
+    }
+    let seq = u32::from_be_bytes(payload[0..4].try_into().expect("4 seq bytes"));
+    Ok((seq, &payload[4..]))
+}
+
+/// Builds the `DocChunkEnd` frame closing a chunked transfer: chunk
+/// count, cumulative byte length, and the FNV-64 digest of those bytes.
+pub fn doc_chunk_end(id: u64, count: u32, total: u64, digest: u64) -> Frame {
+    let mut payload = Vec::with_capacity(4 + 8 + 8);
+    payload.extend_from_slice(&count.to_be_bytes());
+    payload.extend_from_slice(&total.to_be_bytes());
+    payload.extend_from_slice(&digest.to_be_bytes());
+    Frame {
+        kind: FrameType::DocChunkEnd,
+        id,
+        payload,
+    }
+}
+
+/// Decodes a `DocChunkEnd` payload, returning `(count, total, digest)`.
+pub fn decode_chunk_end(payload: &[u8]) -> Result<(u32, u64, u64), WireError> {
+    if payload.len() != 20 {
+        return Err(WireError::Malformed(format!(
+            "chunk-end payload must be 20 bytes, got {}",
+            payload.len()
+        )));
+    }
+    let count = u32::from_be_bytes(payload[0..4].try_into().expect("4 count bytes"));
+    let total = u64::from_be_bytes(payload[4..12].try_into().expect("8 total bytes"));
+    let digest = u64::from_be_bytes(payload[12..20].try_into().expect("8 digest bytes"));
+    Ok((count, total, digest))
+}
+
 /// Decodes a `Request`/`Response` payload as the UTF-8 envelope it carries.
 pub fn decode_envelope(payload: &[u8]) -> Result<String, WireError> {
     String::from_utf8(payload.to_vec())
@@ -535,6 +705,60 @@ mod tests {
         assert_eq!(name, "archive");
         assert_eq!(decode_hello(b"NOPE\x00\x01x"), Err(WireError::BadMagic));
         assert!(decode_hello(b"AX").is_err());
+    }
+
+    #[test]
+    fn capability_suffix_roundtrips_and_stays_backward_compatible() {
+        // Caps advertised and recovered, name clean.
+        let h = hello_with("np.example.org", CAP_CHUNKED);
+        let (v, name, caps) = decode_hello_caps(&h.payload).unwrap();
+        assert_eq!((v, name.as_str(), caps), (VERSION, "np.example.org", CAP_CHUNKED));
+        let w = welcome_with("archive", CAP_CHUNKED);
+        let (v, name, caps) = decode_welcome_caps(&w.payload).unwrap();
+        assert_eq!((v, name.as_str(), caps), (VERSION, "archive", CAP_CHUNKED));
+        // Legacy payloads (no suffix) decode with caps == 0, and a zero
+        // mask produces byte-identical legacy payloads.
+        assert_eq!(hello_with("a", 0).payload, hello("a").payload);
+        let (_, _, caps) = decode_hello_caps(&hello("a").payload).unwrap();
+        assert_eq!(caps, 0);
+        // The caps-blind decoder still yields a clean name.
+        let (_, name) = decode_welcome(&w.payload).unwrap();
+        assert_eq!(name, "archive");
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip() {
+        for f in [
+            doc_chunk_start(5, "reuters.xml"),
+            doc_chunk(5, 0, b"<doc>"),
+            doc_chunk(5, 1, b"</doc>"),
+            doc_chunk_end(5, 2, 11, 0xdead_beef_cafe_f00d),
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(back, f);
+        }
+        assert_eq!(
+            decode_chunk_start(&doc_chunk_start(1, "n").payload).unwrap(),
+            "n"
+        );
+        let frame = doc_chunk(1, 7, b"abc");
+        assert_eq!(decode_chunk(&frame.payload).unwrap(), (7, &b"abc"[..]));
+        assert_eq!(
+            decode_chunk_end(&doc_chunk_end(1, 3, 99, 42).payload).unwrap(),
+            (3, 99, 42)
+        );
+        // Truncated End payloads are typed malformed errors.
+        assert!(matches!(
+            decode_chunk_end(&[0u8; 12]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(decode_chunk(&[0u8; 2]), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            decode_chunk_start(&[0, 5, b'x']),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

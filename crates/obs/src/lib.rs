@@ -69,6 +69,9 @@ pub fn register_catalogue(registry: &Registry) {
         "server.timeouts_total",
         "server.frame_too_large_total",
         "server.panics_total",
+        "net.chunk.frames_total",
+        "net.chunk.bytes_total",
+        "net.chunk.aborts_total",
         "client.calls_total",
         "client.attempts_total",
         "client.retries_total",
@@ -90,6 +93,7 @@ pub fn register_catalogue(registry: &Registry) {
     registry.gauge("server.queue_depth");
     registry.gauge("server.poll.connections");
     registry.gauge("server.poll.buffer_bytes");
+    registry.gauge("net.chunk.reassembly_bytes");
     registry.gauge("store.bytes");
     registry.histogram("solver.safe.solve_ns", LATENCY_NS_BOUNDS);
     registry.histogram("solver.possible.solve_ns", LATENCY_NS_BOUNDS);

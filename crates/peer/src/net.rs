@@ -23,8 +23,8 @@
 use crate::peer::{EnforceMode, Peer, PeerError};
 use axml_core::invoke::{InvokeError, Invoker, RefusingInvoker};
 use axml_core::rewrite::RewriteReport;
-use axml_core::stream::{enforce_stream_with, StreamOptions};
-use axml_net::wire::{FaultCode, WireFault};
+use axml_core::stream::{enforce_stream_to, enforce_stream_with, StreamOptions, StreamReport};
+use axml_net::wire::{FaultCode, WireFault, CAP_CHUNKED};
 use axml_net::{
     ClientConfig, ClientError, Handler, NetClient, NetServer, ServerConfig, ServerStats, Transport,
 };
@@ -151,6 +151,19 @@ impl NetPeer {
         remote.send_document(&self.peer, name, doc, exchange)
     }
 
+    /// Ships a document to a remote daemon as a chunked wire transfer
+    /// (see [`RemotePeer::send_document_chunked`]).
+    pub fn send_document_chunked(
+        &self,
+        remote: &RemotePeer,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+        chunk_bytes: usize,
+    ) -> Result<StreamReport, PeerError> {
+        remote.send_document_chunked(&self.peer, name, doc, exchange, chunk_bytes)
+    }
+
     /// Graceful shutdown: stops the listener, joins every server thread,
     /// and reports any worker panic as a [`PeerError::Transport`].
     pub fn shutdown(self) -> Result<(), PeerError> {
@@ -163,7 +176,24 @@ impl NetPeer {
 /// threaded TCP daemon or the simulator's single-threaded in-memory peer —
 /// serves exactly the same enforcement pipeline.
 pub fn envelope_handler(peer: Arc<Peer>) -> Arc<dyn Handler> {
-    Arc::new(move |id: u64, envelope: &str| handle_net_envelope(&peer, id, envelope))
+    Arc::new(PeerHandler { peer })
+}
+
+/// The served peer as an `axml-net` [`Handler`]: SOAP envelopes through
+/// [`handle_net_envelope`], chunk-shipped documents through
+/// [`receive_document_text`].
+struct PeerHandler {
+    peer: Arc<Peer>,
+}
+
+impl Handler for PeerHandler {
+    fn handle(&self, id: u64, envelope: &str) -> Result<String, WireFault> {
+        handle_net_envelope(&self.peer, id, envelope)
+    }
+
+    fn handle_document(&self, id: u64, name: &str, text: &str) -> Result<String, WireFault> {
+        handle_net_document(&self.peer, id, name, text)
+    }
 }
 
 /// The server side of one envelope: decode, dispatch, and turn peer
@@ -206,6 +236,59 @@ fn handle_net_envelope_inner(
             "expected a call request",
         )),
     }
+}
+
+/// The server side of one chunk-shipped document, span-wrapped like
+/// [`handle_net_envelope`] so sender and receiver correlate through the
+/// wire request id regardless of the shipping mode.
+fn handle_net_document(peer: &Peer, rid: u64, name: &str, text: &str) -> Result<String, WireFault> {
+    let mut sp = axml_obs::span("validate");
+    sp.set("rid", rid);
+    sp.set("peer", &peer.name);
+    sp.set("method", RECEIVE_METHOD);
+    sp.set("doc", name);
+    let result = receive_document_text(peer, name, text)
+        .map(|stored| soap::response(&[ITree::text(&stored)]).to_xml())
+        .map_err(|e| wire_fault(&e.to_fault()));
+    if let Err(fault) = &result {
+        sp.fail(&fault.message);
+    }
+    result
+}
+
+/// Receiver side of a *chunked* Fig. 1 exchange: the document arrives as
+/// raw XML text (chunked transfers carry no SOAP envelope — the name
+/// rides in the `DocChunkStart` frame). Verification happens on the text
+/// itself: in streaming mode the streaming enforcer with a refusing
+/// invoker runs *before* any tree is built, so enforcement memory stays
+/// at the stream engine's `peak_buffer_bytes` even for documents far
+/// larger than the frame cap; the parse into the repository's [`ITree`]
+/// form afterwards is the storage cost, not an enforcement cost.
+pub fn receive_document_text(peer: &Peer, name: &str, text: &str) -> Result<String, PeerError> {
+    if name.trim().is_empty() {
+        return Err(PeerError::Enforcement(format!(
+            "{RECEIVE_METHOD}: document name must be non-empty"
+        )));
+    }
+    if peer.enforce.mode == EnforceMode::Streaming {
+        let opts = StreamOptions {
+            k: peer.enforce.k,
+            cache: Some(peer.enforce.cache.clone()),
+            ..StreamOptions::default()
+        };
+        enforce_stream_with(&peer.compiled, text, &opts, &mut RefusingInvoker)
+            .map_err(|e| PeerError::Enforcement(e.to_string()))?;
+    }
+    let doc = axml_xml::parse_document(text)
+        .map_err(|e| PeerError::Enforcement(format!("chunked document: {e}")))
+        .and_then(|d| ITree::from_xml(&d.root).map_err(PeerError::Enforcement))?;
+    if peer.enforce.mode != EnforceMode::Streaming {
+        validate(&doc, &peer.compiled).map_err(|e| PeerError::Enforcement(e.to_string()))?;
+    }
+    peer.inbound.check(std::slice::from_ref(&doc))?;
+    peer.repository.store(name, doc);
+    axml_obs::global().counter("peer.received_total").inc();
+    Ok(name.to_owned())
 }
 
 /// Receiver side of the Fig. 1 exchange: verify the shipped document
@@ -409,6 +492,130 @@ impl RemotePeer {
         }
         axml_core::rewrite::enforce(exchange, doc, caller.enforce.k, invoker)
             .map_err(PeerError::from)
+    }
+
+    /// Ships a document as a *chunked* wire transfer — the path for
+    /// documents larger than the frame cap (or than sender RAM would
+    /// allow as one enforced string). The enforced output streams from
+    /// [`enforce_stream_to`] straight into `DocChunk` frames of
+    /// `chunk_bytes` bytes each, so the sender's peak memory is
+    /// O(`chunk_bytes` + the stream engine's `peak_buffer_bytes`) beyond
+    /// the input text itself. Against a pre-capability peer this falls
+    /// back transparently to the single-frame [`RemotePeer::send_document`]
+    /// pipeline (the returned report has `fell_back` set and carries the
+    /// DOM rewrite report).
+    pub fn send_document_chunked(
+        &self,
+        caller: &Peer,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+        chunk_bytes: usize,
+    ) -> Result<StreamReport, PeerError> {
+        let mut invoker = caller.registry.invoker(None);
+        self.send_document_chunked_with(caller, name, doc, exchange, chunk_bytes, &mut invoker)
+    }
+
+    /// Like [`RemotePeer::send_document_chunked`], but materializing
+    /// embedded calls through an explicit [`Invoker`].
+    pub fn send_document_chunked_with(
+        &self,
+        caller: &Peer,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+        chunk_bytes: usize,
+        invoker: &mut dyn Invoker,
+    ) -> Result<StreamReport, PeerError> {
+        let rid = axml_obs::next_request_id();
+        let metrics = axml_obs::global();
+        metrics.counter("peer.exchanges_total").inc();
+        let mut ex = axml_obs::span("exchange");
+        ex.set("rid", rid);
+        ex.set("doc", name);
+        ex.set("chunk_bytes", chunk_bytes);
+        let result =
+            self.ship_document_chunked(caller, rid, name, doc, exchange, chunk_bytes, invoker);
+        if let Err(e) = &result {
+            metrics.counter("peer.exchange_faults_total").inc();
+            ex.fail(e);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ship_document_chunked(
+        &self,
+        caller: &Peer,
+        rid: u64,
+        name: &str,
+        doc: &ITree,
+        exchange: &Arc<Compiled>,
+        chunk_bytes: usize,
+        invoker: &mut dyn Invoker,
+    ) -> Result<StreamReport, PeerError> {
+        let caps = self.client.server_caps().map_err(client_error)?;
+        if caps & CAP_CHUNKED == 0 {
+            // An old peer: ship the enforced document as one Request
+            // frame instead — same enforcement, same reply semantics.
+            let (_, rewrite) = self.ship_document(caller, rid, name, doc, exchange, invoker)?;
+            let mut report = StreamReport::default();
+            report.fell_back = true;
+            report.rewrite = rewrite;
+            return Ok(report);
+        }
+        let text =
+            axml_xml::element_to_string(&doc.to_xml(), &axml_xml::WriteOptions::compact());
+        let opts = StreamOptions {
+            k: caller.enforce.k,
+            cache: Some(caller.enforce.cache.clone()),
+            ..StreamOptions::default()
+        };
+        let mut report: Option<StreamReport> = None;
+        let mut enforce_err: Option<PeerError> = None;
+        let reply = {
+            let mut sp = axml_obs::span("ship");
+            sp.set("rid", rid);
+            sp.set("chunk_bytes", chunk_bytes);
+            let outcome =
+                self.client
+                    .send_document_chunked(Some(rid), name, chunk_bytes, |sink| {
+                        // Enforcement streams into the chunk sink; its
+                        // typed error is captured here because the wire
+                        // layer only understands io errors.
+                        match enforce_stream_to(exchange, &text, &opts, invoker, sink) {
+                            Ok(rep) => {
+                                report = Some(rep);
+                                Ok(())
+                            }
+                            Err(e) => {
+                                enforce_err = Some(PeerError::from(e));
+                                Err(std::io::Error::new(
+                                    std::io::ErrorKind::Other,
+                                    "enforcement failed",
+                                ))
+                            }
+                        }
+                    });
+            match outcome {
+                Ok(reply) => reply,
+                Err(e) => {
+                    if let Some(pe) = enforce_err {
+                        sp.fail(&pe);
+                        return Err(pe);
+                    }
+                    sp.fail(&e);
+                    return Err(client_error(e));
+                }
+            }
+        };
+        match soap::decode(&reply).map_err(PeerError::Transport)? {
+            soap::Message::Response { .. } => Ok(report.unwrap_or_default()),
+            soap::Message::Fault(fault) => Err(PeerError::Fault(fault)),
+            soap::Message::Request { .. } => {
+                Err(PeerError::Transport("unexpected request".to_owned()))
+            }
+        }
     }
 
     fn ship_document(

@@ -41,8 +41,8 @@
 //! log instead of wedging the test run.
 
 use axml_net::transport::{Acceptor, Duplex, Transport};
-use axml_net::wire::{self, FaultCode, Frame, FrameType, WireFault};
-use axml_net::Handler;
+use axml_net::wire::{self, FaultCode, Frame, FrameType, WireError, WireFault};
+use axml_net::{ChunkAssembler, ChunkProgress, Handler};
 use axml_support::clock::Clock;
 use axml_support::rng::{RngExt, SeedableRng, StdRng};
 use axml_support::sync::Mutex;
@@ -129,6 +129,17 @@ pub struct FaultPlan {
     /// Probability a server answers a request with a retryable `Busy`
     /// fault instead of handling it (models a saturated worker queue).
     pub busy_prob: f64,
+    /// Extra drop probability applied only to chunk frames
+    /// (`DocChunkStart`/`DocChunk`/`DocChunkEnd`) — lets a scenario
+    /// target the chunked transfer path while the control frames around
+    /// it stay reliable. Combined with `drop_prob` by maximum.
+    pub chunk_drop_prob: f64,
+    /// Extra duplication probability for chunk frames (max with
+    /// `dup_prob`).
+    pub chunk_dup_prob: f64,
+    /// Extra mid-frame reset probability for chunk frames (max with
+    /// `reset_prob`).
+    pub chunk_reset_prob: f64,
     /// Scheduled link partitions.
     pub partitions: Vec<Partition>,
     /// Scheduled crash-restarts.
@@ -151,6 +162,9 @@ impl Default for FaultPlan {
             extra_delay_ns: 0,
             reset_prob: 0.0,
             busy_prob: 0.0,
+            chunk_drop_prob: 0.0,
+            chunk_dup_prob: 0.0,
+            chunk_reset_prob: 0.0,
             partitions: Vec::new(),
             crashes: Vec::new(),
             horizon_ns: 600_000_000_000, // 10 virtual minutes
@@ -165,6 +179,8 @@ pub struct SimServerConfig {
     pub name: String,
     /// Maximum accepted frame payload, in bytes.
     pub max_frame: usize,
+    /// Maximum cumulative size of one chunked document transfer.
+    pub max_doc: usize,
     /// How long a partial frame may sit before the server faults the
     /// connection with `Timeout` (the real server's mid-frame stall cap).
     pub read_timeout: Duration,
@@ -178,6 +194,7 @@ impl Default for SimServerConfig {
         SimServerConfig {
             name: "axml-peer".to_owned(),
             max_frame: wire::DEFAULT_MAX_FRAME,
+            max_doc: wire::DEFAULT_MAX_DOC,
             read_timeout: Duration::from_millis(200),
             metrics: axml_obs::Registry::new(),
         }
@@ -195,6 +212,10 @@ struct SrvMetrics {
     timeouts: axml_obs::Counter,
     too_large: axml_obs::Counter,
     frame_bytes: axml_obs::Histogram,
+    chunk_frames: axml_obs::Counter,
+    chunk_bytes: axml_obs::Counter,
+    chunk_aborts: axml_obs::Counter,
+    chunk_reassembly: axml_obs::Gauge,
 }
 
 impl SrvMetrics {
@@ -208,6 +229,10 @@ impl SrvMetrics {
             timeouts: r.counter("server.timeouts_total"),
             too_large: r.counter("server.frame_too_large_total"),
             frame_bytes: r.histogram("server.frame_bytes", axml_obs::BYTES_BOUNDS),
+            chunk_frames: r.counter("net.chunk.frames_total"),
+            chunk_bytes: r.counter("net.chunk.bytes_total"),
+            chunk_aborts: r.counter("net.chunk.aborts_total"),
+            chunk_reassembly: r.gauge("net.chunk.reassembly_bytes"),
         }
     }
 
@@ -226,6 +251,34 @@ impl SrvMetrics {
 struct SrvConn {
     inbox: Vec<u8>,
     shaken: bool,
+    /// Chunked-transfer reassembly state, mirroring the real server's
+    /// per-connection assembler.
+    assembler: ChunkAssembler,
+    /// Reassembly bytes last published into the gauge for this conn.
+    reported: i64,
+    /// Chunk frames accepted so far — the stall probe's progress witness
+    /// for idleness *between* chunk frames (the inbox is empty then).
+    chunk_seen: u64,
+}
+
+impl SrvConn {
+    fn new(max_doc: usize) -> SrvConn {
+        SrvConn {
+            inbox: Vec::new(),
+            shaken: false,
+            assembler: ChunkAssembler::new(max_doc),
+            reported: 0,
+            chunk_seen: 0,
+        }
+    }
+}
+
+/// Work extracted from a frame in Phase A and dispatched to the
+/// application handler unlocked in Phase B — the sim analogue of the
+/// real server's `Work`.
+enum SrvWork {
+    Envelope(String),
+    Document { name: String, text: String },
 }
 
 struct ServerEntry {
@@ -234,6 +287,20 @@ struct ServerEntry {
     metrics: SrvMetrics,
     up: bool,
     conns: BTreeMap<u64, SrvConn>,
+}
+
+impl ServerEntry {
+    /// Removes a connection's server-side state, giving back its
+    /// reassembly gauge bytes and accounting an abandoned transfer —
+    /// every removal path must come through here or the gauge leaks.
+    fn drop_conn(&mut self, conn_id: u64) {
+        if let Some(sc) = self.conns.remove(&conn_id) {
+            self.metrics.chunk_reassembly.add(-sc.reported);
+            if sc.assembler.active() {
+                self.metrics.chunk_aborts.inc();
+            }
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -263,8 +330,11 @@ enum Event {
         bytes: Vec<u8>,
         reset_after: bool,
     },
-    /// Server-side mid-frame stall probe.
-    StallCheck { conn: u64, len: usize },
+    /// Server-side stall probe: fires when a partial frame sits
+    /// unfinished, or a chunk transfer has gone quiet between frames
+    /// (`len` is the inbox size when armed, `chunks` the chunk frames
+    /// accepted so far — either advancing means progress).
+    StallCheck { conn: u64, len: usize, chunks: u64 },
     /// Orderly server-side close (the FIN after a fault-and-close):
     /// scheduled at the fault frame's own delivery time so the client
     /// reads the fault first and EOF second, like TCP data-before-FIN.
@@ -389,11 +459,36 @@ impl WorldState {
             return self.now_ns;
         }
         let plan = self.plan.clone();
-        if self.rng.random_bool(plan.drop_prob) {
+        // Chunk frames can carry their own (usually higher) fault rates,
+        // so a scenario can batter the transfer path while the handshake
+        // and reply frames stay deliverable.
+        let is_chunk = bytes.len() >= wire::HEADER_LEN
+            && FrameType::from_byte(bytes[0]).is_ok_and(|k| {
+                matches!(
+                    k,
+                    FrameType::DocChunkStart | FrameType::DocChunk | FrameType::DocChunkEnd
+                )
+            });
+        let drop_prob = if is_chunk {
+            plan.drop_prob.max(plan.chunk_drop_prob)
+        } else {
+            plan.drop_prob
+        };
+        let dup_prob = if is_chunk {
+            plan.dup_prob.max(plan.chunk_dup_prob)
+        } else {
+            plan.dup_prob
+        };
+        let reset_prob = if is_chunk {
+            plan.reset_prob.max(plan.chunk_reset_prob)
+        } else {
+            plan.reset_prob
+        };
+        if self.rng.random_bool(drop_prob) {
             self.log(format!("DROP {dir} {what}"));
             return self.now_ns;
         }
-        if bytes.len() > 1 && self.rng.random_bool(plan.reset_prob) {
+        if bytes.len() > 1 && self.rng.random_bool(reset_prob) {
             let cut = self.rng.random_range(1..bytes.len() as u64) as usize;
             let at = self.now_ns + self.latency(&plan);
             self.log(format!("RESET-MID-FRAME {dir} {what} cut={cut}"));
@@ -425,7 +520,7 @@ impl WorldState {
                 reset_after: false,
             },
         );
-        if self.rng.random_bool(plan.dup_prob) {
+        if self.rng.random_bool(dup_prob) {
             let at = self.now_ns + self.latency(&plan);
             self.log(format!("DUPLICATE {dir} {what}"));
             self.schedule(
@@ -633,7 +728,7 @@ impl WorldInner {
                 bytes,
                 reset_after,
             } => self.deliver(conn, to_server, bytes, reset_after),
-            Event::StallCheck { conn, len } => self.stall_check(conn, len),
+            Event::StallCheck { conn, len, chunks } => self.stall_check(conn, len, chunks),
             Event::Close { conn } => {
                 let mut st = self.state.lock();
                 let closed = match st.conns.get_mut(&conn) {
@@ -652,7 +747,10 @@ impl WorldInner {
                 st.log(format!("CRASH {endpoint}"));
                 if let Some(server) = st.servers.get_mut(&endpoint) {
                     server.up = false;
-                    server.conns.clear();
+                    let ids: Vec<u64> = server.conns.keys().copied().collect();
+                    for id in ids {
+                        server.drop_conn(id);
+                    }
                 }
                 let reset: Vec<u64> = st
                     .conns
@@ -697,13 +795,11 @@ impl WorldInner {
                     return;
                 }
                 if let Some(server) = st.servers.get_mut(&server_name) {
+                    let max_doc = server.config.max_doc;
                     server
                         .conns
                         .entry(conn_id)
-                        .or_insert_with(|| SrvConn {
-                            inbox: Vec::new(),
-                            shaken: false,
-                        })
+                        .or_insert_with(|| SrvConn::new(max_doc))
                         .inbox
                         .extend_from_slice(&bytes);
                 }
@@ -718,7 +814,7 @@ impl WorldInner {
                 st.conns.get_mut(&conn_id).expect("live conn").state = ConnState::Reset;
                 st.log(format!("CONN-RESET conn={conn_id} (mid-frame cut)"));
                 if let Some(server) = st.servers.get_mut(&server_name) {
-                    server.conns.remove(&conn_id);
+                    server.drop_conn(conn_id);
                 }
                 return;
             }
@@ -766,7 +862,7 @@ impl WorldInner {
                             format!("{len}-byte payload exceeds the {max_frame}-byte cap"),
                         );
                         let bytes = encode(&wire::fault(0, &f));
-                        server.conns.remove(&conn_id);
+                        server.drop_conn(conn_id);
                         let at = st.transmit(conn_id, false, bytes);
                         st.log(format!("SRV {server_name} conn={conn_id} too-large close"));
                         st.schedule(at, Event::Close { conn: conn_id });
@@ -775,15 +871,19 @@ impl WorldInner {
                 }
                 let mut frames = take_frames(&mut server.conns.get_mut(&conn_id).expect("conn").inbox);
                 if frames.is_empty() {
-                    let pending = server.conns.get(&conn_id).expect("conn").inbox.len();
-                    if pending > 0 {
-                        // Partial frame: arm the mid-frame stall probe.
+                    let sc = server.conns.get(&conn_id).expect("conn");
+                    let pending = sc.inbox.len();
+                    if pending > 0 || sc.assembler.active() {
+                        // Partial frame, or silence inside an open chunk
+                        // transfer: arm the stall probe.
+                        let chunks = sc.chunk_seen;
                         let at = st.now_ns + read_timeout.as_nanos() as u64;
                         st.schedule(
                             at,
                             Event::StallCheck {
                                 conn: conn_id,
                                 len: pending,
+                                chunks,
                             },
                         );
                     }
@@ -817,7 +917,7 @@ impl WorldInner {
                     let f = WireFault::new(FaultCode::BadFrame, e);
                     if let Some(server) = st.servers.get_mut(&server_name) {
                         server.metrics.fault();
-                        server.conns.remove(&conn_id);
+                        server.drop_conn(conn_id);
                     }
                     let bytes = encode(&wire::fault(0, &f));
                     let at = st.transmit(conn_id, false, bytes);
@@ -835,7 +935,10 @@ impl WorldInner {
         let request = {
             let mut st = self.state.lock();
             let busy_prob = st.plan.busy_prob;
-            let busy_draw = if frame.kind == FrameType::Request {
+            // A chunked transfer only claims a worker slot when it
+            // completes, so the busy draw applies to End frames too —
+            // mirroring the real server's try_send at Complete.
+            let busy_draw = if matches!(frame.kind, FrameType::Request | FrameType::DocChunkEnd) {
                 st.rng.random_bool(busy_prob)
             } else {
                 false
@@ -855,7 +958,7 @@ impl WorldInner {
                         Ok((version, _peer)) if version == wire::VERSION => {
                             server.metrics.connections.inc();
                             server.conns.get_mut(&conn_id).expect("conn").shaken = true;
-                            wire::welcome(&server.config.name)
+                            wire::welcome_with(&server.config.name, wire::CAP_CHUNKED)
                         }
                         Ok((version, _)) => wire::fault(
                             0,
@@ -884,13 +987,91 @@ impl WorldInner {
                     st.transmit(conn_id, false, bytes);
                     None
                 }
-                FrameType::Request if !shaken => {
+                FrameType::Request
+                | FrameType::DocChunkStart
+                | FrameType::DocChunk
+                | FrameType::DocChunkEnd
+                    if !shaken =>
+                {
                     server.metrics.fault();
                     let f =
                         WireFault::new(FaultCode::BadFrame, "expected Hello to open the connection");
                     let bytes = encode(&wire::fault(frame.id, &f));
                     st.transmit(conn_id, false, bytes);
                     None
+                }
+                FrameType::DocChunkStart | FrameType::DocChunk | FrameType::DocChunkEnd => {
+                    server.metrics.chunk_frames.inc();
+                    if frame.kind == FrameType::DocChunk {
+                        server
+                            .metrics
+                            .chunk_bytes
+                            .add(frame.payload.len().saturating_sub(4) as u64);
+                    }
+                    let sc = server.conns.get_mut(&conn_id).expect("conn");
+                    sc.chunk_seen += 1;
+                    let outcome = sc.assembler.accept(&frame);
+                    let now = sc.assembler.buffered_len() as i64;
+                    server.metrics.chunk_reassembly.add(now - sc.reported);
+                    sc.reported = now;
+                    match outcome {
+                        Ok(ChunkProgress::Pending) | Ok(ChunkProgress::Drained) => None,
+                        Ok(ChunkProgress::Complete { name, bytes, .. }) => {
+                            match String::from_utf8(bytes) {
+                                Ok(text) if busy_draw => {
+                                    // The completed document is rejected at
+                                    // the worker-queue door, like a Request.
+                                    server.metrics.fault();
+                                    server.metrics.busy.inc();
+                                    let f = WireFault::new(
+                                        FaultCode::Busy,
+                                        "in-flight request queue is full",
+                                    )
+                                    .retryable();
+                                    let bytes = encode(&wire::fault(frame.id, &f));
+                                    st.log(format!("SRV {server_name} conn={conn_id} busy"));
+                                    st.transmit(conn_id, false, bytes);
+                                    let _ = (name, text);
+                                    None
+                                }
+                                Ok(text) => Some((frame.id, SrvWork::Document { name, text })),
+                                Err(_) => {
+                                    server.metrics.fault();
+                                    server.metrics.chunk_aborts.inc();
+                                    let f = WireFault::new(
+                                        FaultCode::Client,
+                                        "chunked document is not UTF-8",
+                                    );
+                                    let bytes = encode(&wire::fault(frame.id, &f));
+                                    st.transmit(conn_id, false, bytes);
+                                    None
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // Transfer dead, stream still framed: fault the
+                            // transfer's id and keep serving, like the real
+                            // server.
+                            server.metrics.fault();
+                            server.metrics.chunk_aborts.inc();
+                            let f = match e {
+                                WireError::TooLarge { len, max } => {
+                                    server.metrics.too_large.inc();
+                                    server.metrics.frame_bytes.observe(len as u64);
+                                    WireFault::new(
+                                        FaultCode::TooLarge,
+                                        format!(
+                                            "chunked transfer of {len} cumulative bytes exceeds the {max}-byte cap"
+                                        ),
+                                    )
+                                }
+                                other => WireFault::new(FaultCode::BadFrame, other.to_string()),
+                            };
+                            let bytes = encode(&wire::fault(frame.id, &f));
+                            st.transmit(conn_id, false, bytes);
+                            None
+                        }
+                    }
                 }
                 FrameType::Request => {
                     if busy_draw {
@@ -907,7 +1088,7 @@ impl WorldInner {
                         None
                     } else {
                         match wire::decode_envelope(&frame.payload) {
-                            Ok(envelope) => Some((frame.id, envelope)),
+                            Ok(envelope) => Some((frame.id, SrvWork::Envelope(envelope))),
                             Err(e) => {
                                 server.metrics.fault();
                                 let f = WireFault::new(FaultCode::Client, e.to_string());
@@ -931,7 +1112,7 @@ impl WorldInner {
             }
         };
         // Phase B (unlocked): the application handler.
-        let Some((id, envelope)) = request else {
+        let Some((id, work)) = request else {
             return;
         };
         let handler = {
@@ -941,7 +1122,10 @@ impl WorldInner {
                 None => return,
             }
         };
-        let outcome = handler.handle(id, &envelope);
+        let outcome = match &work {
+            SrvWork::Envelope(envelope) => handler.handle(id, envelope),
+            SrvWork::Document { name, text } => handler.handle_document(id, name, text),
+        };
         // Phase C (locked): account and send the reply. The endpoint may
         // have crashed while "handling" — then the reply is lost with it.
         let mut st = self.state.lock();
@@ -968,7 +1152,7 @@ impl WorldInner {
         st.transmit(conn_id, false, bytes);
     }
 
-    fn stall_check(self: &Arc<Self>, conn_id: u64, len: usize) {
+    fn stall_check(self: &Arc<Self>, conn_id: u64, len: usize, chunks: u64) {
         let mut st = self.state.lock();
         let Some(conn) = st.conns.get(&conn_id) else {
             return;
@@ -984,13 +1168,20 @@ impl WorldInner {
             return;
         };
         let still = sc.inbox.len();
-        if still != len || still == 0 {
-            return; // progress was made, or the inbox drained
+        if still != len || sc.chunk_seen != chunks {
+            return; // progress was made since the probe was armed
         }
+        let msg = if still > 0 {
+            "read timed out mid-frame"
+        } else if sc.assembler.active() {
+            "read timed out mid-chunk-transfer"
+        } else {
+            return; // inbox drained and no transfer open: idle, not stalled
+        };
         server.metrics.fault();
         server.metrics.timeouts.inc();
-        server.conns.remove(&conn_id);
-        let f = WireFault::new(FaultCode::Timeout, "read timed out mid-frame");
+        server.drop_conn(conn_id);
+        let f = WireFault::new(FaultCode::Timeout, msg);
         let bytes = encode(&wire::fault(0, &f));
         st.log(format!("SRV {server_name} conn={conn_id} stalled close"));
         let at = st.transmit(conn_id, false, bytes);
@@ -1070,13 +1261,11 @@ impl Transport for SimTransport {
                 to_server_pending: Vec::new(),
             },
         );
-        st.servers.get_mut(endpoint).expect("listening server").conns.insert(
-            id,
-            SrvConn {
-                inbox: Vec::new(),
-                shaken: false,
-            },
-        );
+        {
+            let server = st.servers.get_mut(endpoint).expect("listening server");
+            let max_doc = server.config.max_doc;
+            server.conns.insert(id, SrvConn::new(max_doc));
+        }
         st.log(format!(
             "CONNECT {}->{endpoint} conn={id}",
             self.client_name
@@ -1234,7 +1423,7 @@ impl Duplex for SimDuplex {
             return Ok(());
         };
         if let Some(server) = st.servers.get_mut(&server) {
-            server.conns.remove(&self.conn);
+            server.drop_conn(self.conn);
         }
         Ok(())
     }

@@ -447,4 +447,109 @@ print(f"streaming scrape ok: runs={counters['enforce.stream.runs']}, "
       f"{counters['enforce.stream.bytes_out']} bytes zero-copied")
 EOF
 
+echo "== tier-1: chunking gate (wire parity + fuzz + 4x-cap ship, DESIGN.md §14) =="
+# The chunk protocol's contract (DESIGN.md §14): splitting a document
+# into DocChunkStart/DocChunk/DocChunkEnd frames is pure transport —
+# received bytes identical to the in-memory enforcement at every chunk
+# size, and the corruption taxonomy byte-identical across engines. The
+# parity property, the seeded fuzz sweep, and the pinned fault messages
+# all run under one wall-clock budget.
+chunk_started=$(date +%s)
+timeout --kill-after=10 60 cargo test -q --offline --test chunk_parity
+timeout --kill-after=10 60 cargo test -q --offline --test poller_frames \
+    seeded_chunk_fuzz_taxonomy_matches_across_readers \
+    chunk_corruption_messages_are_pinned
+chunk_elapsed=$(( $(date +%s) - chunk_started ))
+if [ "$chunk_elapsed" -ge 60 ]; then
+    echo "chunking suites blew their wall-clock budget: ${chunk_elapsed}s >= 60s"
+    exit 1
+fi
+echo "chunking suites ok in ${chunk_elapsed}s (budget 60s)"
+
+# The bounded-memory witness: a document >=4x the frame cap ships end to
+# end through both engines with sender- and receiver-side buffer
+# accounting. Release mode — the test builds ~17 MB of XML.
+timeout --kill-after=10 120 \
+    cargo test -q --release --offline --test chunk_parity -- --ignored
+
+AXML_BENCH_SMOKE=1 AXML_BENCH_JSON="$json_dir" \
+    timeout --kill-after=10 300 \
+    cargo bench --offline -p axml-bench --bench b15_chunked_ship
+python3 - "$json_dir" <<'EOF'
+import json, pathlib, sys
+b15 = json.loads((pathlib.Path(sys.argv[1]) / "BENCH_b15_chunked_ship.json").read_text())
+ids = {b["id"] for b in b15["benchmarks"]}
+want = {"single_1mib_threads", "single_1mib_poll",
+        "chunked_16mib_threads", "chunked_16mib_poll",
+        "enforced_chunked_4mib_threads", "enforced_chunked_4mib_poll"}
+assert want <= ids, f"B15 variants missing: {want - ids}"
+reports = b15["ship_reports"]
+assert reports, "B15 emitted no ship reports"
+frame_cap = 4 << 20
+seen_over_cap = False
+for r in reports:
+    # Receiver-side identities, per configuration: zero aborts, the
+    # reassembly buffer fully released, every chunk frame accounted.
+    assert r["aborts"] == 0, f"chunked ship aborted: {r}"
+    assert r["reassembly_gauge"] == 0, f"reassembly buffer not released: {r}"
+    assert r["chunk_frames"] >= 2 + r["recv_bytes"] // r["chunk_bytes"], \
+        f"chunk frame undercount: {r}"
+    if r["id"].startswith("chunked_"):
+        assert r["recv_bytes"] == r["size_bytes"], f"bytes lost on the wire: {r}"
+    if r["size_bytes"] >= 4 * frame_cap:
+        seen_over_cap = True
+    if r["id"].startswith("enforced_"):
+        # Full pipeline: streaming enforcement into the chunk sink never
+        # buffers anything close to a frame, let alone the document.
+        assert 0 < r["sender_peak_buffer_bytes"] < frame_cap // 4, \
+            f"sender peak buffer unbounded: {r}"
+assert seen_over_cap, "no ship at >=4x the frame cap was measured"
+biggest = max(r["size_bytes"] for r in reports)
+print(f"B15 smoke ok: {len(reports)} ship reports, largest {biggest} bytes "
+      f"({biggest / frame_cap:.1f}x the frame cap)")
+EOF
+
+# Live scrape: the CLI ships a document in 16-byte chunks through a real
+# daemon, which must expose the net.chunk.* catalogue with the transfer
+# accounted and the reassembly gauge back at zero.
+"$axml_bin" serve "$obs_dir/star.schema" 127.0.0.1:0 --name chunk-gate \
+    > "$obs_dir/serve-chunk.out" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$obs_dir/serve-chunk.out")"
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "chunk-gate daemon never printed its banner"; exit 1; }
+timeout --kill-after=10 60 \
+    "$axml_bin" send "$obs_dir/star.schema" "$addr" "$obs_dir/plain.xml" \
+    --name front --chunk-bytes 16 > "$obs_dir/send-chunk.out"
+grep -q "in 16-byte chunks" "$obs_dir/send-chunk.out" \
+    || { echo "CLI silently fell back to a single frame:"; \
+         cat "$obs_dir/send-chunk.out"; exit 1; }
+timeout --kill-after=10 60 "$axml_bin" stats "$addr" > "$obs_dir/stats-chunk.json"
+kill "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+python3 - "$obs_dir/stats-chunk.json" <<'EOF'
+import json, sys
+snap = json.loads(open(sys.argv[1]).read())
+counters, gauges = snap["counters"], snap["gauges"]
+for name in ["net.chunk.frames_total", "net.chunk.bytes_total",
+             "net.chunk.aborts_total"]:
+    assert name in counters, f"scrape missing counter {name}"
+assert "net.chunk.reassembly_bytes" in gauges, \
+    "scrape missing net.chunk.reassembly_bytes"
+# One 16-byte-chunked transfer: many frames, every payload byte counted,
+# no aborts, and the reassembly buffer handed off and released.
+assert counters["net.chunk.frames_total"] >= 3, "chunked send not accounted"
+assert counters["net.chunk.bytes_total"] >= 1, "no chunk payload accounted"
+assert counters["net.chunk.aborts_total"] == 0, "clean transfer counted as abort"
+assert gauges["net.chunk.reassembly_bytes"] == 0, \
+    "reassembly buffer not released after hand-off"
+assert counters["peer.received_total"] >= 1, "chunked document receipt not accounted"
+print(f"chunk scrape ok: frames={counters['net.chunk.frames_total']}, "
+      f"bytes={counters['net.chunk.bytes_total']}, gauge back at 0")
+EOF
+
 echo "== tier-1: green =="

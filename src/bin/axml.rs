@@ -10,7 +10,7 @@
 //!               [--io threads|poll] [--shards N] [--enforce streaming|dom]
 //!               [--builtin-services] [--store-dir DIR] [--snapshot-every N]
 //! axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N]
-//!               [--enforce streaming|dom]
+//!               [--enforce streaming|dom] [--chunk-bytes N]
 //! axml invoke   <schema> <addr> <method> [param]... [--k N]
 //! axml stats    <addr>
 //! ```
@@ -55,7 +55,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--io threads|poll] [--shards N] [--requests N] [--cache-capacity N] [--enforce streaming|dom] [--builtin-services] [--store-dir DIR] [--snapshot-every N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N] [--enforce streaming|dom]\n  axml invoke   <schema> <addr> <method> [param]... [--k N]\n  axml stats    <addr>"
+        "usage:\n  axml validate <schema> <doc.xml> [--stream]\n  axml rewrite  <schema> <doc.xml> [--k N] [--possible] [--execute SEED]\n  axml plan     <schema> <doc.xml> [--k N]\n  axml compat   <sender-schema> <exchange-schema> --root LABEL [--k N]\n  axml serve    <schema> <addr> [--name PEER] [--doc NAME=FILE]... [--export FUNC=DOC]... [--workers N] [--io threads|poll] [--shards N] [--requests N] [--cache-capacity N] [--enforce streaming|dom] [--builtin-services] [--store-dir DIR] [--snapshot-every N]\n  axml send     <schema> <addr> <doc.xml> [--name DOCNAME] [--k N] [--enforce-workers N] [--enforce streaming|dom] [--chunk-bytes N]\n  axml invoke   <schema> <addr> <method> [param]... [--k N]\n  axml stats    <addr>"
     );
     ExitCode::from(2)
 }
@@ -415,6 +415,37 @@ fn cmd_send(args: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),
     };
+    if let Some(cb) = flag_value(args, "--chunk-bytes") {
+        // Chunked shipping: the enforced output streams into
+        // fixed-size wire chunks instead of one Request frame, so the
+        // document may exceed the frame cap (and sender RAM).
+        let chunk = match cb.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return fail(&format!("--chunk-bytes expects a positive integer, got '{cb}'")),
+        };
+        return match remote.send_document_chunked(&sender, &name, &doc, &compiled, chunk) {
+            Ok(report) => {
+                if report.fell_back && report.bytes_out == 0 {
+                    println!(
+                        "sent '{name}' to {} as one frame (peer predates chunked transfers)",
+                        remote.addr()
+                    );
+                } else {
+                    println!(
+                        "sent '{name}' to {} in {chunk}-byte chunks ({} bytes enforced, peak buffer {} bytes)",
+                        remote.addr(),
+                        report.bytes_out,
+                        report.peak_buffer_bytes
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("send failed: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     match remote.send_document(&sender, &name, &doc, &compiled) {
         Ok((sent, report)) => {
             println!(

@@ -266,6 +266,20 @@ fn protocol_fault_outcome(io: IoMode) -> Vec<(&'static str, wire::Frame)> {
             wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap(),
         ));
     }
+    // Mid-chunk stall: a transfer opens, one chunk lands, then silence
+    // *between* frames — the inbox is empty, but the open transfer makes
+    // it a stall, not an idle pooled connection.
+    {
+        let (mut reader, mut stream) = dial(addr);
+        shake(&mut reader, &mut stream);
+        wire::write_frame(&mut stream, &wire::doc_chunk_start(11, "stall.xml")).unwrap();
+        wire::write_frame(&mut stream, &wire::doc_chunk(11, 0, b"<newspaper>")).unwrap();
+        stream.flush().unwrap();
+        out.push((
+            "mid-chunk-stall",
+            wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME).unwrap(),
+        ));
+    }
     // Handshake violation: a Request before Hello.
     {
         let (mut reader, mut stream) = dial(addr);
@@ -317,6 +331,13 @@ fn matrix_protocol_faults_are_byte_identical() {
     assert_eq!(
         fault_code("mid-frame-stall").code,
         axml::net::FaultCode::Timeout
+    );
+    let chunk_stall = fault_code("mid-chunk-stall");
+    assert_eq!(chunk_stall.code, axml::net::FaultCode::Timeout);
+    assert!(
+        chunk_stall.message.contains("mid-chunk-transfer"),
+        "the stall must name the open transfer: {}",
+        chunk_stall.message
     );
     assert_eq!(
         fault_code("request-before-hello").code,
@@ -471,6 +492,125 @@ fn matrix_newspaper_exchange_between_daemons() {
     assert_eq!(
         threads, poll,
         "the materialized Fig. 1 document is engine-independent"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Scenario: the Fig. 1 exchange when the newspaper outgrows the frame
+// cap — single-frame shipping faults, chunked shipping streams through.
+// ---------------------------------------------------------------------
+
+/// A provider whose listings are too big to ship inside one frame of the
+/// receiver's 4 KiB cap once materialized into the front page.
+fn bulky_provider_daemon(config: ServerConfig) -> NetPeer {
+    let peer = Arc::new(Peer::new(
+        "listings.example.org",
+        compiled(vocab()),
+        Arc::new(Registry::new()),
+    ));
+    peer.repository.store(
+        "program",
+        ITree::elem(
+            "listings",
+            vec![
+                ITree::elem(
+                    "exhibit",
+                    vec![
+                        ITree::data("title", &"Monet retrospective ".repeat(150)),
+                        ITree::data("date", "Mon"),
+                    ],
+                ),
+                ITree::elem(
+                    "exhibit",
+                    vec![
+                        ITree::data("title", &"Rodin in bronze ".repeat(150)),
+                        ITree::data("date", "Tue"),
+                    ],
+                ),
+            ],
+        ),
+    );
+    peer.declare(
+        ServiceDef::new("Listings", "data", "exhibit*"),
+        Query::Children("program".to_owned()),
+    );
+    NetPeer::serve(peer, "127.0.0.1:0", config).unwrap()
+}
+
+/// Ships the oversized Fig. 1 front page: single-frame must fault with
+/// `TooLarge`, chunked (512-byte chunks, materializing `Listings` over
+/// the network mid-stream) must store the full document. Returns the
+/// stored document for the cross-engine equality check.
+fn oversized_chunked_exchange_outcome(io: IoMode) -> ITree {
+    let provider = bulky_provider_daemon(mode_config(io));
+    let receiver_peer = Arc::new(Peer::new(
+        "browser.example.org",
+        compiled(strict_vocab()),
+        Arc::new(Registry::new()),
+    ));
+    let receiver = NetPeer::serve(
+        Arc::clone(&receiver_peer),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_frame: 4096,
+            ..mode_config(io)
+        },
+    )
+    .unwrap();
+    let sender = Peer::new(
+        "newspaper.example.org",
+        compiled(vocab()),
+        Arc::new(Registry::new()),
+    );
+    let front = front_page();
+    let strict = compiled(strict_vocab());
+    let to_provider = RemotePeer::connect(provider.local_addr(), ClientConfig::default()).unwrap();
+    let to_receiver = RemotePeer::connect(receiver.local_addr(), ClientConfig::default()).unwrap();
+
+    // Single-frame: the materialized envelope blows the 4 KiB cap.
+    let mut invoker = NetInvoker {
+        caller: &sender,
+        remote: &to_provider,
+    };
+    let err = to_receiver
+        .send_document_with(&sender, "front", &front, &strict, &mut invoker)
+        .unwrap_err();
+    assert!(
+        matches!(&err, axml::peer::PeerError::Fault(f) if f.code == "Client.TooLarge"),
+        "single-frame shipping of an oversized document must fault TooLarge, got {err}"
+    );
+
+    // Chunked: the same document streams through in 512-byte chunks —
+    // each far below the cap — while `Listings` materializes remotely.
+    let mut invoker = NetInvoker {
+        caller: &sender,
+        remote: &to_provider,
+    };
+    let report = to_receiver
+        .send_document_chunked_with(&sender, "front", &front, &strict, 512, &mut invoker)
+        .unwrap();
+    assert!(!report.fell_back, "both daemons speak chunked");
+    assert!(
+        report.bytes_out as usize > 4096,
+        "the enforced document must exceed the frame cap (got {} bytes)",
+        report.bytes_out
+    );
+    let stored = receiver_peer.repository.load("front").unwrap();
+    validate(&stored, &receiver_peer.compiled).unwrap();
+    assert_eq!(stored.num_funcs(), 0);
+
+    provider.shutdown().unwrap();
+    receiver.shutdown().unwrap();
+    stored
+}
+
+#[test]
+fn matrix_oversized_newspaper_ships_chunked_identically() {
+    let threads = oversized_chunked_exchange_outcome(IoMode::Threads);
+    let poll = oversized_chunked_exchange_outcome(IoMode::Poll);
+    assert_eq!(
+        threads, poll,
+        "the chunk-shipped oversized document is engine-independent"
     );
 }
 

@@ -14,7 +14,8 @@
 //! reproduces from its seed.
 
 use axml::net::wire::{self, Frame, FrameType};
-use axml::net::{FrameDecoder, WireError};
+use axml::net::{ChunkAssembler, ChunkProgress, FrameDecoder, WireError};
+use axml_support::hash::Fnv64;
 use axml_support::rng::{Rng, RngExt, SeedableRng, StdRng};
 
 /// Ground truth: the blocking reader consuming the same bytes from an
@@ -63,7 +64,7 @@ fn decoder_run(bytes: &[u8], max: usize, chunks: &[usize]) -> (Vec<Frame>, WireE
 }
 
 const MAX: usize = 4096;
-const KINDS: [FrameType; 7] = [
+const KINDS: [FrameType; 10] = [
     FrameType::Hello,
     FrameType::Welcome,
     FrameType::Request,
@@ -71,6 +72,9 @@ const KINDS: [FrameType; 7] = [
     FrameType::Fault,
     FrameType::StatsRequest,
     FrameType::StatsResponse,
+    FrameType::DocChunkStart,
+    FrameType::DocChunk,
+    FrameType::DocChunkEnd,
 ];
 
 fn random_payload(rng: &mut StdRng) -> Vec<u8> {
@@ -231,6 +235,205 @@ fn corrupt_prefix_yields_the_same_typed_fault_as_blocking() {
     );
     let ones = vec![1usize; oversized.len()];
     assert_eq!(decoder_run(&oversized, MAX, &ones), reference);
+}
+
+// ---------------------------------------------------------------------
+// Chunk-transfer fuzz: the reassembly taxonomy must be identical no
+// matter which reader fed the assembler its frames.
+// ---------------------------------------------------------------------
+
+/// A well-formed chunked transfer: Start, consecutive chunks, an End
+/// declaring the true count/total/FNV-64 digest.
+fn transfer_frames(id: u64, name: &str, data: &[u8], chunk: usize) -> Vec<Frame> {
+    let mut frames = vec![wire::doc_chunk_start(id, name)];
+    let mut digest = Fnv64::new();
+    let mut seq = 0u32;
+    for piece in data.chunks(chunk.max(1)) {
+        digest.update(piece);
+        frames.push(wire::doc_chunk(id, seq, piece));
+        seq += 1;
+    }
+    frames.push(wire::doc_chunk_end(id, seq, data.len() as u64, digest.finish()));
+    frames
+}
+
+/// Drives one [`ChunkAssembler`] over the chunk-family frames of a
+/// decoded stream, collapsing each step to a comparable string — the
+/// completed document's bytes are included so payload corruption at a
+/// split boundary cannot hide behind an equal-length transcript.
+fn assembler_transcript(frames: &[Frame], max_doc: usize) -> Vec<String> {
+    let mut asm = ChunkAssembler::new(max_doc);
+    frames
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.kind,
+                FrameType::DocChunkStart | FrameType::DocChunk | FrameType::DocChunkEnd
+            )
+        })
+        .map(|f| match asm.accept(f) {
+            Ok(ChunkProgress::Pending) => "pending".to_owned(),
+            Ok(ChunkProgress::Drained) => "drained".to_owned(),
+            Ok(ChunkProgress::Complete { id, name, bytes }) => {
+                format!("complete id={id} name={name} bytes={bytes:?}")
+            }
+            Err(e) => format!("err: {e}"),
+        })
+        .collect()
+}
+
+/// Seed-derived transfers — clean, reordered, digest-corrupted,
+/// truncated-End, miscounted, or over-cap — interleaved with control
+/// frames, serialized, split at random read boundaries, and decoded by
+/// both readers. Frame parity and assembler-transcript parity must hold
+/// for every seed; corrupted variants must end in a typed error.
+#[test]
+fn seeded_chunk_fuzz_taxonomy_matches_across_readers() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let id = rng.random_range(1..1000u64);
+        let len = rng.random_range(0..2000usize);
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            data.extend_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        data.truncate(len);
+        let chunk = rng.random_range(1..=600usize);
+        let mut frames = transfer_frames(id, "fuzz.xml", &data, chunk);
+        // Interleave a control frame somewhere mid-transfer: the real
+        // reader answers StatsRequest inline without touching the
+        // assembler, so the transcript must be unaffected.
+        let at = rng.random_range(0..=frames.len());
+        frames.insert(at, wire::stats_request(id + 1));
+        let max_doc = if rng.random_bool(0.15) {
+            // A small cap forces the cumulative TooLarge path.
+            rng.random_range(1..=len.max(2))
+        } else {
+            1 << 20
+        };
+        let corrupt = rng.random_range(0..5u32);
+        let n = frames.len();
+        let expect_error = match corrupt {
+            1 if n >= 4 => {
+                // Swap two interior frames: out-of-sequence chunks, or a
+                // Start/End displaced into the middle of the transfer.
+                let i = rng.random_range(1..n - 2);
+                frames.swap(i, i + 1);
+                !matches!(
+                    (frames[i].kind, frames[i + 1].kind),
+                    (FrameType::StatsRequest, _) | (_, FrameType::StatsRequest)
+                )
+            }
+            2 => {
+                // Corrupt the declared digest.
+                let end = frames.iter_mut().find(|f| f.kind == FrameType::DocChunkEnd);
+                let end = end.expect("transfer has an End");
+                let last = end.payload.len() - 1;
+                end.payload[last] ^= 0xFF;
+                true
+            }
+            3 => {
+                // Truncate the End payload below its fixed 20 bytes.
+                let end = frames.iter_mut().find(|f| f.kind == FrameType::DocChunkEnd);
+                end.expect("transfer has an End").payload.truncate(19);
+                true
+            }
+            4 => {
+                // Declare one chunk too many.
+                let end = frames.iter_mut().find(|f| f.kind == FrameType::DocChunkEnd);
+                let end = end.expect("transfer has an End");
+                let count =
+                    u32::from_be_bytes(end.payload[0..4].try_into().unwrap()).wrapping_add(1);
+                end.payload[0..4].copy_from_slice(&count.to_be_bytes());
+                true
+            }
+            _ => false,
+        };
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            wire::write_frame(&mut bytes, frame).unwrap();
+        }
+        let (blocking_frames, blocking_end) = blocking_reference(&bytes, MAX);
+        let chunks = random_chunks(&mut rng, bytes.len());
+        let (decoded_frames, decoded_end) = decoder_run(&bytes, MAX, &chunks);
+        assert_eq!(decoded_frames, blocking_frames, "seed {seed}: frames diverged");
+        assert_eq!(decoded_end, blocking_end, "seed {seed}: terminal state diverged");
+
+        let reference = assembler_transcript(&blocking_frames, max_doc);
+        let incremental = assembler_transcript(&decoded_frames, max_doc);
+        assert_eq!(incremental, reference, "seed {seed}: taxonomy diverged");
+        let failed = reference.iter().any(|step| step.starts_with("err: "));
+        let over_cap = len > max_doc;
+        if expect_error || over_cap {
+            assert!(
+                failed,
+                "seed {seed}: corruption (corrupt={corrupt}, cap={max_doc}) went undetected"
+            );
+        } else {
+            assert!(
+                reference.iter().any(|s| s.starts_with("complete")),
+                "seed {seed}: clean transfer did not complete: {reference:?}"
+            );
+        }
+    }
+}
+
+/// The three canonical corruptions pin their exact typed messages — the
+/// strings both engines put on the wire, asserted byte-for-byte after a
+/// byte-at-a-time decode.
+#[test]
+fn chunk_corruption_messages_are_pinned() {
+    let data = b"0123456789abcdef0123456789abcdef";
+    let cases: [(&str, Box<dyn Fn(&mut Vec<Frame>)>, &str); 4] = [
+        (
+            "out of sequence",
+            Box::new(|frames: &mut Vec<Frame>| frames.swap(1, 2)),
+            "chunk out of sequence: expected 0, got 1",
+        ),
+        (
+            "bad digest",
+            Box::new(|frames: &mut Vec<Frame>| {
+                let last = frames.last_mut().unwrap();
+                let n = last.payload.len() - 1;
+                last.payload[n] ^= 0x01;
+            }),
+            "chunk digest mismatch",
+        ),
+        (
+            "truncated end",
+            Box::new(|frames: &mut Vec<Frame>| {
+                frames.last_mut().unwrap().payload.truncate(12);
+            }),
+            "chunk-end payload must be 20 bytes, got 12",
+        ),
+        (
+            "wrong count",
+            Box::new(|frames: &mut Vec<Frame>| {
+                let last = frames.last_mut().unwrap();
+                last.payload[0..4].copy_from_slice(&9u32.to_be_bytes());
+            }),
+            "chunk-end declares 9 chunks, received 4",
+        ),
+    ];
+    for (label, corrupt, expected) in cases {
+        let mut frames = transfer_frames(7, "pin.xml", data, 8);
+        corrupt(&mut frames);
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            wire::write_frame(&mut bytes, frame).unwrap();
+        }
+        let ones = vec![1usize; bytes.len()];
+        let (decoded, _) = decoder_run(&bytes, MAX, &ones);
+        let transcript = assembler_transcript(&decoded, 1 << 20);
+        let err = transcript
+            .iter()
+            .find(|s| s.starts_with("err: "))
+            .unwrap_or_else(|| panic!("{label}: no error in {transcript:?}"));
+        assert!(err.contains(expected), "{label}: {err}");
+        // And the blocking path reports the identical message.
+        let (blocking, _) = blocking_reference(&bytes, MAX);
+        assert_eq!(assembler_transcript(&blocking, 1 << 20), transcript, "{label}");
+    }
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //! link partitions.
 
 use axml::net::wire::{self, FaultCode, WireFault};
-use axml::net::{ClientConfig, ClientError, NetClient};
+use axml::net::{ClientConfig, ClientError, Handler, NetClient};
 use axml::peer::{envelope_handler, Peer, Query};
 use axml::schema::{Compiled, ITree, NoOracle, Schema};
 use axml::services::{soap, Registry, ServiceDef};
@@ -271,6 +271,196 @@ fn stale_fault_frames_do_not_poison_pooled_connections() {
         calls.load(Ordering::SeqCst) >= 4,
         "expected warmup + doomed + duplicate + healthy handler calls, saw {}",
         calls.load(Ordering::SeqCst)
+    );
+}
+
+/// A chunk-accepting handler that records every document it stores, so a
+/// scenario can assert nothing partial ever reached the application.
+struct DocStore {
+    docs: std::sync::Mutex<Vec<(String, String)>>,
+}
+
+impl Handler for DocStore {
+    fn handle(&self, _id: u64, _envelope: &str) -> Result<String, WireFault> {
+        Ok("<ok/>".to_owned())
+    }
+
+    fn handle_document(&self, _id: u64, name: &str, text: &str) -> Result<String, WireFault> {
+        self.docs
+            .lock()
+            .unwrap()
+            .push((name.to_owned(), text.to_owned()));
+        Ok(format!("<stored name=\"{name}\" bytes=\"{}\"/>", text.len()))
+    }
+}
+
+/// Duplicated chunk frames break the transfer's sequence numbers: the
+/// server faults the transfer *typed* (BadFrame, out of sequence) and
+/// keeps the connection; the handler never sees a partial document; a
+/// retry on the healed link delivers the document byte-identically.
+#[test]
+fn duplicated_chunk_frames_fault_typed_and_never_store_partials() {
+    let world = SimWorld::new(41, FaultPlan::default());
+    let store = Arc::new(DocStore {
+        docs: std::sync::Mutex::new(Vec::new()),
+    });
+    let server_metrics = axml::obs::Registry::new();
+    world.listen(
+        "store.example.org",
+        Arc::clone(&store) as Arc<dyn Handler>,
+        SimServerConfig {
+            metrics: server_metrics.clone(),
+            ..Default::default()
+        },
+    );
+    let client = sim_client(&world, "store.example.org", ClientConfig::default());
+    let doc = format!("<doc>{}</doc>", "chunky ".repeat(500));
+
+    // Handshake on a clean link, then duplicate every chunk frame.
+    // Control frames (Hello, Fault, Response) stay reliable — only the
+    // transfer path is targeted.
+    let ok = client.call("<warmup/>").unwrap();
+    assert_eq!(ok, "<ok/>");
+    world.with_plan(|p| p.chunk_dup_prob = 1.0);
+    let err = client
+        .send_document_chunked(None, "dup.xml", 64, |sink| sink.write_all(doc.as_bytes()))
+        .unwrap_err();
+    match err {
+        ClientError::Fault(f) => {
+            assert_eq!(f.code, FaultCode::BadFrame, "{f}");
+            assert!(!f.retryable, "a corrupted transfer is not retryable as-is");
+        }
+        other => panic!("expected a typed BadFrame fault, got {other}"),
+    }
+    assert!(
+        store.docs.lock().unwrap().is_empty(),
+        "no partial document may reach the handler"
+    );
+    world.run_until_idle(); // drain the duplicated remains of the transfer
+    world.with_plan(|p| p.chunk_dup_prob = 0.0);
+
+    // Clean retry on the same client: a fresh transfer id clears the
+    // server's drain state and the document lands whole.
+    let reply = client
+        .send_document_chunked(None, "dup.xml", 64, |sink| sink.write_all(doc.as_bytes()))
+        .unwrap();
+    assert!(reply.contains("stored"), "{reply}");
+    let docs = store.docs.lock().unwrap();
+    assert_eq!(docs.len(), 1, "exactly one complete document stored");
+    assert_eq!(docs[0].0, "dup.xml");
+    assert_eq!(docs[0].1, doc, "stored bytes must be identical");
+    drop(docs);
+    let snap = server_metrics.snapshot();
+    assert!(
+        snap.counter("net.chunk.aborts_total") >= 1,
+        "the corrupted transfer must be accounted as aborted"
+    );
+    assert_eq!(
+        snap.counter("server.requests_total"),
+        snap.counter("server.responses_ok_total") + snap.counter("server.faults_total"),
+        "requests = ok + faults must hold through chunk faults"
+    );
+}
+
+/// Dropped chunk frames starve the transfer: the client times out
+/// reading the reply (a retryable wire failure), retries are equally
+/// starved, and the call fails typed — with nothing stored. Healing the
+/// link lets the same client deliver the document.
+#[test]
+fn dropped_chunk_frames_time_out_and_retry_cleanly_after_heal() {
+    let world = SimWorld::new(42, FaultPlan::default());
+    let store = Arc::new(DocStore {
+        docs: std::sync::Mutex::new(Vec::new()),
+    });
+    world.listen(
+        "store.example.org",
+        Arc::clone(&store) as Arc<dyn Handler>,
+        SimServerConfig::default(),
+    );
+    let client = sim_client(
+        &world,
+        "store.example.org",
+        ClientConfig {
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(25),
+            ..ClientConfig::default()
+        },
+    );
+    let doc = format!("<doc>{}</doc>", "lost ".repeat(400));
+    world.with_plan(|p| p.chunk_drop_prob = 1.0);
+    let err = client
+        .send_document_chunked(None, "lost.xml", 128, |sink| sink.write_all(doc.as_bytes()))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Wire(_)),
+        "expected a typed wire failure after starved retries, got {err}"
+    );
+    assert!(store.docs.lock().unwrap().is_empty());
+    world.with_plan(|p| p.chunk_drop_prob = 0.0);
+    let reply = client
+        .send_document_chunked(None, "lost.xml", 128, |sink| sink.write_all(doc.as_bytes()))
+        .unwrap();
+    assert!(reply.contains("stored"), "{reply}");
+    let docs = store.docs.lock().unwrap();
+    assert_eq!(docs.as_slice(), &[("lost.xml".to_owned(), doc)]);
+}
+
+/// Mid-frame connection resets targeted at chunk frames kill the
+/// transfer's connection; the client sees a retryable transport failure,
+/// nothing partial is stored, the server accounts the abandoned
+/// reassembly as an abort, and the healed link serves the retry.
+#[test]
+fn chunk_frame_resets_abort_the_transfer_without_partials() {
+    let world = SimWorld::new(43, FaultPlan::default());
+    let store = Arc::new(DocStore {
+        docs: std::sync::Mutex::new(Vec::new()),
+    });
+    let server_metrics = axml::obs::Registry::new();
+    world.listen(
+        "store.example.org",
+        Arc::clone(&store) as Arc<dyn Handler>,
+        SimServerConfig {
+            metrics: server_metrics.clone(),
+            ..Default::default()
+        },
+    );
+    let client = sim_client(
+        &world,
+        "store.example.org",
+        ClientConfig {
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(25),
+            ..ClientConfig::default()
+        },
+    );
+    let doc = format!("<doc>{}</doc>", "reset ".repeat(400));
+    world.with_plan(|p| p.chunk_reset_prob = 1.0);
+    let err = client
+        .send_document_chunked(None, "reset.xml", 96, |sink| sink.write_all(doc.as_bytes()))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Wire(_)),
+        "expected a typed wire failure, got {err}"
+    );
+    assert!(store.docs.lock().unwrap().is_empty());
+    world.run_until_idle();
+    world.with_plan(|p| p.chunk_reset_prob = 0.0);
+    let reply = client
+        .send_document_chunked(None, "reset.xml", 96, |sink| sink.write_all(doc.as_bytes()))
+        .unwrap();
+    assert!(reply.contains("stored"), "{reply}");
+    let docs = store.docs.lock().unwrap();
+    assert_eq!(docs.as_slice(), &[("reset.xml".to_owned(), doc)]);
+    drop(docs);
+    // The reassembly gauge must read zero at rest — aborted transfers
+    // give their buffered bytes back.
+    let snap = server_metrics.snapshot();
+    assert_eq!(
+        snap.gauge("net.chunk.reassembly_bytes"),
+        0,
+        "aborted transfers must release their reassembly bytes"
     );
 }
 
